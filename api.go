@@ -1,0 +1,208 @@
+package stencilsched
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"stencilsched/internal/box"
+	"stencilsched/internal/fab"
+	"stencilsched/internal/kernel"
+	"stencilsched/internal/machine"
+	"stencilsched/internal/perfmodel"
+	"stencilsched/internal/sched"
+	"stencilsched/internal/stats"
+	"stencilsched/internal/variants"
+)
+
+// Variant identifies one inter-loop scheduling variant (see
+// internal/sched for the axes).
+type Variant = sched.Variant
+
+// Machine describes one of the paper's evaluation nodes.
+type Machine = machine.Machine
+
+// ModelPoint is one modeled execution time with its components.
+type ModelPoint = perfmodel.Breakdown
+
+// Variants returns the 32 studied scheduling variants.
+func Variants() []Variant { return sched.Studied() }
+
+// VariantByName resolves a paper-legend name such as
+// "Shift-Fuse OT-8: P<Box" or "Baseline: P>=Box" ("≥" accepted) within the
+// studied set.
+func VariantByName(name string) (Variant, error) { return sched.ByName(name) }
+
+// ParseVariant resolves any valid variant name, including the extended
+// rectangular-tile points outside the studied set (e.g.
+// "Shift-Fuse OT-32x8x8: P<Box").
+func ParseVariant(name string) (Variant, error) { return sched.Parse(name) }
+
+// Machines returns the four machines of the study: AMD Magny-Cours,
+// Intel Ivy Bridge (Atlantis), Intel Sandy Bridge (Cab) and the Ivy Bridge
+// desktop.
+func Machines() []Machine { return machine.All() }
+
+// MachineByName resolves a machine by substring ("Magny", "Atlantis",
+// "Sandy", "desktop").
+func MachineByName(key string) (Machine, error) { return machine.ByName(key) }
+
+// Problem sizes one measured run: NumBoxes boxes of BoxN^3 cells executed
+// with Threads total threads.
+type Problem struct {
+	BoxN     int
+	NumBoxes int
+	Threads  int
+}
+
+// Cells returns the total cell count.
+func (p Problem) Cells() int64 {
+	return int64(p.BoxN) * int64(p.BoxN) * int64(p.BoxN) * int64(p.NumBoxes)
+}
+
+func (p Problem) validate() error {
+	if p.BoxN < 4 || p.NumBoxes < 1 {
+		return fmt.Errorf("stencilsched: bad problem %+v (need BoxN >= 4, NumBoxes >= 1)", p)
+	}
+	return nil
+}
+
+// MeasuredResult reports one measured run.
+type MeasuredResult struct {
+	Problem Problem
+	Variant Variant
+	// Seconds is the minimum wall time over the repetitions.
+	Seconds float64
+	// MCellsPerSec is the cell-update throughput at Seconds.
+	MCellsPerSec float64
+	// Stats carries the executor's temporary-storage and recompute
+	// accounting (Table I validation).
+	Stats variants.Stats
+	// Timing is the full repetition summary.
+	Timing stats.Sample
+}
+
+// RunMeasured executes variant v on the host with real goroutine
+// parallelism, reps times (minimum reported), on freshly initialized
+// smooth data. Host scaling differs from the paper's nodes — use the
+// modeled experiments for the figures — but throughput and the Table I
+// accounting are real.
+func RunMeasured(v Variant, p Problem, reps int) (MeasuredResult, error) {
+	if err := v.Validate(); err != nil {
+		return MeasuredResult{}, err
+	}
+	if err := p.validate(); err != nil {
+		return MeasuredResult{}, err
+	}
+	if reps < 1 {
+		reps = 1
+	}
+	boxes := make([]box.Box, p.NumBoxes)
+	for i := range boxes {
+		// Separated boxes: each owns its own ghosted data, like distinct
+		// Chombo boxes on one rank.
+		boxes[i] = box.Cube(p.BoxN)
+	}
+	states := variants.NewLevelState(boxes)
+	for _, s := range states {
+		kernel.InitSmooth(s.Phi0, p.BoxN)
+	}
+	var last variants.Stats
+	timing := stats.Time(reps, func() {
+		last = variants.ExecLevel(v, states, p.Threads)
+	})
+	res := MeasuredResult{
+		Problem: p,
+		Variant: v,
+		Seconds: timing.MinSec,
+		Stats:   last,
+		Timing:  timing,
+	}
+	if timing.MinSec > 0 {
+		res.MCellsPerSec = float64(p.Cells()) / timing.MinSec / 1e6
+	}
+	return res, nil
+}
+
+// Verify runs variant v on one randomly initialized BoxN^3 box with the
+// given thread count and checks bit-for-bit equality against the Figure 6
+// reference kernel.
+func Verify(v Variant, boxN, threads int) error {
+	if err := v.Validate(); err != nil {
+		return err
+	}
+	b := box.Cube(boxN)
+	phi0, want := kernel.NewState(b)
+	phi0.Randomize(rand.New(rand.NewSource(2014)), 0.25, 1.75)
+	kernel.Reference(phi0, want, b)
+	got := fab.New(b, kernel.NComp)
+	variants.Exec(v, phi0, got, b, threads)
+	if d, at, c := got.MaxDiff(want, b); d != 0 {
+		return fmt.Errorf("stencilsched: %s differs from reference by %g at %v component %d",
+			v.Name(), d, at, c)
+	}
+	return nil
+}
+
+// VerifyAll checks every studied variant on a BoxN^3 box.
+func VerifyAll(boxN, threads int) error {
+	for _, v := range sched.Studied() {
+		if err := Verify(v, boxN, threads); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// TuneResult is one autotuning measurement.
+type TuneResult struct {
+	Variant      Variant
+	Seconds      float64
+	MCellsPerSec float64
+}
+
+// Autotune measures candidate variants on the host for problem p (reps
+// repetitions each, minimum kept) and returns them fastest first — the
+// measured counterpart of the model-driven selection in examples/tuning,
+// and the "automate the selection and tuning" direction of the paper's
+// conclusion. A nil candidates slice tunes over every studied variant
+// whose tiles fit the box.
+func Autotune(p Problem, reps int, candidates []Variant) ([]TuneResult, error) {
+	if err := p.validate(); err != nil {
+		return nil, err
+	}
+	if candidates == nil {
+		for _, v := range sched.Studied() {
+			if v.Tiled() && v.MaxTileEdge() > p.BoxN {
+				continue
+			}
+			candidates = append(candidates, v)
+		}
+	}
+	if len(candidates) == 0 {
+		return nil, fmt.Errorf("stencilsched: no feasible candidates for %+v", p)
+	}
+	out := make([]TuneResult, 0, len(candidates))
+	for _, v := range candidates {
+		res, err := RunMeasured(v, p, reps)
+		if err != nil {
+			return nil, fmt.Errorf("stencilsched: autotune %s: %w", v.Name(), err)
+		}
+		out = append(out, TuneResult{Variant: v, Seconds: res.Seconds, MCellsPerSec: res.MCellsPerSec})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Seconds < out[j].Seconds })
+	return out, nil
+}
+
+// ModelConfig configures a modeled experiment point.
+type ModelConfig = perfmodel.Config
+
+// Model returns the modeled execution-time breakdown for one
+// configuration.
+func Model(cfg ModelConfig) ModelPoint { return perfmodel.Time(cfg) }
+
+// ModelCurve returns modeled times for a thread sweep on machine m with
+// the paper's constant-total-cells problem (PaperNumBoxes boxes of boxN^3).
+func ModelCurve(m Machine, v Variant, boxN int, threads []int) []float64 {
+	return perfmodel.Curve(m, v, boxN, perfmodel.PaperNumBoxes(boxN), threads)
+}

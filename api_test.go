@@ -1,0 +1,182 @@
+package stencilsched
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+func TestVariantsCountAndNames(t *testing.T) {
+	vs := Variants()
+	if len(vs) != 32 {
+		t.Fatalf("%d variants", len(vs))
+	}
+	for _, v := range vs {
+		got, err := VariantByName(v.Name())
+		if err != nil || got != v {
+			t.Errorf("round trip %q failed: %v", v.Name(), err)
+		}
+	}
+}
+
+func TestMachines(t *testing.T) {
+	if len(Machines()) != 4 {
+		t.Fatalf("%d machines", len(Machines()))
+	}
+	m, err := MachineByName("Magny")
+	if err != nil || m.Cores() != 24 {
+		t.Fatalf("MachineByName: %v, cores %d", err, m.Cores())
+	}
+}
+
+func TestVerifySingleVariant(t *testing.T) {
+	v, err := VariantByName("Shift-Fuse OT-4: P<Box")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Verify(v, 8, 2); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVerifyAllSmall(t *testing.T) {
+	if err := VerifyAll(8, 2); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunMeasuredProducesThroughput(t *testing.T) {
+	v, _ := VariantByName("Baseline: P>=Box")
+	res, err := RunMeasured(v, Problem{BoxN: 8, NumBoxes: 2, Threads: 2}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Seconds <= 0 || res.MCellsPerSec <= 0 {
+		t.Fatalf("result %+v", res)
+	}
+	if res.Stats.UniqueFaces == 0 {
+		t.Fatal("stats not propagated")
+	}
+	if res.Problem.Cells() != 2*8*8*8 {
+		t.Fatalf("cells = %d", res.Problem.Cells())
+	}
+}
+
+func TestRunMeasuredRejectsBadInput(t *testing.T) {
+	v, _ := VariantByName("Baseline: P>=Box")
+	if _, err := RunMeasured(v, Problem{BoxN: 2, NumBoxes: 1, Threads: 1}, 1); err == nil {
+		t.Error("tiny box accepted")
+	}
+	if _, err := RunMeasured(Variant{TileSize: 9}, Problem{BoxN: 8, NumBoxes: 1, Threads: 1}, 1); err == nil {
+		t.Error("invalid variant accepted")
+	}
+}
+
+func TestModelCurveMatchesPerfmodel(t *testing.T) {
+	m, _ := MachineByName("Sandy")
+	v, _ := VariantByName("Baseline: P>=Box")
+	c := ModelCurve(m, v, 128, m.ThreadSweep())
+	if len(c) != len(m.ThreadSweep()) {
+		t.Fatalf("curve len %d", len(c))
+	}
+	if !(c[0] > c[len(c)-1]) {
+		t.Fatalf("no speedup across sweep: %v", c)
+	}
+}
+
+func TestFigure1Table(t *testing.T) {
+	tab := Figure1()
+	if len(tab.Rows) != 4 || len(tab.Header) != 5 {
+		t.Fatalf("shape %dx%d", len(tab.Rows), len(tab.Header))
+	}
+	if tab.Rows[0][0] != "16" {
+		t.Fatalf("first row %v", tab.Rows[0])
+	}
+	out := tab.String()
+	if !strings.Contains(out, "Figure 1") {
+		t.Fatal("render missing title")
+	}
+}
+
+func TestScalingFigures(t *testing.T) {
+	for name, f := range map[string]func() (*Table, error){
+		"fig2": Figure2, "fig3": Figure3, "fig4": Figure4,
+		"fig10": Figure10, "fig11": Figure11, "fig12": Figure12,
+	} {
+		tab, err := f()
+		if err != nil {
+			t.Errorf("%s: %v", name, err)
+			continue
+		}
+		if len(tab.Rows) == 0 || len(tab.Header) < 5 {
+			t.Errorf("%s: empty table", name)
+		}
+	}
+}
+
+func TestFigure9TableShape(t *testing.T) {
+	tab := Figure9()
+	if len(tab.Rows) != 4 {
+		t.Fatalf("%d rows", len(tab.Rows))
+	}
+	if len(tab.Header) != 9 {
+		t.Fatalf("%d cols", len(tab.Header))
+	}
+}
+
+func TestRooflineTableShape(t *testing.T) {
+	tab := RooflineTable()
+	if len(tab.Rows) != 12 { // 3 machines x 4 schedules
+		t.Fatalf("%d rows", len(tab.Rows))
+	}
+	// The baseline must be memory-bound and OT compute-bound on the AMD.
+	if tab.Rows[0][4] != "memory-bound" {
+		t.Errorf("AMD baseline regime = %q", tab.Rows[0][4])
+	}
+	if tab.Rows[3][4] != "compute-bound" {
+		t.Errorf("AMD OT regime = %q", tab.Rows[3][4])
+	}
+}
+
+func TestBigPictureTableThesis(t *testing.T) {
+	tab, err := BigPictureTable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 4 {
+		t.Fatalf("%d rows", len(tab.Rows))
+	}
+	parse := func(s string) float64 {
+		var v float64
+		if _, err := fmt.Sscanf(s, "%g", &v); err != nil {
+			t.Fatalf("cell %q: %v", s, err)
+		}
+		return v
+	}
+	// Exchange time strictly decreases with box size (Fig. 1 in seconds).
+	for i := 1; i < 4; i++ {
+		if parse(tab.Rows[i][1]) >= parse(tab.Rows[i-1][1]) {
+			t.Fatalf("exchange time not decreasing at row %d", i)
+		}
+	}
+	// The thesis: with the baseline schedule, the largest boxes are the
+	// slowest total; with the best schedule they are the fastest.
+	baseTotal16, baseTotal128 := parse(tab.Rows[0][3]), parse(tab.Rows[3][3])
+	bestTotal16, bestTotal128 := parse(tab.Rows[0][6]), parse(tab.Rows[3][6])
+	if !(baseTotal128 > baseTotal16) {
+		t.Errorf("baseline: N=128 (%g) not slower than N=16 (%g)", baseTotal128, baseTotal16)
+	}
+	if !(bestTotal128 < bestTotal16) {
+		t.Errorf("best schedule: N=128 (%g) not faster than N=16 (%g)", bestTotal128, bestTotal16)
+	}
+}
+
+func TestTableITable(t *testing.T) {
+	tab := TableI(128, 16, 24)
+	if len(tab.Rows) != 4 {
+		t.Fatalf("%d rows", len(tab.Rows))
+	}
+	if !strings.Contains(tab.Rows[0][0], "Series") {
+		t.Fatalf("first row %v", tab.Rows[0])
+	}
+}

@@ -1,0 +1,25 @@
+package stencilsched
+
+import (
+	"testing"
+
+	"stencilsched/internal/box"
+	"stencilsched/internal/kernel"
+	"stencilsched/internal/layout"
+)
+
+// newExchangeBench builds a periodic 32^3 domain decomposed at box size n
+// and returns a closure performing one full ghost exchange.
+func newExchangeBench(b *testing.B, n int) func() {
+	b.Helper()
+	l, err := layout.Decompose(box.Cube(32), n, [3]bool{true, true, true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ld := layout.NewLevelData(l, kernel.NComp, kernel.NGhost)
+	for _, f := range ld.Fabs {
+		f.Fill(1)
+	}
+	b.SetBytes(ld.Copier().ExchangeBytes(kernel.NComp))
+	return func() { ld.Exchange(2) }
+}

@@ -1,0 +1,375 @@
+package stencilsched
+
+// One benchmark per table and figure of the paper's evaluation section
+// (see DESIGN.md section 4 for the experiment index), plus measured-kernel
+// and ablation benchmarks. The figure benchmarks regenerate the modeled
+// series and report the headline quantity of each figure as custom
+// metrics, so `go test -bench .` doubles as the reproduction run.
+
+import (
+	"math/rand"
+	"testing"
+
+	"stencilsched/internal/box"
+	"stencilsched/internal/cachesim"
+	"stencilsched/internal/fab"
+	"stencilsched/internal/ghost"
+	"stencilsched/internal/kernel"
+	"stencilsched/internal/machine"
+	"stencilsched/internal/perfmodel"
+	"stencilsched/internal/sched"
+	"stencilsched/internal/trace"
+	"stencilsched/internal/variants"
+)
+
+// BenchmarkFig01GhostRatio regenerates Figure 1 and reports the headline
+// ratios at N=16 and N=128 (3-D, 2 ghosts).
+func BenchmarkFig01GhostRatio(b *testing.B) {
+	var r16, r128 float64
+	for i := 0; i < b.N; i++ {
+		series := ghost.Fig1Series()
+		r16, r128 = series[0].Ratio[0], series[0].Ratio[3]
+	}
+	b.ReportMetric(r16, "ratio@16")
+	b.ReportMetric(r128, "ratio@128")
+}
+
+// scalingBench regenerates one of Figures 2-4 and reports, at the
+// machine's full thread count, the modeled baseline N=128 time, the best
+// OT N=128 time, and the baseline N=16 time — the figure's story in three
+// numbers.
+func scalingBench(b *testing.B, m machine.Machine, otName string) {
+	b.Helper()
+	baseline, err := sched.ByName("Baseline: P>=Box")
+	if err != nil {
+		b.Fatal(err)
+	}
+	ot, err := sched.ByName(otName)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ts := m.ThreadSweep()
+	var base16, base128, ot128 []float64
+	for i := 0; i < b.N; i++ {
+		base16 = ModelCurve(m, baseline, 16, ts)
+		base128 = ModelCurve(m, baseline, 128, ts)
+		ot128 = ModelCurve(m, ot, 128, ts)
+	}
+	last := len(ts) - 1
+	b.ReportMetric(base16[last], "s/base16@max")
+	b.ReportMetric(base128[last], "s/base128@max")
+	b.ReportMetric(ot128[last], "s/ot128@max")
+	b.ReportMetric(base128[last]/ot128[last], "x/ot-win")
+}
+
+// BenchmarkFig02MagnyCours regenerates Figure 2.
+func BenchmarkFig02MagnyCours(b *testing.B) {
+	scalingBench(b, machine.MagnyCours(), "Shift-Fuse OT-16: P>=Box")
+}
+
+// BenchmarkFig03IvyBridge regenerates Figure 3.
+func BenchmarkFig03IvyBridge(b *testing.B) {
+	scalingBench(b, machine.IvyBridge20(), "Shift-Fuse OT-8: P<Box")
+}
+
+// BenchmarkFig04SandyBridge regenerates Figure 4.
+func BenchmarkFig04SandyBridge(b *testing.B) {
+	scalingBench(b, machine.SandyBridge16(), "Shift-Fuse OT-16: P<Box")
+}
+
+// BenchmarkTable1TempData regenerates Table I and reports the series/fused
+// flux-temporary ratio at N=128.
+func BenchmarkTable1TempData(b *testing.B) {
+	var rows []perfmodel.TableIRow
+	for i := 0; i < b.N; i++ {
+		rows = perfmodel.TableIFor(128, 16, 24)
+	}
+	b.ReportMetric(float64(rows[0].Flux)/float64(rows[1].Flux), "x/flux-reduction")
+}
+
+// BenchmarkFig09BestPerBoxSize regenerates Figure 9 and reports the
+// P>=Box / P<Box gap at N=16 and their ratio at N=128 (the convergence).
+func BenchmarkFig09BestPerBoxSize(b *testing.B) {
+	m := machine.MagnyCours()
+	var gap16, gap128 float64
+	for i := 0; i < b.N; i++ {
+		_, o16 := perfmodel.Best(m, sched.OverBoxes, 16, perfmodel.PaperNumBoxes(16), m.Cores())
+		_, w16 := perfmodel.Best(m, sched.WithinBox, 16, perfmodel.PaperNumBoxes(16), m.Cores())
+		_, o128 := perfmodel.Best(m, sched.OverBoxes, 128, perfmodel.PaperNumBoxes(128), m.Cores())
+		_, w128 := perfmodel.Best(m, sched.WithinBox, 128, perfmodel.PaperNumBoxes(128), m.Cores())
+		gap16, gap128 = w16/o16, w128/o128
+	}
+	b.ReportMetric(gap16, "x/gap@16")
+	b.ReportMetric(gap128, "x/gap@128")
+}
+
+// variantBench regenerates one of Figures 10-12 and reports the spread
+// between the worst (baseline) and best schedule at max threads.
+func variantBench(b *testing.B, m machine.Machine, legend []string) {
+	b.Helper()
+	ts := m.ThreadSweep()
+	last := len(ts) - 1
+	var worst, best float64
+	for i := 0; i < b.N; i++ {
+		worst, best = 0, 1e18
+		for _, name := range legend {
+			v, err := sched.ByName(name)
+			if err != nil {
+				b.Fatal(err)
+			}
+			t := ModelCurve(m, v, 128, ts)[last]
+			if t > worst {
+				worst = t
+			}
+			if t < best {
+				best = t
+			}
+		}
+	}
+	b.ReportMetric(worst, "s/worst@max")
+	b.ReportMetric(best, "s/best@max")
+	b.ReportMetric(worst/best, "x/spread")
+}
+
+var fig10Legend = []string{
+	"Baseline: P>=Box", "Shift-Fuse: P>=Box", "Blocked WF-CLO-16: P<Box",
+	"Shift-Fuse OT-8: P<Box", "Basic-Sched OT-8: P<Box",
+	"Shift-Fuse OT-16: P>=Box", "Basic-Sched OT-16: P>=Box",
+}
+
+var fig11Legend = []string{
+	"Baseline: P>=Box", "Shift-Fuse: P>=Box", "Blocked WF-CLI-4: P<Box",
+	"Shift-Fuse OT-8: P<Box", "Basic-Sched OT-16: P<Box",
+	"Shift-Fuse OT-8: P>=Box", "Basic-Sched OT-16: P>=Box",
+}
+
+var fig12Legend = []string{
+	"Baseline: P>=Box", "Shift-Fuse: P>=Box", "Blocked WF-CLI-16: P<Box",
+	"Shift-Fuse OT-16: P<Box", "Basic-Sched OT-16: P<Box",
+	"Shift-Fuse OT-8: P>=Box", "Basic-Sched OT-16: P>=Box",
+}
+
+// BenchmarkFig10VariantsAMD regenerates Figure 10.
+func BenchmarkFig10VariantsAMD(b *testing.B) {
+	variantBench(b, machine.MagnyCours(), fig10Legend)
+}
+
+// BenchmarkFig11VariantsIvy regenerates Figure 11.
+func BenchmarkFig11VariantsIvy(b *testing.B) {
+	variantBench(b, machine.IvyBridge20(), fig11Legend)
+}
+
+// BenchmarkFig12VariantsSandy regenerates Figure 12.
+func BenchmarkFig12VariantsSandy(b *testing.B) {
+	variantBench(b, machine.SandyBridge16(), fig12Legend)
+}
+
+// BenchmarkSecVIBBandwidth runs the cache-simulator bandwidth study of
+// Section VI-B at a reduced box size and reports the baseline/fused DRAM
+// traffic ratio (the paper's 18.3 vs 9.4 GB/s contrast).
+func BenchmarkSecVIBBandwidth(b *testing.B) {
+	desk := machine.IvyBridgeDesktop()
+	// N must spill the desktop's 6 MB LLC for the contrast to exist (N=32
+	// fits and moves ~zero steady-state DRAM bytes).
+	n := 48
+	run := func(v sched.Variant) float64 {
+		h, err := cachesim.ForMachine(desk)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := trace.Generate(v, n, h); err != nil {
+			b.Fatal(err)
+		}
+		h.ResetStats()
+		if err := trace.Generate(v, n, h); err != nil {
+			b.Fatal(err)
+		}
+		return float64(h.DRAMBytes())
+	}
+	var ratio float64
+	for i := 0; i < b.N; i++ {
+		base := run(sched.Variant{Family: sched.Series})
+		fused := run(sched.Variant{Family: sched.ShiftFuse})
+		ratio = base / fused
+	}
+	b.ReportMetric(ratio, "x/traffic-ratio")
+}
+
+// --- Measured-kernel benchmarks: the real executors on the host. ---
+
+func measuredBench(b *testing.B, name string, n int) {
+	b.Helper()
+	v, err := sched.ByName(name)
+	if err != nil {
+		b.Fatal(err)
+	}
+	valid := box.Cube(n)
+	phi0, phi1 := kernel.NewState(valid)
+	phi0.Randomize(rand.New(rand.NewSource(1)), 0.5, 1.5)
+	b.SetBytes(int64(valid.NumPts()) * kernel.NComp * 8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		variants.Exec(v, phi0, phi1, valid, 2)
+	}
+	b.StopTimer()
+	w := kernel.WorkFor(valid)
+	b.ReportMetric(float64(w.Flops)*float64(b.N)/b.Elapsed().Seconds()/1e6, "Mflop/s")
+}
+
+func BenchmarkMeasuredBaseline16(b *testing.B)  { measuredBench(b, "Baseline: P>=Box", 16) }
+func BenchmarkMeasuredBaseline32(b *testing.B)  { measuredBench(b, "Baseline: P>=Box", 32) }
+func BenchmarkMeasuredShiftFuse16(b *testing.B) { measuredBench(b, "Shift-Fuse: P>=Box", 16) }
+func BenchmarkMeasuredShiftFuse32(b *testing.B) { measuredBench(b, "Shift-Fuse: P>=Box", 32) }
+func BenchmarkMeasuredBlockedWF32(b *testing.B) { measuredBench(b, "Blocked WF-CLO-8: P<Box", 32) }
+func BenchmarkMeasuredFusedOT32(b *testing.B)   { measuredBench(b, "Shift-Fuse OT-8: P<Box", 32) }
+func BenchmarkMeasuredBasicOT32(b *testing.B)   { measuredBench(b, "Basic-Sched OT-8: P<Box", 32) }
+
+// --- Ablation benchmarks (DESIGN.md section 5). ---
+
+// BenchmarkAblationTileSize sweeps the OT tile size at fixed N (paper:
+// 8 and 16 best, 32 spills).
+func BenchmarkAblationTileSize(b *testing.B) {
+	for _, t := range sched.TileSizes {
+		t := t
+		b.Run(("T" + string(rune('0'+t/10)) + string(rune('0'+t%10))), func(b *testing.B) {
+			m := machine.MagnyCours()
+			v := sched.Variant{Family: sched.OverlappedTile, Par: sched.WithinBox, TileSize: t, Intra: sched.FusedSched}
+			var sec float64
+			for i := 0; i < b.N; i++ {
+				sec = perfmodel.Time(perfmodel.Config{
+					Machine: m, Variant: v, BoxN: 128,
+					NumBoxes: perfmodel.PaperNumBoxes(128), Threads: m.Cores(),
+				}).TotalSec
+			}
+			b.ReportMetric(sec, "s/modeled")
+		})
+	}
+}
+
+// BenchmarkAblationTileShape contrasts cubic, pencil and slab overlapped
+// tiles at N=128 (the rectangular-shape extension of the paper's cubic
+// sweep): pencils and slabs cut fewer dimensions (less recompute, longer
+// unit-stride runs) but have larger per-tile working sets and fewer tiles
+// to parallelize over.
+func BenchmarkAblationTileShape(b *testing.B) {
+	m := machine.MagnyCours()
+	shapes := []struct {
+		name string
+		v    sched.Variant
+	}{
+		{"cube8", sched.Variant{Family: sched.OverlappedTile, Par: sched.WithinBox, TileSize: 8, Intra: sched.FusedSched}},
+		{"pencil32x8x8", sched.Variant{Family: sched.OverlappedTile, Par: sched.WithinBox, TileVec: [3]int{32, 8, 8}, Intra: sched.FusedSched}},
+		{"slab32x32x8", sched.Variant{Family: sched.OverlappedTile, Par: sched.WithinBox, TileVec: [3]int{32, 32, 8}, Intra: sched.FusedSched}},
+	}
+	for _, sh := range shapes {
+		sh := sh
+		b.Run(sh.name, func(b *testing.B) {
+			var sec float64
+			for i := 0; i < b.N; i++ {
+				sec = perfmodel.Time(perfmodel.Config{
+					Machine: m, Variant: sh.v, BoxN: 128,
+					NumBoxes: perfmodel.PaperNumBoxes(128), Threads: m.Cores(),
+				}).TotalSec
+			}
+			b.ReportMetric(sec, "s/modeled")
+			b.ReportMetric(perfmodel.FlopsPerBox(sh.v, 128)/perfmodel.FlopsPerBox(sched.Variant{Family: sched.ShiftFuse}, 128), "x/recompute-flops")
+		})
+	}
+}
+
+// BenchmarkAblationNUMAAware contrasts the default master-socket placement
+// with NUMA-correct first touch for the bandwidth-bound baseline.
+func BenchmarkAblationNUMAAware(b *testing.B) {
+	m := machine.MagnyCours()
+	v := sched.Variant{Family: sched.Series}
+	for _, aware := range []bool{false, true} {
+		aware := aware
+		name := "naive"
+		if aware {
+			name = "firstTouch"
+		}
+		b.Run(name, func(b *testing.B) {
+			var sec float64
+			for i := 0; i < b.N; i++ {
+				sec = perfmodel.Time(perfmodel.Config{
+					Machine: m, Variant: v, BoxN: 128, NumBoxes: 24,
+					Threads: m.Cores(), NUMAAware: aware,
+				}).TotalSec
+			}
+			b.ReportMetric(sec, "s/modeled")
+		})
+	}
+}
+
+// BenchmarkAblationSeriesNoVelTemp measures the reordered series schedule
+// that avoids the velocity temporary (Section IV-A's CLO observation)
+// against the verbatim Figure 6 schedule.
+func BenchmarkAblationSeriesNoVelTemp(b *testing.B) {
+	valid := box.Cube(32)
+	phi0, phi1 := kernel.NewState(valid)
+	phi0.Randomize(rand.New(rand.NewSource(3)), 0.5, 1.5)
+	b.Run("fig6", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			variants.Exec(sched.Variant{Family: sched.Series}, phi0, phi1, valid, 1)
+		}
+	})
+	b.Run("noVelTemp", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			variants.ExecSeriesNoVelocityTemp(phi0, phi1, valid, 1)
+		}
+	})
+}
+
+// BenchmarkAblationCompLoopPlacement contrasts CLO and CLI at a fixed
+// schedule, measured on the host.
+func BenchmarkAblationCompLoopPlacement(b *testing.B) {
+	valid := box.Cube(32)
+	phi0, phi1 := kernel.NewState(valid)
+	phi0.Randomize(rand.New(rand.NewSource(4)), 0.5, 1.5)
+	for _, c := range []sched.CompLoop{sched.CLO, sched.CLI} {
+		c := c
+		b.Run(c.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				variants.Exec(sched.Variant{Family: sched.ShiftFuse, Comp: c}, phi0, phi1, valid, 1)
+			}
+		})
+	}
+}
+
+// BenchmarkExchange measures the ghost-cell exchange volume effect of box
+// size on a fixed domain (Fig. 1's cost, measured).
+func BenchmarkExchangeBoxSize(b *testing.B) {
+	for _, n := range []int{8, 16, 32} {
+		n := n
+		b.Run((map[int]string{8: "N08", 16: "N16", 32: "N32"})[n], func(b *testing.B) {
+			bench := newExchangeBench(b, n)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				bench()
+			}
+		})
+	}
+}
+
+// BenchmarkReferenceKernel measures the plain Figure 6 reference (the
+// obviously-correct oracle) for comparison with the optimized executors.
+func BenchmarkReferenceKernel(b *testing.B) {
+	valid := box.Cube(16)
+	phi0, phi1 := kernel.NewState(valid)
+	phi0.Randomize(rand.New(rand.NewSource(5)), 0.5, 1.5)
+	b.SetBytes(int64(valid.NumPts()) * kernel.NComp * 8)
+	for i := 0; i < b.N; i++ {
+		kernel.Reference(phi0, phi1, valid)
+	}
+}
+
+// BenchmarkFABCopy measures the copy primitive behind the exchange.
+func BenchmarkFABCopy(b *testing.B) {
+	src := fab.New(box.Cube(32), kernel.NComp)
+	dst := fab.New(box.Cube(32).Grow(2), kernel.NComp)
+	src.Randomize(rand.New(rand.NewSource(6)), 0, 1)
+	b.SetBytes(src.Bytes())
+	for i := 0; i < b.N; i++ {
+		dst.CopyFrom(src, src.Box())
+	}
+}

@@ -1,0 +1,22 @@
+package main
+
+import "testing"
+
+func TestRunSmallSize(t *testing.T) {
+	// Single small size keeps the simulation fast in CI.
+	if err := run("desktop", "16"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run("PDP-11", "16"); err == nil {
+		t.Error("unknown machine accepted")
+	}
+	if err := run("desktop", "2"); err == nil {
+		t.Error("tiny size accepted")
+	}
+	if err := run("desktop", "bogus"); err == nil {
+		t.Error("non-numeric size accepted")
+	}
+}

@@ -1,0 +1,124 @@
+// Command designspace explores the full scheduling design space — the
+// paper's 328-variation universe, here enumerated with rectangular tile
+// shapes (392 points) — and reports the Pareto frontier of the
+// parallelism / data-locality / recomputation tradeoff the paper's title
+// names: modeled execution time versus temporary storage versus redundant
+// work.
+//
+// Usage:
+//
+//	designspace                       # AMD Magny-Cours, N=128, full cores
+//	designspace -machine Sandy -n 64 -top 15
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"stencilsched"
+	"stencilsched/internal/perfmodel"
+	"stencilsched/internal/report"
+	"stencilsched/internal/sched"
+	"stencilsched/internal/tiling"
+
+	"stencilsched/internal/box"
+	"stencilsched/internal/ivect"
+)
+
+func main() {
+	var (
+		mach = flag.String("machine", "Magny", "machine key")
+		n    = flag.Int("n", 128, "box size")
+		top  = flag.Int("top", 10, "rows of the time ranking to print")
+	)
+	flag.Parse()
+	if err := run(*mach, *n, *top); err != nil {
+		fmt.Fprintln(os.Stderr, "designspace:", err)
+		os.Exit(1)
+	}
+}
+
+type point struct {
+	v         sched.Variant
+	timeSec   float64
+	tempBytes int64
+	recompute float64
+}
+
+func run(mach string, n, top int) error {
+	m, err := stencilsched.MachineByName(mach)
+	if err != nil {
+		return err
+	}
+	if n < 8 {
+		return fmt.Errorf("box size %d too small", n)
+	}
+	threads := m.Cores()
+	numBoxes := perfmodel.PaperNumBoxes(n)
+	if numBoxes < 1 {
+		numBoxes = 1
+	}
+
+	var pts []point
+	for _, v := range sched.ExtendedDesignSpace() {
+		if v.Tiled() && v.MaxTileEdge() > n {
+			continue
+		}
+		b := perfmodel.Time(perfmodel.Config{
+			Machine: m, Variant: v, BoxN: n, NumBoxes: numBoxes, Threads: threads,
+		})
+		td, err := perfmodel.TableI(v, n, threads)
+		if err != nil {
+			return err
+		}
+		rec := 1.0
+		if v.Family == sched.OverlappedTile {
+			rec = tiling.DecomposeVect(box.Cube(n), ivect.IntVect(v.TileShape())).
+				OverlapStats().RecomputeFactor()
+		}
+		pts = append(pts, point{v: v, timeSec: b.TotalSec, tempBytes: td.Bytes(), recompute: rec})
+	}
+
+	sort.Slice(pts, func(i, j int) bool { return pts[i].timeSec < pts[j].timeSec })
+	rank := &report.Table{
+		Title:  fmt.Sprintf("Design space ranking: N=%d on %s, %d threads (%d feasible points)", n, m.Name, threads, len(pts)),
+		Note:   "modeled; temp bytes from the Table I formulas; recompute = redundant face evaluations",
+		Header: []string{"rank", "variant", "time (s)", "temp bytes", "recompute"},
+	}
+	for i := 0; i < top && i < len(pts); i++ {
+		p := pts[i]
+		rank.Add(i+1, p.v.Name(), p.timeSec, p.tempBytes, p.recompute)
+	}
+	if err := rank.Render(os.Stdout); err != nil {
+		return err
+	}
+
+	// Pareto frontier over (time, temp bytes, recompute): keep points not
+	// dominated in all three objectives.
+	var front []point
+	for _, p := range pts {
+		dominated := false
+		for _, q := range pts {
+			if q.timeSec <= p.timeSec && q.tempBytes <= p.tempBytes && q.recompute <= p.recompute &&
+				(q.timeSec < p.timeSec || q.tempBytes < p.tempBytes || q.recompute < p.recompute) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			front = append(front, p)
+		}
+	}
+	sort.Slice(front, func(i, j int) bool { return front[i].timeSec < front[j].timeSec })
+	pf := &report.Table{
+		Title:  "Pareto frontier: time vs temporary storage vs recomputation",
+		Note:   "the tradeoff of the paper's title; no point improves one objective without losing another",
+		Header: []string{"variant", "time (s)", "temp bytes", "recompute"},
+	}
+	for _, p := range front {
+		pf.Add(p.v.Name(), p.timeSec, p.tempBytes, p.recompute)
+	}
+	return pf.Render(os.Stdout)
+}

@@ -1,0 +1,25 @@
+package main
+
+import "testing"
+
+func TestRunDefault(t *testing.T) {
+	if err := run("Magny", 128, 5); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunSmallBox(t *testing.T) {
+	// Small boxes prune large tiles from the feasible set.
+	if err := run("Sandy", 16, 3); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run("PDP-11", 128, 5); err == nil {
+		t.Error("unknown machine accepted")
+	}
+	if err := run("Magny", 2, 5); err == nil {
+		t.Error("tiny box accepted")
+	}
+}

@@ -1,0 +1,89 @@
+// Command figures regenerates every table and figure of the paper's
+// evaluation section as text tables (optionally CSV files): Figure 1
+// (ghost-cell ratios, analytic), Figures 2-4 (scaling on the three
+// machines), Table I (temporary storage), Figure 9 (best time vs box
+// size), and Figures 10-12 (the N=128 variant comparison per machine).
+//
+// Usage:
+//
+//	figures              # everything, text, stdout
+//	figures -fig 9       # one figure
+//	figures -csv out/    # also write one CSV per figure into out/
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"stencilsched"
+)
+
+func main() {
+	var (
+		fig    = flag.String("fig", "all", `which output: all, 1, 2, 3, 4, 9, 10, 11, 12 or "table1"`)
+		csvDir = flag.String("csv", "", "directory to also write CSV files into")
+	)
+	flag.Parse()
+	if err := run(*fig, *csvDir); err != nil {
+		fmt.Fprintln(os.Stderr, "figures:", err)
+		os.Exit(1)
+	}
+}
+
+func run(fig, csvDir string) error {
+	type gen struct {
+		key  string
+		file string
+		f    func() (*stencilsched.Table, error)
+	}
+	gens := []gen{
+		{"1", "fig01_ghost_ratio", func() (*stencilsched.Table, error) { return stencilsched.Figure1(), nil }},
+		{"2", "fig02_magnycours", stencilsched.Figure2},
+		{"3", "fig03_ivybridge", stencilsched.Figure3},
+		{"4", "fig04_sandybridge", stencilsched.Figure4},
+		{"table1", "table1_tempdata", func() (*stencilsched.Table, error) { return stencilsched.TableI(128, 16, 24), nil }},
+		{"roofline", "roofline", func() (*stencilsched.Table, error) { return stencilsched.RooflineTable(), nil }},
+		{"bigpicture", "bigpicture", stencilsched.BigPictureTable},
+		{"9", "fig09_best_boxsize", func() (*stencilsched.Table, error) { return stencilsched.Figure9(), nil }},
+		{"10", "fig10_variants_amd", stencilsched.Figure10},
+		{"11", "fig11_variants_ivy", stencilsched.Figure11},
+		{"12", "fig12_variants_sandy", stencilsched.Figure12},
+	}
+	matched := false
+	for _, g := range gens {
+		if fig != "all" && !strings.EqualFold(fig, g.key) {
+			continue
+		}
+		matched = true
+		t, err := g.f()
+		if err != nil {
+			return fmt.Errorf("figure %s: %w", g.key, err)
+		}
+		if err := t.Render(os.Stdout); err != nil {
+			return err
+		}
+		if csvDir != "" {
+			if err := os.MkdirAll(csvDir, 0o755); err != nil {
+				return err
+			}
+			f, err := os.Create(filepath.Join(csvDir, g.file+".csv"))
+			if err != nil {
+				return err
+			}
+			if err := t.CSV(f); err != nil {
+				f.Close()
+				return err
+			}
+			if err := f.Close(); err != nil {
+				return err
+			}
+		}
+	}
+	if !matched {
+		return fmt.Errorf("unknown figure %q", fig)
+	}
+	return nil
+}

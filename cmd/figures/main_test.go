@@ -1,0 +1,43 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestRunSingleFigures(t *testing.T) {
+	for _, key := range []string{"1", "2", "9", "table1"} {
+		if err := run(key, ""); err != nil {
+			t.Errorf("fig %s: %v", key, err)
+		}
+	}
+}
+
+func TestRunAllWithCSV(t *testing.T) {
+	dir := t.TempDir()
+	if err := run("all", dir); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 11 {
+		t.Fatalf("%d CSV files, want 11", len(entries))
+	}
+	// Spot-check a file has a header line.
+	b, err := os.ReadFile(filepath.Join(dir, "fig01_ghost_ratio.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b) == 0 {
+		t.Fatal("empty CSV")
+	}
+}
+
+func TestRunUnknownFigure(t *testing.T) {
+	if err := run("99", ""); err == nil {
+		t.Fatal("unknown figure accepted")
+	}
+}

@@ -1,0 +1,121 @@
+// Command stencilbench runs the study's scheduling variants: list them,
+// verify them against the reference kernel, execute them on the host with
+// real goroutine parallelism, or model them on the paper's machines.
+//
+// Usage examples:
+//
+//	stencilbench -list
+//	stencilbench -verify -n 16
+//	stencilbench -variant "Shift-Fuse OT-8: P<Box" -n 64 -boxes 4 -threads 8 -reps 3
+//	stencilbench -variant "Baseline: P>=Box" -mode modeled -machine Magny -n 128
+//	stencilbench -variant "Baseline: P>=Box" -mode sweep -machine Atlantis -n 128
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"stencilsched"
+	"stencilsched/internal/perfmodel"
+	"stencilsched/internal/report"
+)
+
+func main() {
+	var (
+		list    = flag.Bool("list", false, "list the studied variants and exit")
+		verify  = flag.Bool("verify", false, "verify every variant against the reference kernel and exit")
+		name    = flag.String("variant", "", "variant name (paper legend style)")
+		mode    = flag.String("mode", "measured", "measured | modeled | sweep")
+		mach    = flag.String("machine", "Magny", "machine key for modeled runs (Magny, Atlantis, Sandy, desktop)")
+		n       = flag.Int("n", 32, "box size N (box is N^3)")
+		boxes   = flag.Int("boxes", 2, "number of boxes (measured mode)")
+		threads = flag.Int("threads", 4, "thread count")
+		reps    = flag.Int("reps", 3, "repetitions (minimum reported)")
+	)
+	flag.Parse()
+	if err := run(*list, *verify, *name, *mode, *mach, *n, *boxes, *threads, *reps); err != nil {
+		fmt.Fprintln(os.Stderr, "stencilbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(list, verify bool, name, mode, mach string, n, boxes, threads, reps int) error {
+	if list {
+		for _, v := range stencilsched.Variants() {
+			fmt.Println(v.Name())
+		}
+		return nil
+	}
+	if verify {
+		if err := stencilsched.VerifyAll(n, threads); err != nil {
+			return err
+		}
+		fmt.Printf("all %d variants bit-identical to the reference on a %d^3 box\n",
+			len(stencilsched.Variants()), n)
+		return nil
+	}
+	if name == "" {
+		return fmt.Errorf("need -variant, -list or -verify")
+	}
+	v, err := stencilsched.VariantByName(name)
+	if err != nil {
+		// Fall back to the extended space (rectangular tile shapes).
+		v, err = stencilsched.ParseVariant(name)
+		if err != nil {
+			return err
+		}
+	}
+	switch mode {
+	case "measured":
+		res, err := stencilsched.RunMeasured(v, stencilsched.Problem{BoxN: n, NumBoxes: boxes, Threads: threads}, reps)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%s\n", v.Name())
+		fmt.Printf("  problem:    %d boxes of %d^3 (%d cells), %d threads, %d reps\n",
+			boxes, n, res.Problem.Cells(), threads, reps)
+		fmt.Printf("  time:       %.4fs min (mean %.4fs ± %.4fs)\n",
+			res.Seconds, res.Timing.Mean, res.Timing.StdDev)
+		fmt.Printf("  throughput: %.2f Mcells/s\n", res.MCellsPerSec)
+		fmt.Printf("  temps:      flux %d B, velocity %d B; recompute factor %.3f\n",
+			res.Stats.TempFluxBytes, res.Stats.TempVelBytes, res.Stats.RecomputeFactor())
+		if res.Stats.Wavefront.Items > 0 {
+			fmt.Printf("  wavefront:  %d items in %d fronts, efficiency %.2f at %d threads\n",
+				res.Stats.Wavefront.Items, res.Stats.Wavefront.Wavefronts,
+				res.Stats.Wavefront.Efficiency(threads), threads)
+		}
+		return nil
+	case "modeled":
+		m, err := stencilsched.MachineByName(mach)
+		if err != nil {
+			return err
+		}
+		b := stencilsched.Model(perfmodel.Config{
+			Machine: m, Variant: v, BoxN: n,
+			NumBoxes: perfmodel.PaperNumBoxes(n), Threads: threads,
+		})
+		fmt.Printf("%s on %s, N=%d, %d threads (modeled)\n", v.Name(), m.Name, n, threads)
+		fmt.Printf("  total %.3fs  (compute %.3fs, memory %.3fs, regions %.3fs)\n",
+			b.TotalSec, b.ComputeSec, b.MemorySec, b.RegionSec)
+		fmt.Printf("  speedup %.1f, bandwidth %.1f GB/s, cache-fit=%v\n", b.Speedup, b.BWGBs, b.Fits)
+		return nil
+	case "sweep":
+		m, err := stencilsched.MachineByName(mach)
+		if err != nil {
+			return err
+		}
+		ts := m.ThreadSweep()
+		curve := stencilsched.ModelCurve(m, v, n, ts)
+		t := &report.Table{
+			Title:  fmt.Sprintf("%s, N=%d on %s (modeled)", v.Name(), n, m.Name),
+			Header: []string{"threads", "time (s)", "speedup"},
+		}
+		for i, p := range ts {
+			t.Add(p, curve[i], curve[0]/curve[i])
+		}
+		return t.Render(os.Stdout)
+	default:
+		return fmt.Errorf("unknown mode %q", mode)
+	}
+}

@@ -1,0 +1,53 @@
+package main
+
+import "testing"
+
+func TestRunList(t *testing.T) {
+	if err := run(true, false, "", "measured", "", 8, 1, 1, 1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunVerify(t *testing.T) {
+	if err := run(false, true, "", "measured", "", 8, 1, 2, 1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunMeasured(t *testing.T) {
+	if err := run(false, false, "Shift-Fuse OT-4: P<Box", "measured", "", 8, 1, 2, 1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunModeledAndSweep(t *testing.T) {
+	if err := run(false, false, "Baseline: P>=Box", "modeled", "Magny", 32, 1, 4, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(false, false, "Baseline: P>=Box", "sweep", "Sandy", 32, 1, 4, 1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		f    func() error
+	}{
+		{"no variant", func() error { return run(false, false, "", "measured", "", 8, 1, 1, 1) }},
+		{"bad variant", func() error { return run(false, false, "Nope: P<Box", "measured", "", 8, 1, 1, 1) }},
+		{"bad mode", func() error { return run(false, false, "Baseline: P>=Box", "teleport", "", 8, 1, 1, 1) }},
+		{"bad machine", func() error { return run(false, false, "Baseline: P>=Box", "modeled", "PDP-11", 8, 1, 1, 1) }},
+	}
+	for _, c := range cases {
+		if err := c.f(); err == nil {
+			t.Errorf("%s: no error", c.name)
+		}
+	}
+}
+
+func TestRunMeasuredRectVariant(t *testing.T) {
+	if err := run(false, false, "Shift-Fuse OT-8x4x4: P<Box", "measured", "", 8, 1, 2, 1); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,28 @@
+// Package stencilsched reproduces "A Study on Balancing Parallelism, Data
+// Locality, and Recomputation in Existing PDE Solvers" (Olschanowsky,
+// Strout, Guzik, Loffeld, Hittinger — SC 2014): ~30 inter-loop scheduling
+// variants of a Chombo-style finite-volume CFD flux kernel, the mini
+// framework they run on (boxes, FArrayBoxes, disjoint layouts, ghost
+// exchange), the CodeGen+-style What/When/Where machinery used to build
+// them, and the performance substrate (machine models, a cache simulator,
+// and a roofline/bandwidth-contention model) that regenerates every figure
+// and table of the paper's evaluation.
+//
+// # Quick start
+//
+//	v, _ := stencilsched.VariantByName("Shift-Fuse OT-8: P<Box")
+//	res := stencilsched.RunMeasured(v, stencilsched.Problem{BoxN: 32, NumBoxes: 4, Threads: 4}, 3)
+//	fmt.Printf("%.1f Mcells/s\n", res.MCellsPerSec)
+//
+// Every variant computes bit-for-bit the same result as the Figure 6
+// reference kernel; Verify checks that on demand.
+//
+// # Measured vs modeled
+//
+// RunMeasured executes the real goroutine-parallel kernels on the host.
+// The paper's scaling figures, however, are properties of specific 2014
+// HPC nodes; ModelCurve and the Figure* experiment drivers regenerate
+// their shapes from the calibrated machine models in internal/machine and
+// internal/perfmodel (see DESIGN.md for the substitution argument and
+// EXPERIMENTS.md for paper-vs-reproduction records).
+package stencilsched

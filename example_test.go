@@ -1,0 +1,66 @@
+package stencilsched_test
+
+import (
+	"fmt"
+
+	"stencilsched"
+)
+
+// ExampleVerify shows the study's central invariant: any scheduling
+// variant is bit-identical to the Figure 6 reference kernel.
+func ExampleVerify() {
+	v, _ := stencilsched.VariantByName("Shift-Fuse OT-8: P<Box")
+	if err := stencilsched.Verify(v, 16, 4); err != nil {
+		fmt.Println("mismatch:", err)
+		return
+	}
+	fmt.Println("bit-identical to the reference")
+	// Output: bit-identical to the reference
+}
+
+// ExampleVariantByName resolves paper-legend names, including the paper's
+// own "≥" notation.
+func ExampleVariantByName() {
+	v, _ := stencilsched.VariantByName("Baseline: P≥Box")
+	fmt.Println(v.Name())
+	// Output: Baseline-CLO: P>=Box
+}
+
+// ExampleParseVariant accepts the extended rectangular-tile design space.
+func ExampleParseVariant() {
+	v, _ := stencilsched.ParseVariant("Shift-Fuse OT-32x8x8: P<Box")
+	fmt.Println(v.Rect(), v.MaxTileEdge())
+	// Output: true 32
+}
+
+// ExampleModelCurve regenerates a scaling curve of the paper's Figure 2 on
+// the modeled Cray node and reports whether the bandwidth-bound baseline
+// stopped scaling.
+func ExampleModelCurve() {
+	amd, _ := stencilsched.MachineByName("Magny")
+	baseline, _ := stencilsched.VariantByName("Baseline: P>=Box")
+	times := stencilsched.ModelCurve(amd, baseline, 128, []int{8, 24})
+	fmt.Printf("8->24 threads speedup: %.2fx\n", times[0]/times[1])
+	// Output: 8->24 threads speedup: 0.99x
+}
+
+// ExampleFigure1 renders the paper's analytic Figure 1 as a table.
+func ExampleFigure1() {
+	t := stencilsched.Figure1()
+	fmt.Println(t.Header[0], t.Header[1])
+	fmt.Println(t.Rows[0][0], t.Rows[0][1])
+	// Output:
+	// box size 3D,2ghost
+	// 16 1.953
+}
+
+// ExampleTableI evaluates the paper's Table I storage formulas.
+func ExampleTableI() {
+	t := stencilsched.TableI(128, 16, 24)
+	for _, row := range t.Rows[:2] {
+		fmt.Println(row[0], row[1])
+	}
+	// Output:
+	// Series of Loops 10733445
+	// Loops shifted and fused 33026
+}

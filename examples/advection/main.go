@@ -1,0 +1,98 @@
+// Advection: a real time-dependent PDE solve through the public API — the
+// CFD idiom the paper's exemplar is a proxy for.
+//
+// The 5-component state [rho, u, v, w, e] advances on a periodic,
+// multi-box level with the finite-volume kernel: each RK4 stage exchanges
+// ghost cells, evaluates the flux divergence with a chosen scheduling
+// variant, and applies a conservative update. With constant velocity
+// components the system reduces to fourth-order linear advection, so the
+// run checks
+//
+//   - exact conservation of every component (the finite-volume
+//     telescoping property survives the ghost exchange),
+//   - the advected density against the analytically translated profile,
+//   - that two different scheduling variants produce bit-identical states.
+//
+// go run ./examples/advection
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"runtime"
+
+	"stencilsched"
+)
+
+const (
+	domainN = 32
+	boxN    = 16
+	steps   = 40
+)
+
+func main() {
+	threads := runtime.GOMAXPROCS(0)
+	k := 2 * math.Pi / float64(domainN)
+	prob := stencilsched.AdvectionProblem{
+		DomainN: domainN,
+		BoxN:    boxN,
+		U:       [3]float64{0.8, 0.6, 0.4},
+		Rho: func(x, y, z float64) float64 {
+			return 1 + 0.2*math.Sin(k*x)*math.Sin(k*y)*math.Sin(k*z)
+		},
+		Dt:         0.1,
+		Integrator: stencilsched.RK4,
+		Threads:    threads,
+	}
+
+	ot, err := stencilsched.VariantByName("Shift-Fuse OT-8: P<Box")
+	if err != nil {
+		log.Fatal(err)
+	}
+	baseline, err := stencilsched.VariantByName("Baseline: P>=Box")
+	if err != nil {
+		log.Fatal(err)
+	}
+	run, err := stencilsched.NewAdvection(prob, ot)
+	if err != nil {
+		log.Fatal(err)
+	}
+	other, err := stencilsched.NewAdvection(prob, baseline)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	before := run.Totals()
+	run.Advance(steps)
+	other.Advance(steps)
+	after := run.Totals()
+
+	fmt.Printf("advected %d RK4 steps of dt=%.3f on a %d^3 periodic domain (%d boxes of %d^3, %d threads)\n",
+		steps, prob.Dt, domainN, run.NumBoxes(), boxN, threads)
+
+	fmt.Println("\nconservation (finite-volume telescoping across the exchange):")
+	names := []string{"rho", "u", "v", "w", "e"}
+	for c, name := range names {
+		drift := math.Abs(after[c]-before[c]) / math.Max(1, math.Abs(before[c]))
+		status := "ok"
+		if drift > 1e-11 {
+			status = "FAILED"
+		}
+		fmt.Printf("  %-3s  sum %14.6f -> %14.6f   relative drift %.2e  %s\n",
+			name, before[c], after[c], drift, status)
+	}
+
+	linf, l1 := run.DensityError()
+	fmt.Printf("\ndensity vs exact advection at t=%.3f:  Linf %.3e  L1 %.3e\n", run.Time(), linf, l1)
+	if linf > 0.01 {
+		log.Fatalf("advection error too large: %g", linf)
+	}
+
+	maxDiff := run.MaxStateDiff(other)
+	fmt.Printf("\nmax |OT-8 state - baseline state| after %d steps: %g\n", steps, maxDiff)
+	if maxDiff != 0 {
+		log.Fatal("schedules diverged — they must be bit-identical")
+	}
+	fmt.Println("schedules bit-identical: changing the schedule never changes the answer.")
+}

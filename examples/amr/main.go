@@ -1,0 +1,116 @@
+// AMR: the exemplar kernel running inside the Berger-Oliger-Colella
+// adaptive mesh refinement structure that Chombo-class frameworks provide
+// (Section II) — a periodic coarse level with a refined patch, advanced
+// conservatively with ghost interpolation at the coarse-fine boundary and
+// flux correction (refluxing) at the interface.
+//
+// The run demonstrates the paper's framing end to end: the same scheduling
+// variants drive the flux kernel on both levels, the composite mass of
+// every component is conserved to roundoff, and — as everywhere in this
+// reproduction — changing the schedule never changes a single bit of the
+// answer.
+//
+//	go run ./examples/amr
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"runtime"
+
+	"stencilsched/internal/amr"
+	"stencilsched/internal/box"
+	"stencilsched/internal/ivect"
+	"stencilsched/internal/kernel"
+	"stencilsched/internal/sched"
+)
+
+func main() {
+	threads := runtime.GOMAXPROCS(0)
+	cfg := amr.Config{
+		CoarseDomainN: 32,
+		CoarseBoxN:    16,
+		FineBoxN:      16,
+		FineRegion:    box.New(ivect.New(6, 8, 10), ivect.New(21, 23, 25)),
+		Ratio:         2,
+		Threads:       threads,
+	}
+	h, err := amr.New(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	h2, err := amr.New(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	k := 2 * math.Pi / 32.0
+	init := func(x, y, z float64, c int) float64 {
+		switch c {
+		case 0:
+			return 1 + 0.25*math.Sin(k*x+0.5)*math.Cos(k*y) + 0.1*math.Sin(k*z+1.1)
+		case 1:
+			return 0.7
+		case 2:
+			return 0.5
+		case 3:
+			return 0.3
+		default:
+			return 2 + 0.2*math.Cos(k*x)*math.Sin(k*y+0.4)
+		}
+	}
+	h.InitFromFunction(threads, init)
+	h2.InitFromFunction(threads, init)
+
+	v1, _ := sched.ByName("Shift-Fuse OT-8: P<Box")
+	v2, _ := sched.ByName("Baseline: P>=Box")
+
+	fmt.Printf("two-level AMR: %d^3 coarse (+%d boxes), %v refined x%d (%d fine boxes), %d threads\n",
+		cfg.CoarseDomainN, h.Coarse.Layout.NumBoxes(), cfg.FineRegion, cfg.Ratio,
+		h.Fine.Layout.NumBoxes(), threads)
+
+	var before [kernel.NComp]float64
+	for c := range before {
+		before[c] = h.CompositeMass(c)
+	}
+
+	const steps = 5
+	for s := 0; s < steps; s++ {
+		h.Step(0.05, v1, threads)
+		h2.Step(0.05, v2, threads)
+	}
+
+	fmt.Printf("\ncomposite conservation after %d refluxed steps:\n", steps)
+	names := []string{"rho", "u", "v", "w", "e"}
+	for c, name := range names {
+		after := h.CompositeMass(c)
+		rel := math.Abs(after-before[c]) / math.Max(1, math.Abs(before[c]))
+		status := "ok"
+		if rel > 1e-11 {
+			status = "FAILED"
+		}
+		fmt.Printf("  %-3s  %16.8f -> %16.8f   drift %.2e  %s\n", name, before[c], after, rel, status)
+		if rel > 1e-11 {
+			log.Fatal("composite conservation violated")
+		}
+	}
+
+	// Schedule independence across the whole AMR machinery.
+	var maxDiff float64
+	for i, b := range h.Coarse.Layout.Boxes {
+		if d, _, _ := h.Coarse.Fabs[i].MaxDiff(h2.Coarse.Fabs[i], b); d > maxDiff {
+			maxDiff = d
+		}
+	}
+	for i, b := range h.Fine.Layout.Boxes {
+		if d, _, _ := h.Fine.Fabs[i].MaxDiff(h2.Fine.Fabs[i], b); d > maxDiff {
+			maxDiff = d
+		}
+	}
+	fmt.Printf("\nmax |OT state - baseline state| across both levels: %g\n", maxDiff)
+	if maxDiff != 0 {
+		log.Fatal("schedules diverged")
+	}
+	fmt.Println("bit-identical across schedules, through interpolation, refluxing and restriction.")
+}

@@ -1,0 +1,101 @@
+// Levelsolver: a production-shaped level run — the way a Chombo-style code
+// actually executes the exemplar — connecting the paper's two themes:
+// ghost-cell overhead (Fig. 1) and on-node schedule choice.
+//
+// A periodic domain is decomposed at two box sizes (small and large). For
+// each, the run reports the exchange volume per step (the Fig. 1 overhead,
+// measured from the real copier plan, not the formula) and then advances
+// several steps with the granularity-appropriate schedule, timing exchange
+// and compute separately.
+//
+//	go run ./examples/levelsolver
+package main
+
+import (
+	"fmt"
+	"log"
+	"runtime"
+	"time"
+
+	"stencilsched/internal/box"
+	"stencilsched/internal/fab"
+	"stencilsched/internal/ghost"
+	"stencilsched/internal/kernel"
+	"stencilsched/internal/layout"
+	"stencilsched/internal/sched"
+	"stencilsched/internal/variants"
+)
+
+const (
+	domainN = 64
+	steps   = 3
+)
+
+func run(boxN int, variantName string, threads int) {
+	v, err := sched.ByName(variantName)
+	if err != nil {
+		log.Fatal(err)
+	}
+	l, err := layout.Decompose(box.Cube(domainN), boxN, [3]bool{true, true, true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	ld := layout.NewLevelData(l, kernel.NComp, kernel.NGhost)
+	ld.ForEachBox(threads, func(i int, valid box.Box, f *fab.FAB) {
+		kernel.InitSmooth(f, domainN)
+	})
+	div := make([]*fab.FAB, l.NumBoxes())
+	for i, b := range l.Boxes {
+		div[i] = fab.New(b, kernel.NComp)
+	}
+
+	exBytes := ld.Copier().ExchangeBytes(kernel.NComp)
+	cells := int64(domainN) * domainN * domainN
+	fmt.Printf("box size %3d: %5d boxes, ghost ratio %.3f (analytic), exchange %6.2f MB/step (%.2f B/cell)\n",
+		boxN, l.NumBoxes(), ghost.Ratio(boxN, 3, kernel.NGhost),
+		float64(exBytes)/1e6, float64(exBytes)/float64(cells))
+
+	var exchange, compute time.Duration
+	for s := 0; s < steps; s++ {
+		t0 := time.Now()
+		ld.Exchange(threads)
+		exchange += time.Since(t0)
+
+		t1 := time.Now()
+		if v.Par == sched.OverBoxes {
+			states := make([]variants.State, l.NumBoxes())
+			for i := range states {
+				div[i].Fill(0)
+				states[i] = variants.State{Valid: l.Boxes[i], Phi0: ld.Fabs[i], Phi1: div[i]}
+			}
+			variants.ExecLevel(v, states, threads)
+		} else {
+			for i, b := range l.Boxes {
+				div[i].Fill(0)
+				variants.Exec(v, ld.Fabs[i], div[i], b, threads)
+			}
+		}
+		// Conservative update keeps the run honest (data evolves).
+		ld.ForEachBox(threads, func(i int, valid box.Box, f *fab.FAB) {
+			f.Plus(div[i], valid, -0.05)
+		})
+		compute += time.Since(t1)
+	}
+	perStep := float64(cells*steps) / compute.Seconds() / 1e6
+	fmt.Printf("              %-28s exchange %8.2fms/step  compute %8.2fms/step  %8.2f Mcells/s\n",
+		v.Name(), exchange.Seconds()*1e3/steps, compute.Seconds()*1e3/steps, perStep)
+}
+
+func main() {
+	threads := runtime.GOMAXPROCS(0)
+	fmt.Printf("level run on a %d^3 periodic domain, %d threads, %d steps\n\n", domainN, threads, steps)
+	// Small boxes: low exchange efficiency (high ghost ratio), P>=Box is
+	// the right granularity.
+	run(16, "Baseline: P>=Box", threads)
+	fmt.Println()
+	// Large boxes: 4x lower exchange volume; the overlapped-tile schedule
+	// keeps the node busy inside the big box.
+	run(64, "Shift-Fuse OT-8: P<Box", threads)
+	fmt.Println("\nlarger boxes cut the exchange volume (Fig. 1); the overlapped-tile schedule")
+	fmt.Println("restores on-node parallel efficiency inside them (Figs. 2-4) — the paper's thesis.")
+}

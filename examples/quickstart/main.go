@@ -1,0 +1,62 @@
+// Quickstart: verify a scheduling variant against the reference kernel and
+// compare measured throughput of the baseline schedule against an
+// overlapped-tile schedule on the host.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"runtime"
+
+	"stencilsched"
+)
+
+func main() {
+	threads := runtime.GOMAXPROCS(0)
+	prob := stencilsched.Problem{BoxN: 32, NumBoxes: 2, Threads: threads}
+
+	baseline, err := stencilsched.VariantByName("Baseline: P>=Box")
+	if err != nil {
+		log.Fatal(err)
+	}
+	ot, err := stencilsched.VariantByName("Shift-Fuse OT-8: P<Box")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Every variant must produce bit-identical results to the Figure 6
+	// reference — schedules change execution order, never values.
+	for _, v := range []stencilsched.Variant{baseline, ot} {
+		if err := stencilsched.Verify(v, 16, threads); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("verified %-28s (bit-identical to reference)\n", v.Name())
+	}
+
+	fmt.Printf("\nmeasured on this host (%d threads, %d boxes of %d^3):\n",
+		threads, prob.NumBoxes, prob.BoxN)
+	for _, v := range []stencilsched.Variant{baseline, ot} {
+		res, err := stencilsched.RunMeasured(v, prob, 3)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-28s %8.2f Mcells/s   flux temp %8d B   recompute %.3f\n",
+			v.Name(), res.MCellsPerSec, res.Stats.TempFluxBytes, res.Stats.RecomputeFactor())
+	}
+
+	// The paper's scaling story is a property of 2014 HPC nodes; the model
+	// regenerates it.
+	amd, _ := stencilsched.MachineByName("Magny")
+	sweep := amd.ThreadSweep()
+	base128 := stencilsched.ModelCurve(amd, baseline, 128, sweep)
+	ot128 := stencilsched.ModelCurve(amd, ot, 128, sweep)
+	fmt.Printf("\nmodeled on %s, N=128:\n", amd.Name)
+	fmt.Printf("  %8s %22s %22s\n", "threads", "Baseline: P>=Box (s)", ot.Name()+" (s)")
+	for i, p := range sweep {
+		fmt.Printf("  %8d %22.3f %22.3f\n", p, base128[i], ot128[i])
+	}
+	fmt.Println("\nbaseline stops scaling (bandwidth-bound); the overlapped tiles keep scaling —")
+	fmt.Println("the paper's headline result.")
+}

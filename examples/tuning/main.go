@@ -1,0 +1,88 @@
+// Tuning: model-driven schedule selection, the paper's concluding
+// suggestion ("automate the implementation, selection, and tuning of such
+// inter-loop program optimizations").
+//
+// For every machine of the study and every box size, the performance model
+// ranks all 32 studied variants at the machine's full thread count and
+// prints the winner per parallelization granularity, plus the top-5 list
+// for the headline configuration (N = 128 on the AMD Magny-Cours).
+//
+//	go run ./examples/tuning
+package main
+
+import (
+	"fmt"
+	"sort"
+
+	"stencilsched"
+	"stencilsched/internal/perfmodel"
+	"stencilsched/internal/sched"
+)
+
+func main() {
+	fmt.Println("best modeled variant per machine, box size and granularity")
+	fmt.Println("(constant 50,331,648-cell problem, full core count)")
+	fmt.Println()
+	for _, m := range stencilsched.Machines() {
+		fmt.Println(m.Name)
+		for _, n := range []int{16, 32, 64, 128} {
+			numBoxes := perfmodel.PaperNumBoxes(n)
+			vOver, tOver := perfmodel.Best(m, sched.OverBoxes, n, numBoxes, m.Cores())
+			vWithin, tWithin := perfmodel.Best(m, sched.WithinBox, n, numBoxes, m.Cores())
+			fmt.Printf("  N=%3d  P>=Box: %-30s %7.3fs   P<Box: %-30s %7.3fs\n",
+				n, vOver.Name(), tOver, vWithin.Name(), tWithin)
+		}
+		fmt.Println()
+	}
+
+	// Full ranking for the headline configuration.
+	amd, _ := stencilsched.MachineByName("Magny")
+	type ranked struct {
+		v stencilsched.Variant
+		t float64
+	}
+	var rs []ranked
+	for _, v := range stencilsched.Variants() {
+		if v.Tiled() && v.TileSize > 128 {
+			continue
+		}
+		b := stencilsched.Model(perfmodel.Config{
+			Machine: amd, Variant: v, BoxN: 128,
+			NumBoxes: perfmodel.PaperNumBoxes(128), Threads: amd.Cores(),
+		})
+		rs = append(rs, ranked{v, b.TotalSec})
+	}
+	sort.Slice(rs, func(i, j int) bool { return rs[i].t < rs[j].t })
+	fmt.Printf("ranking for N=128 on %s at %d threads:\n", amd.Name, amd.Cores())
+	for i, r := range rs {
+		marker := "  "
+		if i == 0 {
+			marker = "->"
+		}
+		fmt.Printf(" %s %2d. %-32s %7.3fs\n", marker, i+1, r.v.Name(), r.t)
+		if i >= 9 {
+			fmt.Printf("    ... (%d more)\n", len(rs)-10)
+			break
+		}
+	}
+
+	// Beyond the studied set: search the extended design space with
+	// rectangular (pencil/slab) tile shapes — the axes behind the paper's
+	// full variation count.
+	var ext []ranked
+	for _, v := range sched.ExtendedDesignSpace() {
+		if v.Tiled() && v.MaxTileEdge() > 128 {
+			continue
+		}
+		b := stencilsched.Model(perfmodel.Config{
+			Machine: amd, Variant: v, BoxN: 128,
+			NumBoxes: perfmodel.PaperNumBoxes(128), Threads: amd.Cores(),
+		})
+		ext = append(ext, ranked{v, b.TotalSec})
+	}
+	sort.Slice(ext, func(i, j int) bool { return ext[i].t < ext[j].t })
+	fmt.Printf("\nextended design space (%d points incl. rectangular tiles), top 5:\n", len(ext))
+	for i := 0; i < 5 && i < len(ext); i++ {
+		fmt.Printf("    %2d. %-36s %7.3fs\n", i+1, ext[i].v.Name(), ext[i].t)
+	}
+}

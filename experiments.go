@@ -1,0 +1,291 @@
+package stencilsched
+
+import (
+	"fmt"
+
+	"stencilsched/internal/cluster"
+	"stencilsched/internal/ghost"
+	"stencilsched/internal/machine"
+	"stencilsched/internal/perfmodel"
+	"stencilsched/internal/report"
+	"stencilsched/internal/sched"
+)
+
+// Table is a rendered experiment output.
+type Table = report.Table
+
+// modeledNote marks tables regenerated through the calibrated machine
+// model rather than 2014 hardware.
+const modeledNote = "modeled on the paper's machine specs; shapes comparable, absolutes approximate — see DESIGN.md"
+
+// Figure1 regenerates Fig. 1: the ratio of total to physical cells as a
+// function of box size, for 3-D/4-D problems with 2 and 5 ghosts. This
+// figure is analytic; the reproduction is exact.
+func Figure1() *Table {
+	t := &Table{
+		Title:  "Figure 1: total cells / physical cells vs box size",
+		Note:   "analytic — exact reproduction",
+		Header: []string{"box size", "3D,2ghost", "3D,5ghost", "4D,2ghost", "4D,5ghost"},
+	}
+	series := ghost.Fig1Series()
+	for i, n := range series[0].N {
+		t.Add(n, series[0].Ratio[i], series[1].Ratio[i], series[2].Ratio[i], series[3].Ratio[i])
+	}
+	return t
+}
+
+// scalingFigure renders one of Figures 2-4: execution time vs thread count
+// for the four curves of the paper's figure on machine m, with the paper's
+// constant 50,331,648-cell problem.
+func scalingFigure(title string, m Machine, otCurve string) (*Table, error) {
+	baseline, err := sched.ByName("Baseline: P>=Box")
+	if err != nil {
+		return nil, err
+	}
+	fuse, err := sched.ByName("Shift-Fuse: P>=Box")
+	if err != nil {
+		return nil, err
+	}
+	ot, err := sched.ByName(otCurve)
+	if err != nil {
+		return nil, err
+	}
+	threads := m.ThreadSweep()
+	curves := []struct {
+		label string
+		v     Variant
+		boxN  int
+	}{
+		{"Baseline: P>=Box, N=16", baseline, 16},
+		{"Shift-Fuse: P>=Box, N=16", fuse, 16},
+		{"Baseline: P>=Box, N=128", baseline, 128},
+		{otCurve + ", N=128", ot, 128},
+	}
+	t := &Table{
+		Title:  title,
+		Note:   modeledNote,
+		Header: []string{"threads"},
+	}
+	cols := make([][]float64, len(curves))
+	for i, c := range curves {
+		t.Header = append(t.Header, c.label+" (s)")
+		cols[i] = ModelCurve(m, c.v, c.boxN, threads)
+	}
+	for ti, p := range threads {
+		row := []any{p}
+		for i := range curves {
+			row = append(row, cols[i][ti])
+		}
+		t.Add(row...)
+	}
+	return t, nil
+}
+
+// Figure2 regenerates Fig. 2 (24-core AMD Magny-Cours).
+func Figure2() (*Table, error) {
+	return scalingFigure("Figure 2: performance on 24-core AMD Magny-Cours",
+		machine.MagnyCours(), "Shift-Fuse OT-16: P>=Box")
+}
+
+// Figure3 regenerates Fig. 3 (20-core Intel Ivy Bridge, hyper-threading to
+// 40).
+func Figure3() (*Table, error) {
+	return scalingFigure("Figure 3: performance on 20-core Intel Ivy Bridge",
+		machine.IvyBridge20(), "Shift-Fuse OT-8: P<Box")
+}
+
+// Figure4 regenerates Fig. 4 (16-core Intel Sandy Bridge).
+func Figure4() (*Table, error) {
+	return scalingFigure("Figure 4: performance on 16-core Intel Sandy Bridge",
+		machine.SandyBridge16(), "Shift-Fuse OT-16: P<Box")
+}
+
+// Figure9 regenerates Fig. 9: best time over all variants per box size,
+// for parallelization over boxes vs within boxes, on the AMD and Ivy
+// Bridge machines at their full core counts.
+func Figure9() *Table {
+	t := &Table{
+		Title: "Figure 9: best performance with box size",
+		Note:  modeledNote,
+		Header: []string{"box size",
+			"AMD P>=Box (s)", "AMD P>=Box best variant",
+			"AMD P<Box (s)", "AMD P<Box best variant",
+			"Ivy P>=Box (s)", "Ivy P>=Box best variant",
+			"Ivy P<Box (s)", "Ivy P<Box best variant"},
+	}
+	machines := []Machine{machine.MagnyCours(), machine.IvyBridge20()}
+	for _, n := range []int{16, 32, 64, 128} {
+		row := []any{n}
+		for _, m := range machines {
+			for _, par := range []sched.Granularity{sched.OverBoxes, sched.WithinBox} {
+				v, sec := perfmodel.Best(m, par, n, perfmodel.PaperNumBoxes(n), m.Cores())
+				row = append(row, sec, v.Name())
+			}
+		}
+		t.Add(row...)
+	}
+	return t
+}
+
+// variantFigure renders one of Figures 10-12: the N = 128 thread sweep for
+// the seven schedules in the paper's legend for machine m.
+func variantFigure(title string, m Machine, legend []string) (*Table, error) {
+	threads := m.ThreadSweep()
+	t := &Table{Title: title, Note: modeledNote, Header: []string{"threads"}}
+	cols := make([][]float64, len(legend))
+	for i, name := range legend {
+		v, err := sched.ByName(name)
+		if err != nil {
+			return nil, fmt.Errorf("legend %q: %w", name, err)
+		}
+		t.Header = append(t.Header, name+" (s)")
+		cols[i] = ModelCurve(m, v, 128, threads)
+	}
+	for ti, p := range threads {
+		row := []any{p}
+		for i := range legend {
+			row = append(row, cols[i][ti])
+		}
+		t.Add(row...)
+	}
+	return t, nil
+}
+
+// Figure10 regenerates Fig. 10 (AMD Magny-Cours, N = 128, seven
+// schedules).
+func Figure10() (*Table, error) {
+	return variantFigure("Figure 10: N=128 schedules on AMD Magny-Cours", machine.MagnyCours(),
+		[]string{
+			"Baseline: P>=Box",
+			"Shift-Fuse: P>=Box",
+			"Blocked WF-CLO-16: P<Box",
+			"Shift-Fuse OT-8: P<Box",
+			"Basic-Sched OT-8: P<Box",
+			"Shift-Fuse OT-16: P>=Box",
+			"Basic-Sched OT-16: P>=Box",
+		})
+}
+
+// Figure11 regenerates Fig. 11 (Intel Ivy Bridge, N = 128).
+func Figure11() (*Table, error) {
+	return variantFigure("Figure 11: N=128 schedules on Intel Ivy Bridge", machine.IvyBridge20(),
+		[]string{
+			"Baseline: P>=Box",
+			"Shift-Fuse: P>=Box",
+			"Blocked WF-CLI-4: P<Box",
+			"Shift-Fuse OT-8: P<Box",
+			"Basic-Sched OT-16: P<Box",
+			"Shift-Fuse OT-8: P>=Box",
+			"Basic-Sched OT-16: P>=Box",
+		})
+}
+
+// Figure12 regenerates Fig. 12 (Intel Sandy Bridge, N = 128).
+func Figure12() (*Table, error) {
+	return variantFigure("Figure 12: N=128 schedules on Intel Sandy Bridge", machine.SandyBridge16(),
+		[]string{
+			"Baseline: P>=Box",
+			"Shift-Fuse: P>=Box",
+			"Blocked WF-CLI-16: P<Box",
+			"Shift-Fuse OT-16: P<Box",
+			"Basic-Sched OT-16: P<Box",
+			"Shift-Fuse OT-8: P>=Box",
+			"Basic-Sched OT-16: P>=Box",
+		})
+}
+
+// RooflineTable places every schedule family on each machine's roofline at
+// full thread count for N = 128: arithmetic intensity vs balance point.
+// It is the analysis behind Section VI's "memory bandwidth bottleneck"
+// conclusion, rendered as a table.
+func RooflineTable() *Table {
+	t := &Table{
+		Title:  "Roofline placement, N=128 at full cores (flops/DRAM-byte)",
+		Note:   modeledNote,
+		Header: []string{"machine", "schedule", "intensity", "balance point", "regime"},
+	}
+	rows := []struct {
+		label string
+		v     sched.Variant
+	}{
+		{"Baseline", sched.Variant{Family: sched.Series}},
+		{"Shift-Fuse", sched.Variant{Family: sched.ShiftFuse}},
+		{"Blocked WF-16", sched.Variant{Family: sched.BlockedWavefront, Par: sched.WithinBox, TileSize: 16}},
+		{"Shift-Fuse OT-16", sched.Variant{Family: sched.OverlappedTile, Par: sched.WithinBox, TileSize: 16, Intra: sched.FusedSched}},
+	}
+	for _, m := range []Machine{machine.MagnyCours(), machine.IvyBridge20(), machine.SandyBridge16()} {
+		for _, r := range rows {
+			rf := perfmodel.RooflineFor(r.v, 128, m, m.Cores())
+			regime := "compute-bound"
+			if rf.MemoryBound {
+				regime = "memory-bound"
+			}
+			t.Add(m.Name, r.label, rf.IntensityFlopPerByte, rf.BalancePoint, regime)
+		}
+	}
+	return t
+}
+
+// BigPictureTable quantifies the paper's thesis end to end: on a
+// distributed run (one rank per modeled Cray node over a Gemini-class
+// interconnect), small boxes pay in ghost exchange, large boxes pay in
+// on-node scheduling with the naive schedule — and the paper's overlapped
+// tile schedules remove the second penalty, making large boxes a strict
+// win.
+func BigPictureTable() (*Table, error) {
+	baseline, err := sched.ByName("Baseline: P>=Box")
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		Title: "Big picture: distributed step time vs box size (512^3 domain, 64 Cray nodes)",
+		Note:  "modeled: internal/cluster (Gemini interconnect) + internal/perfmodel; see DESIGN.md",
+		Header: []string{"box size", "exchange (s)",
+			"compute, baseline (s)", "total, baseline (s)",
+			"best schedule", "compute, best (s)", "total, best (s)"},
+	}
+	for _, n := range []int{16, 32, 64, 128} {
+		cfg := cluster.Config{
+			Machine: machine.MagnyCours(),
+			Net:     cluster.CrayGemini(),
+			Variant: baseline,
+			DomainN: 512, BoxN: n, Ranks: 64,
+			NComp: 5, NGhost: 2,
+		}
+		mb, err := cluster.Step(cfg)
+		if err != nil {
+			return nil, err
+		}
+		// Best schedule over both granularities for this rank's share of
+		// boxes (at N=128 a rank owns a single box, so within-box
+		// parallelism is mandatory — the situation the paper's schedules
+		// exist for).
+		boxesPerRank := (512 / n) * (512 / n) * (512 / n) / 64
+		bestV, bestT := perfmodel.Best(cfg.Machine, sched.OverBoxes, n, boxesPerRank, cfg.Machine.Cores())
+		if v2, t2 := perfmodel.Best(cfg.Machine, sched.WithinBox, n, boxesPerRank, cfg.Machine.Cores()); t2 < bestT {
+			bestV = v2
+		}
+		cfg.Variant = bestV
+		mo, err := cluster.Step(cfg)
+		if err != nil {
+			return nil, err
+		}
+		t.Add(n, mb.ExchangeSec, mb.ComputeSec, mb.TotalSec, bestV.Name(), mo.ComputeSec, mo.TotalSec)
+	}
+	return t, nil
+}
+
+// TableI regenerates Table I: the temporary flux and velocity storage of
+// the four schedule categories, in elements, for the given box size, tile
+// size and thread count.
+func TableI(n, tileSize, threads int) *Table {
+	t := &Table{
+		Title:  fmt.Sprintf("Table I: temporary data (elements), N=%d, T=%d, C=5, P=%d", n, tileSize, threads),
+		Note:   "formulas verbatim from the paper; cross-checked against executor allocation in tests",
+		Header: []string{"schedule", "flux temp", "velocity temp"},
+	}
+	for _, row := range perfmodel.TableIFor(n, tileSize, threads) {
+		t.Add(row.Schedule, row.Flux, row.Vel)
+	}
+	return t
+}

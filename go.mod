@@ -1,0 +1,3 @@
+module stencilsched
+
+go 1.22

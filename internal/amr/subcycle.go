@@ -1,0 +1,192 @@
+package amr
+
+import (
+	"fmt"
+
+	"stencilsched/internal/box"
+	"stencilsched/internal/fab"
+	"stencilsched/internal/ivect"
+	"stencilsched/internal/kernel"
+	"stencilsched/internal/sched"
+)
+
+// This file implements refinement in time — the actual Berger-Oliger
+// subcycling of the AMR formulation the paper's frameworks use: the fine
+// level advances Ratio substeps of dt/Ratio per coarse step of dt.
+// Fine ghosts at intermediate times are interpolated in time between the
+// coarse solution before and after its step, and a flux register
+// accumulates the time-averaged fine fluxes at the coarse-fine interface
+// so the composite update remains exactly conservative.
+
+// fluxRegister records, per coarse-fine interface face, the coarse flux at
+// the old time and the running sum of fine-flux averages over the
+// substeps.
+type fluxRegister struct {
+	// keyed by (dir, face point); values per component.
+	coarse map[regKey][kernel.NComp]float64
+	fine   map[regKey][kernel.NComp]float64
+}
+
+type regKey struct {
+	dir  int
+	face ivect.IntVect
+}
+
+func newFluxRegister() *fluxRegister {
+	return &fluxRegister{
+		coarse: map[regKey][kernel.NComp]float64{},
+		fine:   map[regKey][kernel.NComp]float64{},
+	}
+}
+
+// interfaceFaces invokes fn for each coarse interface face plane with its
+// orientation sign (+1 when the uncovered coarse cell is on the low side,
+// so the face is that cell's high face).
+func (h *Hierarchy) interfaceFaces(fn func(dir int, fc ivect.IntVect, lowSide bool)) {
+	for dir := 0; dir < 3; dir++ {
+		for _, side := range []int{0, 1} {
+			plane := h.FineRegion.SurroundingFaces(dir)
+			if side == 0 {
+				plane.Hi = plane.Hi.With(dir, plane.Lo[dir])
+			} else {
+				plane.Lo = plane.Lo.With(dir, plane.Hi[dir])
+			}
+			dir := dir
+			lowSide := side == 0
+			plane.ForEach(func(fc ivect.IntVect) { fn(dir, fc, lowSide) })
+		}
+	}
+}
+
+// recordCoarseFluxes captures the coarse interface fluxes of the current
+// coarse state.
+func (h *Hierarchy) recordCoarseFluxes(reg *fluxRegister) {
+	h.interfaceFaces(func(dir int, fc ivect.IntVect, lowSide bool) {
+		cell := fc
+		if lowSide {
+			cell = fc.Shift(dir, -1)
+		}
+		ci, _ := h.coarseBoxOf(cell)
+		if ci < 0 {
+			panic(fmt.Sprintf("amr: no coarse box for cell %v", cell))
+		}
+		var vals [kernel.NComp]float64
+		for c := 0; c < kernel.NComp; c++ {
+			vals[c] = h.coarseFaceFlux(ci, fc, dir, c)
+		}
+		reg.coarse[regKey{dir, fc}] = vals
+	})
+}
+
+// accumulateFineFluxes adds weight times the area-averaged fine interface
+// fluxes of the current fine state into the register.
+func (h *Hierarchy) accumulateFineFluxes(reg *fluxRegister, weight float64) {
+	area := float64(h.Ratio * h.Ratio)
+	h.interfaceFaces(func(dir int, fc ivect.IntVect, lowSide bool) {
+		k := regKey{dir, fc}
+		vals := reg.fine[k]
+		for c := 0; c < kernel.NComp; c++ {
+			vals[c] += weight * h.fineFaceFluxSum(fc, dir, c) / area
+		}
+		reg.fine[k] = vals
+	})
+}
+
+// applyRegister corrects the already-updated uncovered coarse neighbors:
+// the coarse update used dt*F_coarse on each interface face; conservation
+// needs dt*(time-averaged fine flux). The correction to the cell is
+// -sign * (dt/dxc) * (Favg - Fcoarse), with sign +1 when the face is the
+// cell's high face.
+func (h *Hierarchy) applyRegister(reg *fluxRegister, dt float64) {
+	h.interfaceFaces(func(dir int, fc ivect.IntVect, lowSide bool) {
+		cell := fc
+		sign := -1.0
+		if lowSide {
+			cell = fc.Shift(dir, -1)
+			sign = 1.0
+		}
+		ci, _ := h.coarseBoxOf(cell)
+		k := regKey{dir, fc}
+		coarse := reg.coarse[k]
+		fine := reg.fine[k]
+		f := h.Coarse.Fabs[ci]
+		for c := 0; c < kernel.NComp; c++ {
+			delta := fine[c] - coarse[c]
+			f.Set(cell, c, f.Get(cell, c)-sign*dt/h.DxCoarse*delta)
+		}
+	})
+}
+
+// fillFineGhostsBlended fills fine ghosts by space interpolation from a
+// time-blended coarse view (1-theta)*old + theta*new, then overwrites with
+// sibling fine data.
+func (h *Hierarchy) fillFineGhostsBlended(old []*fab.FAB, theta float64, threads int) {
+	r := h.Ratio
+	h.Fine.ForEachBox(threads, func(i int, valid box.Box, f *fab.FAB) {
+		ghosted := valid.Grow(h.Fine.NGhost)
+		ghosted.ForEach(func(pf ivect.IntVect) {
+			if valid.Contains(pf) {
+				return
+			}
+			pc := pf.CoarsenBy(r)
+			ci := h.coarseOwnerIndex(pc)
+			if ci < 0 {
+				panic(fmt.Sprintf("amr: no coarse owner for %v", pc))
+			}
+			newF, oldF := h.Coarse.Fabs[ci], old[ci]
+			for c := 0; c < kernel.NComp; c++ {
+				vNew := interpLinear(newF, pc, pf, r, c)
+				vOld := interpLinear(oldF, pc, pf, r, c)
+				f.Set(pf, c, (1-theta)*vOld+theta*vNew)
+			}
+		})
+	})
+	h.Fine.Exchange(threads)
+}
+
+// coarseOwnerIndex is coarseOwner returning the box index.
+func (h *Hierarchy) coarseOwnerIndex(pc ivect.IntVect) int {
+	for i, b := range h.Coarse.Layout.Boxes {
+		if b.Grow(h.Coarse.NGhost - 1).Contains(pc) {
+			return i
+		}
+	}
+	return -1
+}
+
+// StepSubcycled advances the composite solution by dt with Berger-Oliger
+// subcycling: one coarse step, then Ratio fine substeps of dt/Ratio with
+// time-interpolated coarse-fine ghosts, then the flux-register correction
+// and restriction. Composite mass is conserved to roundoff, like Step.
+func (h *Hierarchy) StepSubcycled(dt float64, v sched.Variant, threads int) {
+	r := h.Ratio
+	reg := newFluxRegister()
+
+	// Coarse advance (saving the old state for time interpolation).
+	h.FillCoarseGhosts(threads)
+	old := make([]*fab.FAB, len(h.Coarse.Fabs))
+	for i, f := range h.Coarse.Fabs {
+		old[i] = f.Clone()
+	}
+	h.recordCoarseFluxes(reg)
+	computeDiv(h.Coarse, h.divCoarse, v, threads)
+	for i, b := range h.Coarse.Layout.Boxes {
+		h.Coarse.Fabs[i].Plus(h.divCoarse[i], b, -dt/h.DxCoarse)
+	}
+
+	// Fine subcycles.
+	dxf := h.DxCoarse / float64(r)
+	dtf := dt / float64(r)
+	for k := 0; k < r; k++ {
+		theta := float64(k) / float64(r)
+		h.fillFineGhostsBlended(old, theta, threads)
+		h.accumulateFineFluxes(reg, 1/float64(r))
+		computeDiv(h.Fine, h.divFine, v, threads)
+		for i, b := range h.Fine.Layout.Boxes {
+			h.Fine.Fabs[i].Plus(h.divFine[i], b, -dtf/dxf)
+		}
+	}
+
+	h.applyRegister(reg, dt)
+	h.Restrict(threads)
+}

@@ -1,0 +1,215 @@
+package cachesim
+
+import (
+	"math/rand"
+	"testing"
+
+	"stencilsched/internal/machine"
+)
+
+func tiny(size int64, assoc, line int) machine.Cache {
+	return machine.Cache{Name: "T", SizeBytes: size, Assoc: assoc, LineBytes: line}
+}
+
+func TestNewRejectsBadGeometry(t *testing.T) {
+	if _, err := New(tiny(1024, 2, 48)); err == nil {
+		t.Error("non-power-of-two line accepted")
+	}
+	if _, err := New(); err == nil {
+		t.Error("empty hierarchy accepted")
+	}
+	if _, err := New(tiny(1024, 2, 64), tiny(4096, 2, 128)); err == nil {
+		t.Error("mixed line sizes accepted")
+	}
+	// Non-power-of-two set counts are legal (real L3 slices): 3 sets of 3
+	// ways.
+	if _, err := New(tiny(64*9, 3, 64)); err != nil {
+		t.Errorf("non-power-of-two set count rejected: %v", err)
+	}
+}
+
+func TestColdMissThenHit(t *testing.T) {
+	h, err := New(tiny(1024, 2, 64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.Read(0)
+	h.Read(8) // same line
+	st := h.Stats()[0]
+	if st.Accesses != 2 || st.Hits != 1 || st.Misses != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if h.MemReadLines != 1 || h.MemWriteLines != 0 {
+		t.Fatalf("mem lines = %d/%d", h.MemReadLines, h.MemWriteLines)
+	}
+	if h.DRAMBytes() != 64 {
+		t.Fatalf("DRAMBytes = %d", h.DRAMBytes())
+	}
+}
+
+func TestWriteAllocateAndWriteback(t *testing.T) {
+	// One-set, one-way cache: every new line evicts the previous.
+	h, err := New(tiny(64, 1, 64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.Write(0) // miss, allocate (1 mem read), dirty
+	h.Read(64) // miss, evicts dirty line 0 -> 1 mem write
+	if h.MemReadLines != 2 || h.MemWriteLines != 1 {
+		t.Fatalf("mem lines = %d/%d", h.MemReadLines, h.MemWriteLines)
+	}
+}
+
+func TestFlushWritesDirtyLines(t *testing.T) {
+	h, err := New(tiny(1024, 2, 64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.Write(0)
+	h.Write(64)
+	if h.MemWriteLines != 0 {
+		t.Fatal("premature writeback")
+	}
+	h.Flush()
+	if h.MemWriteLines != 2 {
+		t.Fatalf("flush wrote %d lines, want 2", h.MemWriteLines)
+	}
+	// Second flush is a no-op.
+	h.Flush()
+	if h.MemWriteLines != 2 {
+		t.Fatal("flush not idempotent")
+	}
+}
+
+func TestLRUOrder(t *testing.T) {
+	// 2-way, one set of interest: lines A, B, then touch A, then C must
+	// evict B (the least recently used), not A.
+	h, err := New(tiny(128, 2, 64)) // 1 set, 2 ways
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b, c := uint64(0), uint64(64), uint64(128)
+	h.Read(a)
+	h.Read(b)
+	h.Read(a) // refresh A
+	h.Read(c) // evicts B
+	h.Read(a) // must still hit
+	st := h.Stats()[0]
+	if st.Hits != 2 { // the refresh of A and the final A
+		t.Fatalf("hits = %d, want 2", st.Hits)
+	}
+	h.Read(b) // must miss (was evicted)
+	if got := h.Stats()[0].Misses; got != 4 {
+		t.Fatalf("misses = %d, want 4", got)
+	}
+}
+
+func TestStreamingWorkingSetRegimes(t *testing.T) {
+	// Repeatedly sweep an array: if it fits in cache, second and later
+	// sweeps are free; if it exceeds cache, every sweep pays full traffic.
+	h, err := New(tiny(8192, 8, 64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sweep := func(bytes uint64) {
+		for a := uint64(0); a < bytes; a += 8 {
+			h.Read(a)
+		}
+	}
+	// Fits: 4 KiB array, 3 sweeps -> 64 lines of traffic total.
+	sweep(4096)
+	sweep(4096)
+	sweep(4096)
+	if h.MemReadLines != 64 {
+		t.Fatalf("fitting sweeps read %d lines, want 64", h.MemReadLines)
+	}
+	h.Reset()
+	// Exceeds (4x cache): every sweep re-reads everything.
+	sweep(32768)
+	first := h.MemReadLines
+	sweep(32768)
+	if h.MemReadLines < 2*first-8 { // allow tiny boundary slack
+		t.Fatalf("spilling sweep reused cache: %d then %d", first, h.MemReadLines)
+	}
+}
+
+func TestMultiLevelFiltering(t *testing.T) {
+	// Working set fits L2 but not L1: L1 misses on each sweep, L2 absorbs
+	// them, DRAM traffic stays one-pass.
+	h, err := New(tiny(1024, 4, 64), tiny(65536, 8, 64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws := uint64(16384)
+	for s := 0; s < 4; s++ {
+		for a := uint64(0); a < ws; a += 8 {
+			h.Read(a)
+		}
+	}
+	if h.MemReadLines != ws/64 {
+		t.Fatalf("DRAM reads %d lines, want %d", h.MemReadLines, ws/64)
+	}
+	st := h.Stats()
+	if st[0].HitRate() > 0.95 {
+		t.Fatalf("L1 hit rate %.2f unexpectedly high", st[0].HitRate())
+	}
+	if st[1].HitRate() < 0.7 {
+		t.Fatalf("L2 hit rate %.2f unexpectedly low", st[1].HitRate())
+	}
+}
+
+func TestForMachineBuilds(t *testing.T) {
+	for _, m := range machine.All() {
+		h, err := ForMachine(m)
+		if err != nil {
+			t.Errorf("%s: %v", m.Name, err)
+			continue
+		}
+		names := h.LevelNames()
+		if len(names) != 3 || names[0] != "L1D" || names[2] != "L3" {
+			t.Errorf("%s levels = %v", m.Name, names)
+		}
+	}
+}
+
+func TestTrafficConservation(t *testing.T) {
+	// Property: for random access streams, after Flush, DRAM read lines >=
+	// distinct lines touched, and dirty writebacks <= lines written.
+	rnd := rand.New(rand.NewSource(17))
+	h, err := New(tiny(2048, 4, 64), tiny(16384, 8, 64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	distinct := map[uint64]bool{}
+	written := map[uint64]bool{}
+	for i := 0; i < 20000; i++ {
+		addr := uint64(rnd.Intn(1 << 16))
+		if rnd.Intn(2) == 0 {
+			h.Write(addr)
+			written[addr>>6] = true
+		} else {
+			h.Read(addr)
+		}
+		distinct[addr>>6] = true
+	}
+	h.Flush()
+	if h.MemReadLines < uint64(len(distinct)) {
+		t.Fatalf("read %d lines < %d distinct", h.MemReadLines, len(distinct))
+	}
+	if h.MemWriteLines < uint64(len(written)) {
+		t.Fatalf("wrote %d lines < %d dirty-distinct", h.MemWriteLines, len(written))
+	}
+}
+
+func TestReset(t *testing.T) {
+	h, _ := New(tiny(1024, 2, 64))
+	h.Write(0)
+	h.Reset()
+	if h.DRAMBytes() != 0 || h.Stats()[0].Accesses != 0 {
+		t.Fatal("reset incomplete")
+	}
+	h.Read(0)
+	if h.Stats()[0].Misses != 1 {
+		t.Fatal("cache contents survived reset")
+	}
+}

@@ -1,0 +1,173 @@
+// Package cluster models the distributed-memory context that motivates
+// the paper (Section I): "large-scale, structured-grid, PDE based
+// scientific applications are commonly parallelized across nodes ... using
+// MPI", each rank owning a set of boxes, with ghost-cell updates between
+// ranks each step. Small boxes minimize on-node scheduling pain but pay
+// the Fig. 1 exchange overhead; large boxes need the paper's inter-loop
+// schedules. This package quantifies that tension: it assigns boxes to
+// ranks, splits the exchange plan into local copies and remote messages,
+// and combines an interconnect model (latency + bandwidth + message
+// aggregation) with the on-node performance model into a per-step time.
+package cluster
+
+import (
+	"fmt"
+
+	"stencilsched/internal/box"
+	"stencilsched/internal/layout"
+	"stencilsched/internal/machine"
+	"stencilsched/internal/perfmodel"
+	"stencilsched/internal/sched"
+)
+
+// Interconnect describes the network between nodes.
+type Interconnect struct {
+	Name string
+	// LatencySec is the per-message latency (one-sided).
+	LatencySec float64
+	// BandwidthGBs is the per-node injection bandwidth.
+	BandwidthGBs float64
+}
+
+// CrayGemini returns an interconnect with the Cray XT6m-era Gemini
+// characteristics (~1.5 us latency, ~6 GB/s injection).
+func CrayGemini() Interconnect {
+	return Interconnect{Name: "Cray Gemini", LatencySec: 1.5e-6, BandwidthGBs: 6}
+}
+
+// QDRInfiniBand returns a QDR InfiniBand model (~1.3 us, ~4 GB/s).
+func QDRInfiniBand() Interconnect {
+	return Interconnect{Name: "QDR InfiniBand", LatencySec: 1.3e-6, BandwidthGBs: 4}
+}
+
+// Assignment maps each box of a layout to a rank, Chombo-style: boxes in
+// layout order are dealt in contiguous chunks so neighbors tend to share
+// ranks.
+type Assignment struct {
+	Layout *layout.Layout
+	Ranks  int
+	Of     []int // box index -> rank
+}
+
+// Assign distributes boxes over ranks in contiguous chunks.
+func Assign(l *layout.Layout, ranks int) (*Assignment, error) {
+	if ranks < 1 {
+		return nil, fmt.Errorf("cluster: %d ranks", ranks)
+	}
+	if l.NumBoxes() < ranks {
+		return nil, fmt.Errorf("cluster: %d boxes cannot feed %d ranks", l.NumBoxes(), ranks)
+	}
+	a := &Assignment{Layout: l, Ranks: ranks, Of: make([]int, l.NumBoxes())}
+	n := l.NumBoxes()
+	for i := range a.Of {
+		// Chunked: rank r gets boxes [r*n/ranks, (r+1)*n/ranks).
+		a.Of[i] = i * ranks / n
+		if a.Of[i] >= ranks {
+			a.Of[i] = ranks - 1
+		}
+	}
+	return a, nil
+}
+
+// ExchangeStats summarizes one ghost exchange under an assignment.
+type ExchangeStats struct {
+	// LocalBytes move within a rank (shared-memory copies).
+	LocalBytes int64
+	// RemoteBytes cross ranks.
+	RemoteBytes int64
+	// Messages is the number of distinct (source rank, destination rank,
+	// destination box) message streams; with aggregation per rank pair use
+	// RankPairs.
+	Messages int
+	// RankPairs is the number of distinct communicating rank pairs — the
+	// message count when each pair aggregates its regions into one
+	// message per step (standard MPI practice).
+	RankPairs int
+	// MaxRankRemoteBytes is the heaviest rank's incoming remote volume
+	// (the exchange critical path).
+	MaxRankRemoteBytes int64
+}
+
+// Analyze splits a copier's motion plan by the assignment.
+func Analyze(c *layout.Copier, a *Assignment, ncomp int) ExchangeStats {
+	var st ExchangeStats
+	pairs := map[[2]int]bool{}
+	perRank := make([]int64, a.Ranks)
+	for _, ms := range c.Motions() {
+		for _, m := range ms {
+			bytes := int64(m.Region.NumPts()) * int64(ncomp) * 8
+			src, dst := a.Of[m.Src], a.Of[m.Dst]
+			if src == dst {
+				st.LocalBytes += bytes
+				continue
+			}
+			st.RemoteBytes += bytes
+			st.Messages++
+			pairs[[2]int{src, dst}] = true
+			perRank[dst] += bytes
+		}
+	}
+	st.RankPairs = len(pairs)
+	for _, b := range perRank {
+		if b > st.MaxRankRemoteBytes {
+			st.MaxRankRemoteBytes = b
+		}
+	}
+	return st
+}
+
+// StepModel combines the on-node compute model with the interconnect
+// exchange model for one time step of the whole distributed problem.
+type StepModel struct {
+	// ComputeSec is the on-node time of the rank's boxes (all ranks are
+	// symmetric in this study's uniform decompositions).
+	ComputeSec float64
+	// ExchangeSec is the critical-path ghost-update time: per-pair latency
+	// plus the heaviest rank's remote volume over its injection bandwidth.
+	ExchangeSec float64
+	// TotalSec assumes no overlap of communication and computation (the
+	// paper cites communication hiding as orthogonal related work).
+	TotalSec float64
+	Stats    ExchangeStats
+}
+
+// Config describes a distributed run of the paper's workload.
+type Config struct {
+	Machine machine.Machine
+	Net     Interconnect
+	Variant sched.Variant
+	// DomainN is the global cubic domain edge; BoxN the box size; Ranks
+	// the node count. One rank per node; threads = machine cores.
+	DomainN, BoxN, Ranks int
+	NComp, NGhost        int
+}
+
+// Step models one distributed time step.
+func Step(cfg Config) (StepModel, error) {
+	l, err := layout.Decompose(box.Cube(cfg.DomainN), cfg.BoxN, [3]bool{true, true, true})
+	if err != nil {
+		return StepModel{}, err
+	}
+	a, err := Assign(l, cfg.Ranks)
+	if err != nil {
+		return StepModel{}, err
+	}
+	cop := layout.NewCopier(l, cfg.NGhost)
+	st := Analyze(cop, a, cfg.NComp)
+
+	boxesPerRank := (l.NumBoxes() + cfg.Ranks - 1) / cfg.Ranks
+	onNode := perfmodel.Time(perfmodel.Config{
+		Machine:  cfg.Machine,
+		Variant:  cfg.Variant,
+		BoxN:     cfg.BoxN,
+		NumBoxes: boxesPerRank,
+		Threads:  cfg.Machine.Cores(),
+	})
+
+	m := StepModel{ComputeSec: onNode.TotalSec, Stats: st}
+	pairMsgs := float64(st.RankPairs) / float64(cfg.Ranks) // messages per rank
+	m.ExchangeSec = pairMsgs*cfg.Net.LatencySec +
+		float64(st.MaxRankRemoteBytes)/(cfg.Net.BandwidthGBs*1e9)
+	m.TotalSec = m.ComputeSec + m.ExchangeSec
+	return m, nil
+}

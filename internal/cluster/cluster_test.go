@@ -1,0 +1,161 @@
+package cluster
+
+import (
+	"testing"
+
+	"stencilsched/internal/box"
+	"stencilsched/internal/kernel"
+	"stencilsched/internal/layout"
+	"stencilsched/internal/machine"
+	"stencilsched/internal/sched"
+)
+
+func mustLayout(t *testing.T, domainN, boxN int) *layout.Layout {
+	t.Helper()
+	l, err := layout.Decompose(box.Cube(domainN), boxN, [3]bool{true, true, true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return l
+}
+
+func TestAssignChunksAndBalances(t *testing.T) {
+	l := mustLayout(t, 32, 8) // 64 boxes
+	a, err := Assign(l, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[int]int{}
+	prev := 0
+	for _, r := range a.Of {
+		if r < prev {
+			t.Fatal("assignment not contiguous")
+		}
+		prev = r
+		counts[r]++
+	}
+	for r := 0; r < 4; r++ {
+		if counts[r] != 16 {
+			t.Fatalf("rank %d has %d boxes", r, counts[r])
+		}
+	}
+}
+
+func TestAssignErrors(t *testing.T) {
+	l := mustLayout(t, 16, 8) // 8 boxes
+	if _, err := Assign(l, 0); err == nil {
+		t.Error("zero ranks accepted")
+	}
+	if _, err := Assign(l, 9); err == nil {
+		t.Error("more ranks than boxes accepted")
+	}
+}
+
+func TestAnalyzeSingleRankIsAllLocal(t *testing.T) {
+	l := mustLayout(t, 16, 8)
+	a, _ := Assign(l, 1)
+	st := Analyze(layout.NewCopier(l, 2), a, kernel.NComp)
+	if st.RemoteBytes != 0 || st.Messages != 0 || st.RankPairs != 0 {
+		t.Fatalf("single rank has remote traffic: %+v", st)
+	}
+	if st.LocalBytes == 0 {
+		t.Fatal("no local traffic recorded")
+	}
+}
+
+func TestAnalyzeConservesTotalVolume(t *testing.T) {
+	// Local + remote must equal the copier's full exchange volume, for any
+	// rank count.
+	l := mustLayout(t, 32, 8)
+	cop := layout.NewCopier(l, 2)
+	total := cop.ExchangeBytes(kernel.NComp)
+	for _, ranks := range []int{1, 2, 8, 64} {
+		a, err := Assign(l, ranks)
+		if err != nil {
+			t.Fatal(err)
+		}
+		st := Analyze(cop, a, kernel.NComp)
+		if st.LocalBytes+st.RemoteBytes != total {
+			t.Fatalf("ranks=%d: local %d + remote %d != total %d",
+				ranks, st.LocalBytes, st.RemoteBytes, total)
+		}
+	}
+}
+
+func TestRemoteShareGrowsWithRanks(t *testing.T) {
+	l := mustLayout(t, 32, 8)
+	cop := layout.NewCopier(l, 2)
+	prev := int64(-1)
+	for _, ranks := range []int{1, 2, 4, 8} {
+		a, _ := Assign(l, ranks)
+		st := Analyze(cop, a, kernel.NComp)
+		if st.RemoteBytes < prev {
+			t.Fatalf("remote bytes shrank at %d ranks", ranks)
+		}
+		prev = st.RemoteBytes
+	}
+}
+
+func TestStepLargerBoxesCutExchangeTime(t *testing.T) {
+	// The paper's Section I motivation in time units: at fixed domain and
+	// rank count, larger boxes move fewer ghost bytes, so the exchange
+	// component shrinks.
+	v, _ := sched.ByName("Baseline: P>=Box")
+	base := Config{
+		Machine: machine.MagnyCours(),
+		Net:     CrayGemini(),
+		Variant: v,
+		DomainN: 64, Ranks: 8,
+		NComp: kernel.NComp, NGhost: kernel.NGhost,
+	}
+	var prevEx float64 = 1e18
+	for _, boxN := range []int{8, 16, 32} {
+		cfg := base
+		cfg.BoxN = boxN
+		m, err := Step(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m.ExchangeSec >= prevEx {
+			t.Fatalf("exchange time not decreasing at N=%d: %g >= %g", boxN, m.ExchangeSec, prevEx)
+		}
+		if m.TotalSec < m.ComputeSec || m.TotalSec < m.ExchangeSec {
+			t.Fatal("total below its components")
+		}
+		prevEx = m.ExchangeSec
+	}
+}
+
+func TestStepScheduleChoiceMattersForLargeBoxes(t *testing.T) {
+	// With large boxes per rank, the overlapped-tile schedule's on-node
+	// win carries through to the distributed step time.
+	baseline, _ := sched.ByName("Baseline: P>=Box")
+	ot, _ := sched.ByName("Shift-Fuse OT-16: P>=Box")
+	cfg := Config{
+		Machine: machine.MagnyCours(),
+		Net:     CrayGemini(),
+		DomainN: 256, BoxN: 128, Ranks: 8,
+		NComp: kernel.NComp, NGhost: kernel.NGhost,
+	}
+	cfg.Variant = baseline
+	mb, err := Step(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Variant = ot
+	mo, err := Step(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(mo.TotalSec < mb.TotalSec) {
+		t.Fatalf("OT step %g not below baseline %g", mo.TotalSec, mb.TotalSec)
+	}
+}
+
+func TestInterconnects(t *testing.T) {
+	for _, ic := range []Interconnect{CrayGemini(), QDRInfiniBand()} {
+		if ic.LatencySec <= 0 || ic.BandwidthGBs <= 0 || ic.Name == "" {
+			t.Errorf("bad interconnect %+v", ic)
+		}
+	}
+}

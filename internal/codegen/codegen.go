@@ -1,0 +1,250 @@
+// Package codegen implements the What/When/Where separation the paper used
+// to build its 30 variants with CodeGen+ (Section IV-E):
+//
+//   - What — statement macros plus an integer-tuple set defining the domain
+//     of iterations of each statement (poly.Set);
+//   - When — a schedule mapping from domain iterations to a global
+//     lexicographic time vector; changing only this mapping re-orders the
+//     computation (shifting, fusing, tiling) without touching the
+//     statement bodies;
+//   - Where — storage mapping macros that map indexed values to storage
+//     locations, so data placement (full arrays, ring buffers, tile-local
+//     caches) can change without changing the high-level code.
+//
+// Execution is by interpretation: every statement instance is scheduled to
+// its time vector and instances run in lexicographic time order. That is
+// semantically what generated code does; the generated-loop path for pure
+// polyhedron scans is poly.Scan. The exemplar schedules built on this
+// package are cross-validated against the hand-written variants.
+package codegen
+
+import (
+	"fmt"
+	"sort"
+
+	"stencilsched/internal/poly"
+)
+
+// Schedule is an affine mapping from a statement's iteration vector to a
+// global time vector: Time_i(x) = Rows[i](x).
+type Schedule struct {
+	Rows []poly.Affine
+}
+
+// Eval maps an iteration point to its time vector.
+func (s Schedule) Eval(x []int) []int {
+	t := make([]int, len(s.Rows))
+	for i, r := range s.Rows {
+		t[i] = r.Eval(x)
+	}
+	return t
+}
+
+// Scatter builds the classic CodeGen+ scatter schedule for a statement at
+// static position pos within each loop level: the time vector interleaves
+// static constants and loop variables,
+//
+//	[pos[0], x0, pos[1], x1, ..., x_{dim-1}, pos[dim]]
+//
+// pos must have dim+1 entries. Statements sharing loop levels fuse by
+// sharing static positions; shifting a statement is adding a constant to a
+// variable row.
+func Scatter(dim int, pos ...int) Schedule {
+	if len(pos) != dim+1 {
+		panic(fmt.Sprintf("codegen: scatter needs %d positions, got %d", dim+1, len(pos)))
+	}
+	rows := make([]poly.Affine, 0, 2*dim+1)
+	for i := 0; i < dim; i++ {
+		rows = append(rows, poly.Affine{Const: pos[i]})
+		coef := make([]int, dim)
+		coef[i] = 1
+		rows = append(rows, poly.Affine{Coef: coef})
+	}
+	rows = append(rows, poly.Affine{Const: pos[dim]})
+	return Schedule{Rows: rows}
+}
+
+// Shift adds offset to the i-th loop-variable row of a scatter schedule
+// (row 2i+1), returning a new schedule — the "shift" of shift-and-fuse.
+func (s Schedule) Shift(i, offset int) Schedule {
+	rows := make([]poly.Affine, len(s.Rows))
+	copy(rows, s.Rows)
+	r := rows[2*i+1]
+	rows[2*i+1] = poly.Affine{Coef: append([]int(nil), r.Coef...), Const: r.Const + offset}
+	return Schedule{Rows: rows}
+}
+
+// Statement is one What: a named macro over an iteration domain, scheduled
+// by an affine When.
+type Statement struct {
+	Name     string
+	Domain   *poly.Set
+	Schedule Schedule
+	// Body is the statement macro. It receives the iteration vector; data
+	// access goes through whatever storage mapping the macro closes over.
+	Body func(x []int)
+}
+
+// Program is a set of scheduled statements.
+type Program struct {
+	stmts []*Statement
+}
+
+// Add appends a statement and returns the program for chaining.
+func (p *Program) Add(st *Statement) *Program {
+	p.stmts = append(p.stmts, st)
+	return p
+}
+
+// Validate checks that every statement produces time vectors of the same
+// length and has a domain matching its schedule's input dimension.
+func (p *Program) Validate() error {
+	if len(p.stmts) == 0 {
+		return fmt.Errorf("codegen: empty program")
+	}
+	tlen := len(p.stmts[0].Schedule.Rows)
+	for _, st := range p.stmts {
+		if st.Domain == nil || st.Body == nil {
+			return fmt.Errorf("codegen: statement %q incomplete", st.Name)
+		}
+		if len(st.Schedule.Rows) != tlen {
+			return fmt.Errorf("codegen: statement %q time vector length %d != %d",
+				st.Name, len(st.Schedule.Rows), tlen)
+		}
+		for _, r := range st.Schedule.Rows {
+			if len(r.Coef) > st.Domain.Dim {
+				return fmt.Errorf("codegen: statement %q schedule uses %d vars, domain has %d",
+					st.Name, len(r.Coef), st.Domain.Dim)
+			}
+		}
+	}
+	return nil
+}
+
+// instance is one statement instance with its scheduled time.
+type instance struct {
+	time []int
+	st   *Statement
+	x    []int
+}
+
+// Execute runs every statement instance in lexicographic time order. It
+// returns the number of instances executed.
+func (p *Program) Execute() (int, error) {
+	if err := p.Validate(); err != nil {
+		return 0, err
+	}
+	var insts []instance
+	for _, st := range p.stmts {
+		st := st
+		st.Domain.Scan(func(x []int) {
+			xc := append([]int(nil), x...)
+			insts = append(insts, instance{time: st.Schedule.Eval(xc), st: st, x: xc})
+		})
+	}
+	sort.SliceStable(insts, func(i, j int) bool {
+		return lexLess(insts[i].time, insts[j].time)
+	})
+	for _, in := range insts {
+		in.st.Body(in.x)
+	}
+	return len(insts), nil
+}
+
+// Trace returns the execution order as (statement name, iteration) pairs
+// without running bodies — used by tests to assert schedule properties.
+func (p *Program) Trace() ([]string, [][]int, error) {
+	if err := p.Validate(); err != nil {
+		return nil, nil, err
+	}
+	var insts []instance
+	for _, st := range p.stmts {
+		st := st
+		st.Domain.Scan(func(x []int) {
+			xc := append([]int(nil), x...)
+			insts = append(insts, instance{time: st.Schedule.Eval(xc), st: st, x: xc})
+		})
+	}
+	sort.SliceStable(insts, func(i, j int) bool {
+		return lexLess(insts[i].time, insts[j].time)
+	})
+	names := make([]string, len(insts))
+	iters := make([][]int, len(insts))
+	for i, in := range insts {
+		names[i] = in.st.Name
+		iters[i] = in.x
+	}
+	return names, iters, nil
+}
+
+// ExecuteWavefronts runs the program grouped by the leading time
+// coordinate: all instances sharing time[0] form one wavefront group and
+// are handed to runGroup together (instances within a group are mutually
+// independent under a correct skewing schedule, so runGroup may execute
+// them in parallel before the next group starts). onInstance is invoked
+// for every instance with its group id. It returns the number of groups.
+func (p *Program) ExecuteWavefronts(runGroup func(group int, run func()), onInstance func(group int, x []int)) (int, error) {
+	if err := p.Validate(); err != nil {
+		return 0, err
+	}
+	var insts []instance
+	for _, st := range p.stmts {
+		st := st
+		st.Domain.Scan(func(x []int) {
+			xc := append([]int(nil), x...)
+			insts = append(insts, instance{time: st.Schedule.Eval(xc), st: st, x: xc})
+		})
+	}
+	sort.SliceStable(insts, func(i, j int) bool {
+		return lexLess(insts[i].time, insts[j].time)
+	})
+	groups := 0
+	for i := 0; i < len(insts); {
+		w := insts[i].time[0]
+		j := i
+		for j < len(insts) && insts[j].time[0] == w {
+			j++
+		}
+		batch := insts[i:j]
+		runGroup(w, func() {
+			for _, in := range batch {
+				in.st.Body(in.x)
+				if onInstance != nil {
+					onInstance(w, in.x)
+				}
+			}
+		})
+		groups++
+		i = j
+	}
+	return groups, nil
+}
+
+func lexLess(a, b []int) bool {
+	for i := range a {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return false
+}
+
+// Storage builds a storage-mapping macro (the Where): a linearization of an
+// index vector with the given strides and offset, optionally wrapped
+// modulo a window per dimension (ring-buffer storage for shifted/fused
+// schedules). A zero modulo leaves that dimension unwrapped.
+func Storage(strides []int, offset int, modulo []int) func(idx []int) int {
+	return func(idx []int) int {
+		if len(idx) != len(strides) {
+			panic(fmt.Sprintf("codegen: storage index dim %d != %d", len(idx), len(strides)))
+		}
+		loc := offset
+		for i, v := range idx {
+			if modulo != nil && modulo[i] > 0 {
+				v = ((v % modulo[i]) + modulo[i]) % modulo[i]
+			}
+			loc += strides[i] * v
+		}
+		return loc
+	}
+}

@@ -1,0 +1,76 @@
+// Package ghost provides the ghost-cell overhead analytics of the paper's
+// Figure 1: the ratio of total (valid plus ghost) cells to physical cells
+// as a function of box size, space dimension and ghost depth. A ratio of
+// 2.0 means a box exchanges as much data as it owns; the desire to push the
+// ratio down is the motivation for the large boxes whose on-node scheduling
+// the paper studies.
+package ghost
+
+import (
+	"fmt"
+	"math"
+)
+
+// Ratio returns (1 + 2*nghost/n)^dim, the total-to-physical cell ratio of a
+// D-dimensional hyper-cube box of n cells per side with nghost ghost
+// layers (Fig. 1). It panics for non-positive n or dim or negative nghost.
+func Ratio(n, dim, nghost int) float64 {
+	if n <= 0 || dim <= 0 || nghost < 0 {
+		panic(fmt.Sprintf("ghost: bad arguments n=%d dim=%d nghost=%d", n, dim, nghost))
+	}
+	return math.Pow(1+2*float64(nghost)/float64(n), float64(dim))
+}
+
+// GhostFraction returns the fraction of a ghosted box's cells that are
+// ghosts: 1 - 1/Ratio.
+func GhostFraction(n, dim, nghost int) float64 {
+	return 1 - 1/Ratio(n, dim, nghost)
+}
+
+// MinBoxForRatio returns the smallest box size whose ratio is at or below
+// the target, for the given dimension and ghost depth — e.g. five ghosts in
+// 3-D need boxes of 64 to get under 2.0 (Section I).
+func MinBoxForRatio(target float64, dim, nghost int) int {
+	if target <= 1 {
+		panic(fmt.Sprintf("ghost: unreachable target ratio %v", target))
+	}
+	// ratio <= target  <=>  n >= 2*nghost / (target^(1/dim) - 1)
+	den := math.Pow(target, 1/float64(dim)) - 1
+	n := int(math.Ceil(2 * float64(nghost) / den))
+	if n < 1 {
+		n = 1
+	}
+	// Guard against floating-point edge cases by nudging.
+	for Ratio(n, dim, nghost) > target {
+		n++
+	}
+	for n > 1 && Ratio(n-1, dim, nghost) <= target {
+		n--
+	}
+	return n
+}
+
+// Series is one curve of Figure 1.
+type Series struct {
+	Dim    int
+	NGhost int
+	N      []int
+	Ratio  []float64
+}
+
+// Fig1Series returns the four curves of Figure 1 (3-D and 4-D, two and five
+// ghosts) over the box sizes the paper plots.
+func Fig1Series() []Series {
+	sizes := []int{16, 32, 64, 128}
+	var out []Series
+	for _, cfg := range []struct{ dim, g int }{
+		{3, 2}, {3, 5}, {4, 2}, {4, 5},
+	} {
+		s := Series{Dim: cfg.dim, NGhost: cfg.g, N: sizes}
+		for _, n := range sizes {
+			s.Ratio = append(s.Ratio, Ratio(n, cfg.dim, cfg.g))
+		}
+		out = append(out, s)
+	}
+	return out
+}

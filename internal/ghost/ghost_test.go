@@ -1,0 +1,116 @@
+package ghost
+
+import (
+	"math"
+	"testing"
+)
+
+func TestRatioKnownValues(t *testing.T) {
+	cases := []struct {
+		n, dim, g int
+		want      float64
+	}{
+		{16, 3, 2, math.Pow(1.25, 3)},
+		{128, 3, 2, math.Pow(1.03125, 3)},
+		{64, 3, 5, math.Pow(1+10.0/64, 3)},
+		{16, 4, 5, math.Pow(1+10.0/16, 4)},
+	}
+	for _, c := range cases {
+		if got := Ratio(c.n, c.dim, c.g); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("Ratio(%d,%d,%d) = %v, want %v", c.n, c.dim, c.g, got, c.want)
+		}
+	}
+	// No ghosts: ratio is exactly 1 regardless of box size.
+	if Ratio(7, 3, 0) != 1 {
+		t.Error("Ratio with zero ghosts != 1")
+	}
+}
+
+func TestRatioPanics(t *testing.T) {
+	for _, c := range [][3]int{{0, 3, 2}, {8, 0, 2}, {8, 3, -1}} {
+		c := c
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Ratio%v did not panic", c)
+				}
+			}()
+			Ratio(c[0], c[1], c[2])
+		}()
+	}
+}
+
+func TestRatioMonotonicity(t *testing.T) {
+	// Decreasing in box size, increasing in dimension and ghosts.
+	for n := 2; n < 128; n++ {
+		if !(Ratio(n, 3, 2) > Ratio(n+1, 3, 2)) {
+			t.Fatalf("ratio not decreasing in n at %d", n)
+		}
+	}
+	if !(Ratio(16, 4, 2) > Ratio(16, 3, 2)) {
+		t.Error("ratio not increasing in dim")
+	}
+	if !(Ratio(16, 3, 5) > Ratio(16, 3, 2)) {
+		t.Error("ratio not increasing in ghosts")
+	}
+}
+
+func TestPaperClaimFiveGhostsNeedBox64(t *testing.T) {
+	// Section I: "Given five ghosts, a box size of 64 is necessary to get
+	// the ratio below 2.0" (in 3-D).
+	if got := MinBoxForRatio(2.0, 3, 5); got > 64 || got <= 32 {
+		t.Fatalf("MinBoxForRatio(2,3,5) = %d, want in (32, 64]", got)
+	}
+	if Ratio(64, 3, 5) > 2.0 {
+		t.Error("ratio at 64 should be under 2.0")
+	}
+	if Ratio(32, 3, 5) <= 2.0 {
+		t.Error("ratio at 32 should exceed 2.0")
+	}
+}
+
+func TestMinBoxForRatioIsMinimal(t *testing.T) {
+	for _, c := range []struct {
+		target float64
+		dim, g int
+	}{
+		{2.0, 3, 2}, {2.0, 3, 5}, {1.5, 4, 2}, {3.0, 4, 5}, {1.1, 3, 2},
+	} {
+		n := MinBoxForRatio(c.target, c.dim, c.g)
+		if Ratio(n, c.dim, c.g) > c.target {
+			t.Errorf("MinBoxForRatio(%v,%d,%d) = %d does not meet target", c.target, c.dim, c.g, n)
+		}
+		if n > 1 && Ratio(n-1, c.dim, c.g) <= c.target {
+			t.Errorf("MinBoxForRatio(%v,%d,%d) = %d not minimal", c.target, c.dim, c.g, n)
+		}
+	}
+}
+
+func TestGhostFraction(t *testing.T) {
+	// 16^3 with 2 ghosts: ghosts are 20^3-16^3 of 20^3.
+	want := 1 - 16.0*16*16/(20.0*20*20)
+	if got := GhostFraction(16, 3, 2); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("GhostFraction = %v, want %v", got, want)
+	}
+}
+
+func TestFig1Series(t *testing.T) {
+	series := Fig1Series()
+	if len(series) != 4 {
+		t.Fatalf("%d series", len(series))
+	}
+	for _, s := range series {
+		if len(s.N) != 4 || len(s.Ratio) != 4 {
+			t.Fatalf("series %+v has wrong lengths", s)
+		}
+		for i := 1; i < len(s.Ratio); i++ {
+			if s.Ratio[i] >= s.Ratio[i-1] {
+				t.Fatalf("series dim=%d g=%d not decreasing", s.Dim, s.NGhost)
+			}
+		}
+	}
+	// The extreme curve (4-D, 5 ghosts) starts near (1+10/16)^4 ~ 7.
+	if series[3].Ratio[0] < 6 {
+		t.Errorf("4D/5ghost ratio at 16 = %v", series[3].Ratio[0])
+	}
+}

@@ -1,0 +1,111 @@
+package kernel
+
+import (
+	"math/rand"
+	"testing"
+
+	"stencilsched/internal/box"
+	"stencilsched/internal/fab"
+	"stencilsched/internal/ivect"
+)
+
+func TestFluxOnFacesMatchesReferenceFluxes(t *testing.T) {
+	// FluxOnFaces on the full face box of a direction must reproduce the
+	// exact flux values the reference kernel consumes: applying the
+	// accumulation by hand from FluxOnFaces output must equal Reference.
+	v := box.Cube(6)
+	phi0, want := NewState(v)
+	phi0.Randomize(rand.New(rand.NewSource(91)), 0.5, 1.5)
+	Reference(phi0, want, v)
+
+	got := fab.New(v, NComp)
+	for dir := 0; dir < 3; dir++ {
+		faces := v.SurroundingFaces(dir)
+		flux := fab.New(faces, NComp)
+		FluxOnFaces(phi0, faces, dir, flux)
+		for c := 0; c < NComp; c++ {
+			c := c
+			v.ForEach(func(p ivect.IntVect) {
+				d := flux.Get(p.Shift(dir, 1), c) - flux.Get(p, c)
+				got.Set(p, c, got.Get(p, c)+d)
+			})
+		}
+	}
+	if d, at, c := got.MaxDiff(want, v); d != 0 {
+		t.Fatalf("hand accumulation differs: %g at %v comp %d", d, at, c)
+	}
+}
+
+func TestFluxOnFacesPartialPlane(t *testing.T) {
+	// A single face plane (the refluxing use case) matches the same values
+	// computed over the full face box.
+	v := box.Cube(6)
+	phi0, _ := NewState(v)
+	phi0.Randomize(rand.New(rand.NewSource(92)), 0.5, 1.5)
+	dir := 1
+	full := fab.New(v.SurroundingFaces(dir), NComp)
+	FluxOnFaces(phi0, v.SurroundingFaces(dir), dir, full)
+
+	plane := v.SurroundingFaces(dir)
+	plane.Lo = plane.Lo.With(dir, 3)
+	plane.Hi = plane.Hi.With(dir, 3)
+	part := fab.New(plane, NComp)
+	FluxOnFaces(phi0, plane, dir, part)
+	plane.ForEach(func(p ivect.IntVect) {
+		for c := 0; c < NComp; c++ {
+			if part.Get(p, c) != full.Get(p, c) {
+				t.Fatalf("partial plane differs at %v comp %d", p, c)
+			}
+		}
+	})
+}
+
+func TestFluxOnFacesPanics(t *testing.T) {
+	v := box.Cube(6)
+	phi0, _ := NewState(v)
+	faces := v.SurroundingFaces(0)
+	cases := []struct {
+		name string
+		f    func()
+	}{
+		{"wrong ncomp out", func() {
+			FluxOnFaces(phi0, faces, 0, fab.New(faces, 2))
+		}},
+		{"wrong ncomp in", func() {
+			FluxOnFaces(fab.New(GrownBox(v), 2), faces, 0, fab.New(faces, NComp))
+		}},
+		{"out too small", func() {
+			small := faces
+			small.Hi = small.Hi.Shift(1, -1)
+			FluxOnFaces(phi0, faces, 0, fab.New(small, NComp))
+		}},
+		{"missing stencil extent", func() {
+			shallow := fab.New(v, NComp) // no ghosts
+			FluxOnFaces(shallow, faces, 0, fab.New(faces, NComp))
+		}},
+	}
+	for _, c := range cases {
+		c := c
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", c.name)
+				}
+			}()
+			c.f()
+		}()
+	}
+}
+
+func TestCheckStateExported(t *testing.T) {
+	v := box.Cube(4)
+	phi0, phi1 := NewState(v)
+	CheckState(phi0, phi1, v) // must not panic on a valid state
+	defer func() {
+		if recover() == nil {
+			t.Error("CheckState accepted undersized phi1")
+		}
+	}()
+	half, _ := v.ChopDir(0, 2)
+	CheckState(phi0, fab.New(half, NComp), v)
+}

@@ -1,0 +1,230 @@
+// Package kernel implements the CFD exemplar of the paper's Section III: a
+// finite-volume flux kernel representative of the stencil calculations
+// performed on a box in CFD computations.
+//
+// The solution in the cells consists of cell-average quantities of density,
+// velocity and energy, phi = [rho, u, v, w, e] (eq. 5). For each spatial
+// direction d the kernel performs, per Figure 6:
+//
+//  1. EvalFlux1 — the fourth-order average of the solution on each face
+//     (eq. 6):  <phi>_{i-1/2} = 7/12 (phi_{i-1} + phi_i)
+//     - 1/12 (phi_{i-2} + phi_{i+1})
+//  2. velocity — the face average of component d+1 is captured as the
+//     advection velocity for direction d (eq. 7 uses phi_{d+1});
+//  3. EvalFlux2 — flux = velocity * faceAverage (eq. 7);
+//  4. accumulation — phi1[cell] += flux[hi face] - flux[lo face].
+//
+// Face index convention: face i in direction d lies between cells i-1 and
+// i, so computing the face average at face i reads cells i-2 .. i+1 and the
+// kernel needs NGhost = 2 ghost layers, consistent with the 2–5 ghost cells
+// the paper cites for fourth-order schemes.
+//
+// Every scheduling variant in internal/variants computes these expressions
+// in exactly the order written here, so results are bit-for-bit identical to
+// Reference regardless of schedule (recomputation included — fluxes depend
+// only on the read-only phi0).
+package kernel
+
+import (
+	"fmt"
+	"math"
+
+	"stencilsched/internal/box"
+	"stencilsched/internal/fab"
+	"stencilsched/internal/ivect"
+)
+
+const (
+	// NComp is the number of solution components: density, three velocity
+	// components, and energy (eq. 5).
+	NComp = 5
+	// NGhost is the ghost-cell depth required by the fourth-order face
+	// average.
+	NGhost = 2
+	// C1 and C2 are the fourth-order face-average coefficients of eq. 6.
+	C1 = 7.0 / 12.0
+	C2 = -1.0 / 12.0
+)
+
+// VelComp returns the component of phi holding the advection velocity for
+// direction d: u, v or w (component d+1, eq. 7).
+func VelComp(d int) int {
+	if d < 0 || d >= ivect.SpaceDim {
+		panic(fmt.Sprintf("kernel: direction %d out of range", d))
+	}
+	return d + 1
+}
+
+// FaceAvg computes the fourth-order face average (eq. 6) at the face whose
+// high-side cell has flat offset off in a component slice phi, with s the
+// stride in the face direction. All variants funnel through this expression
+// so that results are bitwise reproducible across schedules.
+func FaceAvg(phi []float64, off, s int) float64 {
+	return C1*(phi[off-s]+phi[off]) + C2*(phi[off-2*s]+phi[off+s])
+}
+
+// Flux2 computes the flux from a face average and the face velocity
+// (eq. 7).
+func Flux2(vel, avg float64) float64 { return vel * avg }
+
+// GrownBox returns the valid box grown by the ghost depth, the domain on
+// which phi0 must be defined.
+func GrownBox(valid box.Box) box.Box { return valid.Grow(NGhost) }
+
+// NewState allocates the two solution FABs of the exemplar: phi0 over the
+// ghosted box and phi1 over the valid box, both with NComp components.
+func NewState(valid box.Box) (phi0, phi1 *fab.FAB) {
+	return fab.New(GrownBox(valid), NComp), fab.New(valid, NComp)
+}
+
+// Reference executes the exemplar exactly as written in Figure 6 of the
+// paper — a series of modular loops with the component loop outside — using
+// straightforward (slow, obviously-correct) indexed accesses. phi0 must be
+// defined on GrownBox(valid) and phi1 must cover valid. Results accumulate
+// into phi1.
+//
+// Reference is the oracle against which every optimized scheduling variant
+// is tested for bitwise equality.
+func Reference(phi0, phi1 *fab.FAB, valid box.Box) {
+	checkState(phi0, phi1, valid)
+	for dir := 0; dir < ivect.SpaceDim; dir++ {
+		faces := valid.SurroundingFaces(dir)
+		flux := fab.New(faces, NComp)
+		// First pass: fourth-order face averages for every component.
+		for c := 0; c < NComp; c++ {
+			faces.ForEach(func(p ivect.IntVect) {
+				flux.Set(p, c, faceAvgAt(phi0, p, dir, c))
+			})
+		}
+		// Capture the velocity before any face value is overwritten.
+		velocity := fab.New(faces, 1)
+		velocity.CopyFromShifted(flux, faces, ivect.Zero, VelComp(dir), 0, 1)
+		// Second pass: flux and accumulation.
+		for c := 0; c < NComp; c++ {
+			faces.ForEach(func(p ivect.IntVect) {
+				flux.Set(p, c, Flux2(velocity.Get(p, 0), flux.Get(p, c)))
+			})
+			valid.ForEach(func(p ivect.IntVect) {
+				d := flux.Get(p.Shift(dir, 1), c) - flux.Get(p, c)
+				phi1.Set(p, c, phi1.Get(p, c)+d)
+			})
+		}
+	}
+}
+
+func faceAvgAt(phi0 *fab.FAB, face ivect.IntVect, dir, c int) float64 {
+	lo := face.Shift(dir, -1) // cell on the low side of the face
+	hi := face                // cell on the high side
+	return C1*(phi0.Get(lo, c)+phi0.Get(hi, c)) +
+		C2*(phi0.Get(lo.Shift(dir, -1), c)+phi0.Get(hi.Shift(dir, 1), c))
+}
+
+func checkState(phi0, phi1 *fab.FAB, valid box.Box) {
+	if phi0.NComp() != NComp || phi1.NComp() != NComp {
+		panic(fmt.Sprintf("kernel: state must have %d components (got %d, %d)",
+			NComp, phi0.NComp(), phi1.NComp()))
+	}
+	if !phi0.Box().ContainsBox(GrownBox(valid)) {
+		panic(fmt.Sprintf("kernel: phi0 box %v does not cover ghosted %v",
+			phi0.Box(), GrownBox(valid)))
+	}
+	if !phi1.Box().ContainsBox(valid) {
+		panic(fmt.Sprintf("kernel: phi1 box %v does not cover valid %v",
+			phi1.Box(), valid))
+	}
+}
+
+// CheckState validates the standard exemplar state shape; it is exported
+// for the variants package, which performs the same precondition check
+// before entering raw-offset loops.
+func CheckState(phi0, phi1 *fab.FAB, valid box.Box) { checkState(phi0, phi1, valid) }
+
+// InitSmooth fills phi0 with a smooth periodic field over the domain of
+// period (the physical domain size in cells). Density and energy carry
+// offset sinusoids; the velocity components carry bounded smooth profiles.
+// Deterministic and mesh-independent, it is the standard initial condition
+// of the examples and benchmarks.
+func InitSmooth(phi0 *fab.FAB, period int) {
+	if period <= 0 {
+		panic(fmt.Sprintf("kernel: period %d must be positive", period))
+	}
+	k := 2 * math.Pi / float64(period)
+	phi0.Box().ForEach(func(p ivect.IntVect) {
+		x, y, z := float64(p[0])+0.5, float64(p[1])+0.5, float64(p[2])+0.5
+		phi0.Set(p, 0, 1.0+0.1*math.Sin(k*x)*math.Cos(k*y))               // rho
+		phi0.Set(p, 1, 0.5+0.2*math.Sin(k*y))                             // u
+		phi0.Set(p, 2, 0.3+0.2*math.Cos(k*z))                             // v
+		phi0.Set(p, 3, 0.4+0.2*math.Sin(k*x+k*z))                         // w
+		phi0.Set(p, 4, 2.0+0.1*math.Cos(k*x)*math.Sin(k*y)*math.Sin(k*z)) // e
+	})
+}
+
+// FluxOnFaces evaluates the full exemplar flux (velocity face average
+// times component face average, eqs. 6-7) for every component on the given
+// face box in direction dir, writing into out (which must cover faces and
+// have NComp components). phi0 must cover the stencil extent of the faces:
+// faces grown by NGhost in dir and by nothing in the other directions.
+//
+// It exists for the AMR flux correction (refluxing): the coarse-fine
+// interface needs the raw face fluxes, which the divergence-accumulating
+// executors never materialize globally. Values are bit-identical to the
+// fluxes the executors consume internally.
+func FluxOnFaces(phi0 *fab.FAB, faces box.Box, dir int, out *fab.FAB) {
+	if phi0.NComp() != NComp || out.NComp() != NComp {
+		panic("kernel: FluxOnFaces needs NComp components")
+	}
+	if !out.Box().ContainsBox(faces) {
+		panic(fmt.Sprintf("kernel: out box %v does not cover faces %v", out.Box(), faces))
+	}
+	// Face i reads cells i-NGhost .. i+NGhost-1 in dir.
+	need := faces.GrowLo(dir, NGhost).GrowHi(dir, NGhost-1)
+	if !phi0.Box().ContainsBox(need) {
+		panic(fmt.Sprintf("kernel: phi0 box %v does not cover stencil extent %v", phi0.Box(), need))
+	}
+	for c := 0; c < NComp; c++ {
+		c := c
+		faces.ForEach(func(p ivect.IntVect) {
+			vel := faceAvgAt(phi0, p, dir, VelComp(dir))
+			out.Set(p, c, Flux2(vel, faceAvgAt(phi0, p, dir, c)))
+		})
+	}
+}
+
+// Work describes the arithmetic in one application of the exemplar to a
+// box, used by the performance model and the benchmark reporting.
+type Work struct {
+	Cells      int64 // cell updates (N^3 per box)
+	Faces      int64 // face evaluations summed over directions
+	Flops      int64 // total floating-point operations
+	FlopsEval1 int64 // flops in the fourth-order face averages
+	FlopsEval2 int64 // flops in the flux products
+	FlopsAccum int64 // flops in the accumulation
+}
+
+// Flop costs per point kernel application: eq. 6 is two interior adds, two
+// multiplies and one add (5); eq. 7 is one multiply; the accumulation is one
+// subtract and one add per cell.
+const (
+	FlopsPerFaceAvg = 5
+	FlopsPerFlux2   = 1
+	FlopsPerAccum   = 2
+)
+
+// WorkFor returns the exact arithmetic work for one exemplar application on
+// the given valid box. The velocity capture is a copy, not arithmetic, and
+// contributes no flops.
+func WorkFor(valid box.Box) Work {
+	var w Work
+	sz := valid.Size()
+	w.Cells = int64(valid.NumPts())
+	for d := 0; d < ivect.SpaceDim; d++ {
+		f := sz
+		f[d]++
+		w.Faces += int64(f.Prod())
+	}
+	w.FlopsEval1 = w.Faces * NComp * FlopsPerFaceAvg
+	w.FlopsEval2 = w.Faces * NComp * FlopsPerFlux2
+	w.FlopsAccum = w.Cells * NComp * FlopsPerAccum * ivect.SpaceDim
+	w.Flops = w.FlopsEval1 + w.FlopsEval2 + w.FlopsAccum
+	return w
+}

@@ -1,0 +1,253 @@
+package layout
+
+import (
+	"math"
+	"testing"
+
+	"stencilsched/internal/box"
+	"stencilsched/internal/ivect"
+)
+
+var allPeriodic = [3]bool{true, true, true}
+
+func TestDecomposeCounts(t *testing.T) {
+	// The paper's decompositions of the 50,331,648-cell domain.
+	domain := PaperDomain()
+	if domain.NumPts() != 50331648 {
+		t.Fatalf("paper domain has %d cells", domain.NumPts())
+	}
+	for _, c := range []struct{ n, boxes int }{
+		{16, 12288}, {32, 1536}, {64, 192}, {128, 24},
+	} {
+		l, err := Decompose(domain, c.n, allPeriodic)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if l.NumBoxes() != c.boxes {
+			t.Errorf("N=%d: %d boxes, want %d", c.n, l.NumBoxes(), c.boxes)
+		}
+	}
+}
+
+func TestDecomposeErrors(t *testing.T) {
+	if _, err := Decompose(box.Empty(), 8, allPeriodic); err == nil {
+		t.Error("empty domain accepted")
+	}
+	if _, err := Decompose(box.Cube(8), 0, allPeriodic); err == nil {
+		t.Error("zero box size accepted")
+	}
+}
+
+func TestVerifyCatchesBadLayouts(t *testing.T) {
+	good, err := Decompose(box.Cube(8), 4, allPeriodic)
+	if err != nil {
+		t.Fatal(err)
+	}
+	overlapping := &Layout{Domain: good.Domain, Boxes: append([]box.Box{good.Boxes[0]}, good.Boxes...)}
+	if err := overlapping.Verify(); err == nil {
+		t.Error("overlapping boxes accepted")
+	}
+	escaping := &Layout{Domain: box.Cube(4), Boxes: []box.Box{box.Cube(8)}}
+	if err := escaping.Verify(); err == nil {
+		t.Error("escaping box accepted")
+	}
+	sparse := &Layout{Domain: box.Cube(8), Boxes: []box.Box{box.Cube(4)}}
+	if err := sparse.Verify(); err == nil {
+		t.Error("non-covering layout accepted")
+	}
+}
+
+// globalField is a deterministic function of the wrapped global cell index,
+// distinct per component.
+func globalField(domain box.Box, p ivect.IntVect, c int) float64 {
+	w := p.Sub(domain.Lo).Mod(domain.Size()).Add(domain.Lo)
+	return float64(w[0]) + 1000*float64(w[1]) + 1e6*float64(w[2]) + 1e9*float64(c)
+}
+
+func TestExchangeFillsAllPeriodicGhosts(t *testing.T) {
+	domain := box.NewSized(ivect.New(0, 0, 0), ivect.New(16, 8, 8))
+	l, err := Decompose(domain, 4, allPeriodic)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ld := NewLevelData(l, 2, 2)
+	ld.FillFromFunction(2, func(p ivect.IntVect, c int) float64 {
+		return globalField(domain, p, c)
+	})
+	ld.Exchange(3)
+	for i, fb := range ld.Fabs {
+		ghosted := l.Boxes[i].Grow(2)
+		for c := 0; c < 2; c++ {
+			c := c
+			ghosted.ForEach(func(p ivect.IntVect) {
+				want := globalField(domain, p, c)
+				if got := fb.Get(p, c); got != want {
+					t.Fatalf("box %d comp %d at %v: got %v, want %v", i, c, p, got, want)
+				}
+			})
+		}
+	}
+}
+
+func TestExchangeNonPeriodicLeavesBoundaryGhosts(t *testing.T) {
+	domain := box.Cube(8)
+	l, err := Decompose(domain, 4, [3]bool{false, true, true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ld := NewLevelData(l, 1, 2)
+	for _, fb := range ld.Fabs {
+		fb.Fill(-99) // sentinel: must survive only outside the x-extended domain
+	}
+	ld.FillFromFunction(1, func(p ivect.IntVect, c int) float64 {
+		return globalField(domain, p, c)
+	})
+	ld.Exchange(2)
+	for i, fb := range ld.Fabs {
+		ghosted := l.Boxes[i].Grow(2)
+		ghosted.ForEach(func(p ivect.IntVect) {
+			got := fb.Get(p, 0)
+			if p[0] < 0 || p[0] > 7 {
+				// Physical x boundary: no periodic preimage, sentinel stays.
+				if got != -99 {
+					t.Fatalf("box %d at %v: boundary ghost overwritten with %v", i, p, got)
+				}
+			} else if got != globalField(domain, p, 0) {
+				t.Fatalf("box %d at %v: got %v, want %v", i, p, got, globalField(domain, p, 0))
+			}
+		})
+	}
+}
+
+func TestSingleBoxPeriodicSelfExchange(t *testing.T) {
+	// One box covering the whole periodic domain: all ghosts come from the
+	// box's own periodic images.
+	domain := box.Cube(6)
+	l, err := Decompose(domain, 6, allPeriodic)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.NumBoxes() != 1 {
+		t.Fatal("expected a single box")
+	}
+	ld := NewLevelData(l, 1, 2)
+	ld.FillFromFunction(1, func(p ivect.IntVect, c int) float64 {
+		return globalField(domain, p, c)
+	})
+	ld.Exchange(1)
+	ghosted := domain.Grow(2)
+	ghosted.ForEach(func(p ivect.IntVect) {
+		want := globalField(domain, p, 0)
+		if got := ld.Fabs[0].Get(p, 0); got != want {
+			t.Fatalf("at %v: got %v, want %v", p, got, want)
+		}
+	})
+}
+
+func TestCopierMotionStats(t *testing.T) {
+	domain := box.Cube(8)
+	l, err := Decompose(domain, 4, allPeriodic)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewCopier(l, 2)
+	if c.NumMotions() == 0 {
+		t.Fatal("no motions planned")
+	}
+	// Exchange volume: every box's ghost region has a periodic preimage, so
+	// the moved cells are exactly sum over boxes of (ghosted minus valid):
+	// per 4^3 box grown by 2, 8^3 - 4^3 cells.
+	perBox := int64(8*8*8 - 4*4*4)
+	if got := c.ExchangeBytes(1); got != int64(l.NumBoxes())*perBox*8 {
+		t.Fatalf("ExchangeBytes = %d, want %d", got, int64(l.NumBoxes())*perBox*8)
+	}
+}
+
+func TestExchangeBytesShrinksWithBoxSize(t *testing.T) {
+	// Fig. 1's motivation quantified through the exchange plan: bigger
+	// boxes move fewer ghost bytes for the same domain.
+	domain := box.Cube(32)
+	var prev int64 = math.MaxInt64
+	for _, n := range []int{8, 16, 32} {
+		l, err := Decompose(domain, n, allPeriodic)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b := NewCopier(l, 2).ExchangeBytes(5)
+		if b >= prev {
+			t.Fatalf("exchange bytes not decreasing: N=%d moves %d, previous %d", n, b, prev)
+		}
+		prev = b
+	}
+}
+
+func TestSumCompConservedByExchange(t *testing.T) {
+	domain := box.Cube(8)
+	l, _ := Decompose(domain, 4, allPeriodic)
+	ld := NewLevelData(l, 1, 2)
+	ld.FillFromFunction(1, func(p ivect.IntVect, c int) float64 {
+		return globalField(domain, p, c)
+	})
+	before := ld.SumComp(0)
+	ld.Exchange(2)
+	if after := ld.SumComp(0); after != before {
+		t.Fatalf("exchange changed valid sum: %v -> %v", before, after)
+	}
+}
+
+func TestCopierIndexMatchesBruteForce(t *testing.T) {
+	// The spatial index must find exactly the motions the quadratic scan
+	// finds (as (src,dst,region,shift) sets).
+	for _, periodic := range [][3]bool{{true, true, true}, {false, true, false}} {
+		l, err := Decompose(box.NewSized(ivect.New(-3, 2, 5), ivect.New(24, 16, 12)), 5, periodic)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fast := NewCopier(l, 2)
+		// Brute force reference.
+		type mk struct {
+			src, dst int
+			region   box.Box
+			shift    ivect.IntVect
+		}
+		want := map[mk]bool{}
+		shifts := l.periodicShifts()
+		for di, db := range l.Boxes {
+			ghosted := db.Grow(2)
+			for si, sb := range l.Boxes {
+				for _, sh := range shifts {
+					if si == di && sh == ivect.Zero {
+						continue
+					}
+					r := ghosted.Intersect(sb.ShiftVect(sh))
+					if r.IsEmpty() {
+						continue
+					}
+					want[mk{si, di, r, sh.Neg()}] = true
+				}
+			}
+		}
+		got := map[mk]bool{}
+		for _, ms := range fast.Motions() {
+			for _, m := range ms {
+				got[mk{m.Src, m.Dst, m.Region, m.Shift}] = true
+			}
+		}
+		if len(got) != len(want) {
+			t.Fatalf("periodic %v: indexed copier has %d motions, brute force %d", periodic, len(got), len(want))
+		}
+		for k := range want {
+			if !got[k] {
+				t.Fatalf("periodic %v: missing motion %+v", periodic, k)
+			}
+		}
+	}
+}
+
+func TestCopierGhostZeroHasOnlyAbuttingMotions(t *testing.T) {
+	l, _ := Decompose(box.Cube(8), 4, [3]bool{})
+	c := NewCopier(l, 0)
+	if c.NumMotions() != 0 {
+		t.Fatalf("ghost depth 0 planned %d motions", c.NumMotions())
+	}
+}

@@ -1,0 +1,103 @@
+package machine
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestAllValidate(t *testing.T) {
+	for _, m := range All() {
+		if err := m.Validate(); err != nil {
+			t.Errorf("%s: %v", m.Name, err)
+		}
+	}
+}
+
+func TestPaperSpecs(t *testing.T) {
+	amd := MagnyCours()
+	if amd.Cores() != 24 || amd.MaxThreads() != 24 {
+		t.Errorf("AMD cores/maxthreads = %d/%d", amd.Cores(), amd.MaxThreads())
+	}
+	if amd.TotalBWGBs() != 85.3 {
+		t.Errorf("AMD total BW = %v", amd.TotalBWGBs())
+	}
+	ivy := IvyBridge20()
+	if ivy.Cores() != 20 || ivy.MaxThreads() != 40 {
+		t.Errorf("Ivy cores/maxthreads = %d/%d", ivy.Cores(), ivy.MaxThreads())
+	}
+	if ivy.TotalBWGBs() != 102.4 {
+		t.Errorf("Ivy total BW = %v", ivy.TotalBWGBs())
+	}
+	sandy := SandyBridge16()
+	if sandy.Cores() != 16 || sandy.L3.SizeBytes != 20*1024*1024 {
+		t.Errorf("Sandy cores/L3 = %d/%d", sandy.Cores(), sandy.L3.SizeBytes)
+	}
+	desk := IvyBridgeDesktop()
+	if desk.Cores() != 4 || desk.TotalBWGBs() != 21.0 {
+		t.Errorf("desktop cores/BW = %d/%v", desk.Cores(), desk.TotalBWGBs())
+	}
+}
+
+func TestValidateRejectsBadSpecs(t *testing.T) {
+	m := MagnyCours()
+	m.GHz = 0
+	if m.Validate() == nil {
+		t.Error("zero GHz accepted")
+	}
+	m = MagnyCours()
+	m.L3.SizeBytes = m.L2.SizeBytes / 2
+	if m.Validate() == nil {
+		t.Error("shrinking cache hierarchy accepted")
+	}
+	m = MagnyCours()
+	m.SustainedBWFraction = 1.5
+	if m.Validate() == nil {
+		t.Error("fraction > 1 accepted")
+	}
+}
+
+func TestSocketsUsedCompact(t *testing.T) {
+	ivy := IvyBridge20()
+	cases := []struct{ threads, want int }{
+		{1, 1}, {10, 1}, {11, 2}, {20, 2}, {40, 2},
+	}
+	for _, c := range cases {
+		if got := ivy.SocketsUsed(c.threads); got != c.want {
+			t.Errorf("SocketsUsed(%d) = %d, want %d", c.threads, got, c.want)
+		}
+	}
+	if got := IvyBridgeDesktop().SocketsUsed(99); got != 1 {
+		t.Errorf("desktop SocketsUsed(99) = %d", got)
+	}
+}
+
+func TestThreadSweepsMatchPaperFigures(t *testing.T) {
+	cases := []struct {
+		m    Machine
+		want []int
+	}{
+		{MagnyCours(), []int{1, 2, 4, 8, 16, 24}},      // Fig. 2
+		{IvyBridge20(), []int{1, 2, 4, 8, 16, 20, 40}}, // Fig. 3
+		{SandyBridge16(), []int{1, 2, 4, 8, 12, 16}},   // Fig. 4
+		{IvyBridgeDesktop(), []int{1, 2, 4}},
+	}
+	for _, c := range cases {
+		if got := c.m.ThreadSweep(); !reflect.DeepEqual(got, c.want) {
+			t.Errorf("%s sweep = %v, want %v", c.m.Name, got, c.want)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, key := range []string{"Magny", "Atlantis", "Sandy", "desktop"} {
+		if _, err := ByName(key); err != nil {
+			t.Errorf("ByName(%q): %v", key, err)
+		}
+	}
+	if _, err := ByName("Ivy"); err == nil {
+		t.Error("ambiguous key accepted")
+	}
+	if _, err := ByName("Xeon Phi"); err == nil {
+		t.Error("unknown key accepted")
+	}
+}

@@ -1,0 +1,177 @@
+// Package parallel provides the shared-memory execution primitives the
+// scheduling variants are built on: fork-join parallel loops with an
+// explicit thread count, static and dynamic work distribution, and
+// per-thread scratch allocation.
+//
+// The paper parallelizes with OpenMP "parallel for" pragmas placed either
+// outside the loop over boxes (P >= Box) or outside loops over
+// tiles/slabs/wavefronts within a box (P < Box). Here a "thread" is a
+// goroutine; the thread count is an explicit parameter everywhere so that
+// scaling studies control it exactly (the paper sweeps 1..cores), rather
+// than inheriting GOMAXPROCS.
+package parallel
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// Threads clamps a requested thread count to at least one.
+func Threads(n int) int {
+	if n < 1 {
+		return 1
+	}
+	return n
+}
+
+// Run invokes body(tid) on threads goroutines with tid in [0, threads) and
+// waits for all of them — the equivalent of an OpenMP parallel region.
+func Run(threads int, body func(tid int)) {
+	threads = Threads(threads)
+	if threads == 1 {
+		body(0)
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(threads)
+	for t := 0; t < threads; t++ {
+		go func(tid int) {
+			defer wg.Done()
+			body(tid)
+		}(t)
+	}
+	wg.Wait()
+}
+
+// For executes body(tid, i) for every i in [0, n) using a static block
+// distribution over the given number of threads: thread t receives the
+// contiguous range returned by Chunk. This is OpenMP's schedule(static),
+// the distribution the paper's variants use for slab and box loops.
+func For(threads, n int, body func(tid, i int)) {
+	ForChunked(threads, n, func(tid, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			body(tid, i)
+		}
+	})
+}
+
+// ForChunked is For with the per-thread contiguous range [lo, hi) handed to
+// the body directly, so the body can hoist per-range setup (temporary
+// allocation, pointer offsets) out of the iteration loop.
+func ForChunked(threads, n int, body func(tid, lo, hi int)) {
+	threads = Threads(threads)
+	if n <= 0 {
+		return
+	}
+	if threads == 1 || n == 1 {
+		body(0, 0, n)
+		return
+	}
+	if threads > n {
+		threads = n
+	}
+	var wg sync.WaitGroup
+	wg.Add(threads)
+	for t := 0; t < threads; t++ {
+		go func(tid int) {
+			defer wg.Done()
+			lo, hi := Chunk(n, threads, tid)
+			if lo < hi {
+				body(tid, lo, hi)
+			}
+		}(t)
+	}
+	wg.Wait()
+}
+
+// Chunk returns the half-open range [lo, hi) of the tid-th of threads
+// near-equal contiguous chunks of [0, n). The first n%threads chunks are one
+// element longer.
+func Chunk(n, threads, tid int) (lo, hi int) {
+	if threads < 1 || tid < 0 || tid >= threads {
+		panic(fmt.Sprintf("parallel: chunk tid %d of %d", tid, threads))
+	}
+	base, rem := n/threads, n%threads
+	lo = tid*base + min(tid, rem)
+	hi = lo + base
+	if tid < rem {
+		hi++
+	}
+	return lo, hi
+}
+
+// Dynamic executes body(tid, i) for every i in [0, n), distributing indices
+// to threads in blocks of grain via an atomic counter — OpenMP's
+// schedule(dynamic, grain). It balances the ragged wavefront widths of the
+// tiled-wavefront variants better than a static split.
+func Dynamic(threads, n, grain int, body func(tid, i int)) {
+	threads = Threads(threads)
+	if n <= 0 {
+		return
+	}
+	if grain < 1 {
+		grain = 1
+	}
+	if threads == 1 {
+		for i := 0; i < n; i++ {
+			body(0, i)
+		}
+		return
+	}
+	var next atomic.Int64
+	Run(threads, func(tid int) {
+		for {
+			start := int(next.Add(int64(grain))) - grain
+			if start >= n {
+				return
+			}
+			end := min(start+grain, n)
+			for i := start; i < end; i++ {
+				body(tid, i)
+			}
+		}
+	})
+}
+
+// Scratch is a per-thread arena of values of type T, constructed lazily by
+// each thread the first time it asks — the idiom behind the per-thread tile
+// temporaries of the overlapped-tile schedules (Table I's factor P).
+type Scratch[T any] struct {
+	slots []T
+	made  []bool
+	make  func() T
+}
+
+// NewScratch returns a Scratch for the given number of threads whose slots
+// are built on first use by mk.
+func NewScratch[T any](threads int, mk func() T) *Scratch[T] {
+	threads = Threads(threads)
+	return &Scratch[T]{
+		slots: make([]T, threads),
+		made:  make([]bool, threads),
+		make:  mk,
+	}
+}
+
+// Get returns thread tid's scratch value, constructing it on first use.
+// Each slot must only ever be accessed by its owning thread.
+func (s *Scratch[T]) Get(tid int) T {
+	if !s.made[tid] {
+		s.slots[tid] = s.make()
+		s.made[tid] = true
+	}
+	return s.slots[tid]
+}
+
+// Allocated returns how many slots have been constructed, used by the
+// temporary-storage accounting.
+func (s *Scratch[T]) Allocated() int {
+	n := 0
+	for _, m := range s.made {
+		if m {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,170 @@
+package parallel
+
+import (
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+)
+
+func TestThreadsClamps(t *testing.T) {
+	for _, c := range []struct{ in, want int }{{-3, 1}, {0, 1}, {1, 1}, {8, 8}} {
+		if got := Threads(c.in); got != c.want {
+			t.Errorf("Threads(%d) = %d, want %d", c.in, got, c.want)
+		}
+	}
+}
+
+func TestRunInvokesEachTidOnce(t *testing.T) {
+	for _, threads := range []int{1, 2, 7} {
+		seen := make([]atomic.Int32, threads)
+		Run(threads, func(tid int) { seen[tid].Add(1) })
+		for tid := range seen {
+			if got := seen[tid].Load(); got != 1 {
+				t.Errorf("threads=%d tid %d ran %d times", threads, tid, got)
+			}
+		}
+	}
+}
+
+func TestChunkPartition(t *testing.T) {
+	f := func(nu, tu uint16) bool {
+		n := int(nu % 1000)
+		threads := int(tu%16) + 1
+		prevHi := 0
+		total := 0
+		for tid := 0; tid < threads; tid++ {
+			lo, hi := Chunk(n, threads, tid)
+			if lo != prevHi || hi < lo {
+				return false
+			}
+			// Balance: no chunk longer than ceil(n/threads).
+			if hi-lo > (n+threads-1)/threads {
+				return false
+			}
+			total += hi - lo
+			prevHi = hi
+		}
+		return total == n && prevHi == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestChunkPanicsOnBadTid(t *testing.T) {
+	for _, c := range [][2]int{{0, 0}, {4, 4}, {4, -1}} {
+		c := c
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Chunk(10, %d, %d) did not panic", c[0], c[1])
+				}
+			}()
+			Chunk(10, c[0], c[1])
+		}()
+	}
+}
+
+func testCoversAll(t *testing.T, name string, run func(threads, n int, mark func(i int))) {
+	t.Helper()
+	for _, threads := range []int{1, 2, 5, 32} {
+		for _, n := range []int{0, 1, 7, 100} {
+			counts := make([]atomic.Int32, n)
+			run(threads, n, func(i int) { counts[i].Add(1) })
+			for i := range counts {
+				if got := counts[i].Load(); got != 1 {
+					t.Errorf("%s threads=%d n=%d: index %d visited %d times", name, threads, n, i, got)
+				}
+			}
+		}
+	}
+}
+
+func TestForCoversAllIndicesOnce(t *testing.T) {
+	testCoversAll(t, "For", func(threads, n int, mark func(int)) {
+		For(threads, n, func(_, i int) { mark(i) })
+	})
+}
+
+func TestDynamicCoversAllIndicesOnce(t *testing.T) {
+	for _, grain := range []int{0, 1, 3, 100} {
+		grain := grain
+		testCoversAll(t, "Dynamic", func(threads, n int, mark func(int)) {
+			Dynamic(threads, n, grain, func(_, i int) { mark(i) })
+		})
+	}
+}
+
+func TestForChunkedRangesContiguous(t *testing.T) {
+	n := 37
+	got := make([]int, n)
+	ForChunked(4, n, func(tid, lo, hi int) {
+		if lo >= hi {
+			t.Errorf("empty range [%d,%d) delivered", lo, hi)
+		}
+		for i := lo; i < hi; i++ {
+			got[i] = tid + 1
+		}
+	})
+	for i, v := range got {
+		if v == 0 {
+			t.Fatalf("index %d not covered", i)
+		}
+	}
+	// Contiguity: tid assignment must be non-decreasing in i.
+	for i := 1; i < n; i++ {
+		if got[i] < got[i-1] {
+			t.Fatalf("non-contiguous chunks at %d: %v", i, got)
+		}
+	}
+}
+
+func TestForMoreThreadsThanWork(t *testing.T) {
+	var count atomic.Int32
+	For(64, 3, func(tid, i int) {
+		if tid >= 3 {
+			t.Errorf("tid %d active with only 3 items", tid)
+		}
+		count.Add(1)
+	})
+	if count.Load() != 3 {
+		t.Fatalf("ran %d of 3", count.Load())
+	}
+}
+
+func TestScratchLazyPerThread(t *testing.T) {
+	var built atomic.Int32
+	s := NewScratch(4, func() []float64 {
+		built.Add(1)
+		return make([]float64, 8)
+	})
+	if s.Allocated() != 0 {
+		t.Fatal("scratch eagerly allocated")
+	}
+	Run(2, func(tid int) {
+		a := s.Get(tid)
+		b := s.Get(tid)
+		if &a[0] != &b[0] {
+			t.Errorf("tid %d got different scratch on second Get", tid)
+		}
+		a[0] = float64(tid)
+	})
+	if built.Load() != 2 || s.Allocated() != 2 {
+		t.Fatalf("built %d slots, allocated %d; want 2", built.Load(), s.Allocated())
+	}
+	if s.Get(0)[0] != 0 || s.Get(1)[0] != 1 {
+		t.Fatal("scratch slots shared between threads")
+	}
+}
+
+func TestDynamicParallelSum(t *testing.T) {
+	// Accumulate a known sum with real concurrency to shake out races under
+	// -race.
+	n := 10000
+	var sum atomic.Int64
+	Dynamic(8, n, 16, func(_, i int) { sum.Add(int64(i)) })
+	want := int64(n) * int64(n-1) / 2
+	if sum.Load() != want {
+		t.Fatalf("sum = %d, want %d", sum.Load(), want)
+	}
+}

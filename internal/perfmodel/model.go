@@ -1,0 +1,259 @@
+package perfmodel
+
+import (
+	"fmt"
+	"math"
+
+	"stencilsched/internal/ivect"
+	"stencilsched/internal/machine"
+	"stencilsched/internal/sched"
+	"stencilsched/internal/wavefront"
+)
+
+// Parallel-region bookkeeping constants. OpenMP fork/join and barrier costs
+// are a few microseconds and grow with the thread count; they are what
+// makes fine-grained P<Box parallelization uncompetitive on small boxes
+// (the Fig. 9 gap at N = 16).
+const (
+	// RegionBaseSec is the fixed cost of opening/closing one parallel
+	// region (or one wavefront barrier).
+	RegionBaseSec = 1.0e-6
+	// RegionPerThreadSec is the additional cost per participating thread.
+	RegionPerThreadSec = 2.0e-7
+)
+
+// Config is one modeled experiment point: a variant applied to NumBoxes
+// boxes of BoxN^3 cells on Machine with Threads threads.
+type Config struct {
+	Machine  machine.Machine
+	Variant  sched.Variant
+	BoxN     int
+	NumBoxes int
+	Threads  int
+	// NUMAAware, when true, models first-touch-correct data placement so
+	// that every socket's memory controllers contribute bandwidth. The
+	// paper's plain OpenMP runs (and this model's default) leave the data
+	// on the master thread's socket, capping the node at one socket's
+	// bandwidth — the ablation that explains the plateau heights.
+	NUMAAware bool
+}
+
+// Breakdown is a modeled execution time and its components.
+type Breakdown struct {
+	TotalSec   float64
+	ComputeSec float64
+	MemorySec  float64
+	RegionSec  float64
+	// Speedup is the effective parallel speedup of the compute component
+	// (granularity-limited, wavefront-limited and core-capped).
+	Speedup float64
+	// BWGBs is the modeled memory bandwidth available at this thread count.
+	BWGBs float64
+	// Fits reports the cache-fit regime of the traffic model.
+	Fits bool
+}
+
+// Time models the execution time of one application of the exemplar to all
+// boxes of the configuration. It is the reproduction's stand-in for the
+// paper's measured Figures 2-4 and 9-12; see DESIGN.md for the
+// substitution argument and EXPERIMENTS.md for shape-vs-paper records.
+func Time(cfg Config) Breakdown {
+	if err := cfg.Variant.Validate(); err != nil {
+		panic(fmt.Sprintf("perfmodel: %v", err))
+	}
+	if cfg.BoxN <= 0 || cfg.NumBoxes <= 0 {
+		panic(fmt.Sprintf("perfmodel: bad problem %d boxes of %d", cfg.NumBoxes, cfg.BoxN))
+	}
+	m := cfg.Machine
+	p := cfg.Threads
+	if p < 1 {
+		p = 1
+	}
+
+	flops := FlopsPerBox(cfg.Variant, cfg.BoxN) * float64(cfg.NumBoxes)
+	tr := TrafficBytes(cfg.Variant, cfg.BoxN, m, p)
+	bytes := float64(tr.Bytes) * float64(cfg.NumBoxes)
+
+	speedup := computeSpeedup(cfg.Variant, cfg.BoxN, cfg.NumBoxes, p, m)
+	coreRate := m.GHz * 1e9 * m.KernelFlopsPerCycle
+	compute := flops / (speedup * coreRate)
+
+	bw := bandwidthGBs(m, p, cfg.NUMAAware)
+	memory := bytes / (bw * 1e9)
+	if p > m.Cores() && !tr.Fits {
+		// Hyper-threading pressure on an already bandwidth-bound schedule
+		// (Fig. 11's baseline degrades beyond 20 threads).
+		memory *= HTMemPenalty
+	}
+
+	regions := regionCount(cfg.Variant, cfg.BoxN, cfg.NumBoxes)
+	regionSec := float64(regions) * (RegionBaseSec + RegionPerThreadSec*float64(p))
+
+	b := Breakdown{
+		ComputeSec: compute,
+		MemorySec:  memory,
+		RegionSec:  regionSec,
+		Speedup:    speedup,
+		BWGBs:      bw,
+		Fits:       tr.Fits,
+	}
+	b.TotalSec = math.Max(compute, memory) + regionSec
+	return b
+}
+
+// bandwidthGBs models the memory bandwidth p compact threads can draw.
+// Without NUMA-aware placement all pages sit on the master thread's socket,
+// so the node never exceeds one socket's sustained bandwidth regardless of
+// thread count.
+func bandwidthGBs(m machine.Machine, p int, numaAware bool) float64 {
+	sustainedSocket := m.BWPerSocketGBs * m.SustainedBWFraction
+	cap := sustainedSocket
+	if numaAware {
+		cap = sustainedSocket * float64(m.SocketsUsed(p))
+	}
+	return math.Min(float64(p)*m.SingleThreadBWGBs, cap)
+}
+
+// computeSpeedup models the effective parallel speedup of the compute
+// component for the variant's parallelization granularity:
+//
+//   - P>=Box: whole boxes per thread, so speedup is limited by box count
+//     and box-per-thread load balance;
+//   - P<Box series: z-slab parallelism within each box;
+//   - P<Box shift-fuse: per-iteration wavefront over cells;
+//   - blocked wavefront: tile wavefront (pipeline fill/drain penalty);
+//   - overlapped tiles: independent tiles (tile-count limited).
+//
+// Hyper-threads do not add compute throughput: speedup is capped at the
+// physical core count.
+func computeSpeedup(v sched.Variant, n, numBoxes, threads int, m machine.Machine) float64 {
+	var s float64
+	if v.Par == sched.OverBoxes {
+		useful := min(threads, numBoxes)
+		s = float64(numBoxes) / math.Ceil(float64(numBoxes)/float64(useful))
+	} else {
+		switch v.Family {
+		case sched.Series:
+			useful := min(threads, n)
+			s = float64(n) / math.Ceil(float64(n)/float64(useful))
+		case sched.ShiftFuse:
+			st := wavefront.Profile(ivect.Uniform(n), threads)
+			s = float64(st.Items) / float64(st.Steps)
+		case sched.BlockedWavefront:
+			st := wavefront.Profile(tileGrid(n, v), threads)
+			s = float64(st.Items) / float64(st.Steps)
+		case sched.OverlappedTile:
+			tiles := tileGrid(n, v).Prod()
+			useful := min(threads, tiles)
+			s = float64(tiles) / math.Ceil(float64(tiles)/float64(useful))
+		}
+	}
+	if cores := float64(m.Cores()); s > cores {
+		s = cores
+	}
+	if s < 1 {
+		s = 1
+	}
+	return s
+}
+
+// regionCount models how many parallel regions (fork/join or wavefront
+// barriers) one application of the variant opens across all boxes.
+func regionCount(v sched.Variant, n, numBoxes int) int64 {
+	comps := int64(5)
+	if v.Comp == sched.CLI {
+		comps = 1
+	}
+	if v.Par == sched.OverBoxes {
+		// One region over boxes (plus the fused families' three velocity
+		// passes folded into it).
+		return 1
+	}
+	perBox := int64(0)
+	switch v.Family {
+	case sched.Series:
+		// Per direction: pass 1, velocity copy, pass 2a, pass 2b.
+		perBox = 3 * (comps + 1 + comps + comps)
+	case sched.ShiftFuse:
+		// Three velocity passes plus one barrier per cell anti-diagonal per
+		// component sweep.
+		perBox = 3 + int64(3*n-2)*comps
+	case sched.BlockedWavefront:
+		g := tileGrid(n, v)
+		perBox = 3 + int64(g.Sum()-2)*comps
+	case sched.OverlappedTile:
+		// One dynamic region over tiles.
+		perBox = 1
+	}
+	return perBox * int64(numBoxes)
+}
+
+// Curve returns modeled times for a sweep of thread counts.
+func Curve(m machine.Machine, v sched.Variant, boxN, numBoxes int, threads []int) []float64 {
+	out := make([]float64, len(threads))
+	for i, p := range threads {
+		out[i] = Time(Config{Machine: m, Variant: v, BoxN: boxN, NumBoxes: numBoxes, Threads: p}).TotalSec
+	}
+	return out
+}
+
+// tileGrid returns the tile-grid dimensions of a tiled variant on an N^3
+// box.
+func tileGrid(n int, v sched.Variant) ivect.IntVect {
+	sh := v.TileShape()
+	return ivect.New((n+sh[0]-1)/sh[0], (n+sh[1]-1)/sh[1], (n+sh[2]-1)/sh[2])
+}
+
+// PaperCells is the total cell count of the Section III-C evaluation
+// problem; the box count for a given box size keeps it constant.
+const PaperCells = 50331648
+
+// PaperNumBoxes returns the box count that tiles the paper's evaluation
+// domain with N^3 boxes (24 boxes at N=128 ... 12,288 at N=16).
+func PaperNumBoxes(n int) int { return PaperCells / (n * n * n) }
+
+// Roofline summarizes a variant's position against a machine's roofline:
+// its arithmetic intensity (effective flops per DRAM byte), the machine's
+// balance point, and whether the schedule is memory-bound at the given
+// thread count.
+type Roofline struct {
+	IntensityFlopPerByte float64
+	// BalancePoint is the machine's flops-per-byte at which compute and
+	// sustained single-socket bandwidth meet for this thread count.
+	BalancePoint float64
+	MemoryBound  bool
+}
+
+// RooflineFor computes the roofline placement of variant v on an N^3 box.
+func RooflineFor(v sched.Variant, n int, m machine.Machine, threads int) Roofline {
+	flops := FlopsPerBox(v, n)
+	tr := TrafficBytes(v, n, m, threads)
+	r := Roofline{IntensityFlopPerByte: flops / float64(tr.Bytes)}
+	cores := float64(min(threads, m.Cores()))
+	computeRate := cores * m.GHz * 1e9 * m.KernelFlopsPerCycle
+	bw := bandwidthGBs(m, threads, false) * 1e9
+	r.BalancePoint = computeRate / bw
+	r.MemoryBound = r.IntensityFlopPerByte < r.BalancePoint
+	return r
+}
+
+// Best returns the fastest studied variant of the given granularity at the
+// given thread count, with its modeled time — the selection behind Fig. 9.
+func Best(m machine.Machine, par sched.Granularity, boxN, numBoxes, threads int) (sched.Variant, float64) {
+	bestT := math.Inf(1)
+	var bestV sched.Variant
+	for _, v := range sched.Studied() {
+		if v.Par != par {
+			continue
+		}
+		if v.Tiled() && v.MaxTileEdge() > boxN {
+			// The paper only used tile sizes strictly within the box.
+			continue
+		}
+		t := Time(Config{Machine: m, Variant: v, BoxN: boxN, NumBoxes: numBoxes, Threads: threads}).TotalSec
+		if t < bestT {
+			bestT, bestV = t, v
+		}
+	}
+	return bestV, bestT
+}

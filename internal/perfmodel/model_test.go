@@ -1,0 +1,369 @@
+package perfmodel
+
+import (
+	"math"
+	"testing"
+
+	"stencilsched/internal/machine"
+	"stencilsched/internal/sched"
+)
+
+func mustVariant(t *testing.T, name string) sched.Variant {
+	t.Helper()
+	v, err := sched.ByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+func modelTime(m machine.Machine, v sched.Variant, n, threads int) float64 {
+	return Time(Config{
+		Machine: m, Variant: v, BoxN: n,
+		NumBoxes: PaperNumBoxes(n), Threads: threads,
+	}).TotalSec
+}
+
+func TestTableIFormulas(t *testing.T) {
+	// Spot-check Table I at N=128, T=16, C=5, P=24.
+	n, tile, p := 128, 16, 24
+	rows := TableIFor(n, tile, p)
+	if len(rows) != 4 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	if rows[0].Flux != 5*129*129*129 || rows[0].Vel != 129*129*129 {
+		t.Errorf("series row = %+v", rows[0])
+	}
+	if rows[1].Flux != 2+2*128+2*128*128 || rows[1].Vel != 3*129*129*129 {
+		t.Errorf("fused row = %+v", rows[1])
+	}
+	if rows[2].Flux != 2*3*5*128*128 || rows[2].Vel != 3*129*129*129 {
+		t.Errorf("tiled row = %+v", rows[2])
+	}
+	if rows[3].Flux != int64(p)*5*(2+2*16+2*16*16) || rows[3].Vel != int64(p)*5*3*17*17*17 {
+		t.Errorf("OT row = %+v", rows[3])
+	}
+}
+
+func TestTableIOrdering(t *testing.T) {
+	// At N=128 the flux temporary shrinks dramatically from series to
+	// fused (the paper's core storage argument).
+	series, _ := TableI(sched.Variant{Family: sched.Series}, 128, 1)
+	fused, _ := TableI(sched.Variant{Family: sched.ShiftFuse}, 128, 1)
+	if series.FluxElems/fused.FluxElems < 100 {
+		t.Errorf("series/fused flux ratio = %d, want >= 100",
+			series.FluxElems/fused.FluxElems)
+	}
+}
+
+func TestTableIErrors(t *testing.T) {
+	if _, err := TableI(sched.Variant{Family: sched.Series}, 0, 1); err == nil {
+		t.Error("N=0 accepted")
+	}
+	if _, err := TableI(sched.Variant{Family: sched.BlockedWavefront, TileSize: 7}, 16, 1); err == nil {
+		t.Error("invalid variant accepted")
+	}
+}
+
+func TestWorkingSetFitRegimes(t *testing.T) {
+	amd := machine.MagnyCours()
+	baseline := sched.Variant{Family: sched.Series}
+	// N=16 fits the LLC even at full thread count; N=128 never fits.
+	if tr := TrafficBytes(baseline, 16, amd, 24); !tr.Fits {
+		t.Error("N=16 should fit at 24 threads on AMD")
+	}
+	if tr := TrafficBytes(baseline, 128, amd, 1); tr.Fits {
+		t.Error("N=128 should spill even at 1 thread")
+	}
+	// N=32 transitions: fits at 1 thread, spills at 24 (the paper's "falls
+	// smoothly in between").
+	if tr := TrafficBytes(baseline, 32, amd, 1); !tr.Fits {
+		t.Error("N=32 should fit at 1 thread")
+	}
+	if tr := TrafficBytes(baseline, 32, amd, 24); tr.Fits {
+		t.Error("N=32 should spill at 24 threads")
+	}
+}
+
+func TestTrafficOrderingAtN128(t *testing.T) {
+	// Sec. VI-B: the fused schedule cuts bandwidth demand by roughly 2-3x
+	// versus the baseline at N=128; overlapped tiles (T=16) are lower
+	// still.
+	amd := machine.MagnyCours()
+	base := TrafficBytes(sched.Variant{Family: sched.Series}, 128, amd, 24).Bytes
+	fused := TrafficBytes(sched.Variant{Family: sched.ShiftFuse}, 128, amd, 24).Bytes
+	ot := TrafficBytes(sched.Variant{Family: sched.OverlappedTile, TileSize: 16, Intra: sched.FusedSched}, 128, amd, 24).Bytes
+	if r := float64(base) / float64(fused); r < 2 || r > 5 {
+		t.Errorf("baseline/fused traffic ratio = %.2f, want in [2,5]", r)
+	}
+	if !(ot < fused) {
+		t.Errorf("OT traffic %d not below fused %d", ot, fused)
+	}
+}
+
+func TestSmallTilesRecomputeMoreTraffic(t *testing.T) {
+	amd := machine.MagnyCours()
+	get := func(ts int) int64 {
+		return TrafficBytes(sched.Variant{Family: sched.OverlappedTile, TileSize: ts, Intra: sched.FusedSched}, 128, amd, 24).Bytes
+	}
+	if !(get(4) > get(8) && get(8) > get(16)) {
+		t.Errorf("OT traffic not decreasing in tile size: %d, %d, %d", get(4), get(8), get(16))
+	}
+}
+
+func TestFlopsPerBoxRecompute(t *testing.T) {
+	base := FlopsPerBox(sched.Variant{Family: sched.Series}, 64)
+	fused := FlopsPerBox(sched.Variant{Family: sched.ShiftFuse}, 64)
+	ot4 := FlopsPerBox(sched.Variant{Family: sched.OverlappedTile, TileSize: 4, Intra: sched.FusedSched}, 64)
+	ot16 := FlopsPerBox(sched.Variant{Family: sched.OverlappedTile, TileSize: 16, Intra: sched.FusedSched}, 64)
+	otBasic := FlopsPerBox(sched.Variant{Family: sched.OverlappedTile, TileSize: 16, Intra: sched.BasicSched}, 64)
+	// The staging penalty makes the series schedule cost more effective
+	// compute than the fused one despite the latter's extra velocity pass —
+	// the paper's ~16% shift-and-fuse win at N=16 (Fig. 2 discussion).
+	if !(base > fused) {
+		t.Errorf("series effective flops %g not above fused %g", base, fused)
+	}
+	if !(ot4 > ot16 && ot16 > fused) {
+		t.Errorf("recompute flops ordering broken: ot4=%g ot16=%g fused=%g", ot4, ot16, fused)
+	}
+	// Basic-Sched intra-tile pays both recompute and staging: slower than
+	// fused intra-tile at the same tile size (Fig. 10's winner is fused OT).
+	if !(otBasic > ot16) {
+		t.Errorf("basic OT flops %g not above fused OT %g", otBasic, ot16)
+	}
+	// Overlap overhead is bounded: even T=4 recomputes less than 2.5x.
+	if ot4 > 2.5*base {
+		t.Errorf("ot4 flops = %g > 2.5x base %g", ot4, base)
+	}
+}
+
+// --- Shape criteria for Figures 2-4 (see DESIGN.md section 4) ---
+
+func TestFig2ShapeMagnyCours(t *testing.T) {
+	amd := machine.MagnyCours()
+	baseline := mustVariant(t, "Baseline: P>=Box")
+	fused := mustVariant(t, "Shift-Fuse: P>=Box")
+	ot := mustVariant(t, "Shift-Fuse OT-16: P>=Box")
+
+	// (a) Baseline N=16 scales near-ideally to 24 threads.
+	sp := modelTime(amd, baseline, 16, 1) / modelTime(amd, baseline, 16, 24)
+	if sp < 0.7*24 {
+		t.Errorf("baseline N=16 speedup at 24 threads = %.1f, want >= %.1f", sp, 0.7*24)
+	}
+	// Single-thread absolute time lands near the paper's ~16 s.
+	if t1 := modelTime(amd, baseline, 16, 1); t1 < 8 || t1 > 32 {
+		t.Errorf("baseline N=16 single-thread = %.1fs, want ~16s", t1)
+	}
+
+	// (b) Baseline N=128 stops scaling: 24 threads gain little over 8.
+	if r := modelTime(amd, baseline, 128, 8) / modelTime(amd, baseline, 128, 24); r > 2.0 {
+		t.Errorf("baseline N=128 kept scaling 8->24 (ratio %.2f)", r)
+	}
+	// and its 24-thread time sits well above the N=16 baseline.
+	gap := modelTime(amd, baseline, 128, 24) / modelTime(amd, baseline, 16, 24)
+	if gap < 1.5 {
+		t.Errorf("baseline N=128 vs N=16 at 24 threads gap = %.2f, want >= 1.5", gap)
+	}
+
+	// (c) Shift-fuse N=128 scales well to 8 threads...
+	if sp := modelTime(amd, fused, 128, 1) / modelTime(amd, fused, 128, 8); sp < 0.75*8 {
+		t.Errorf("shift-fuse N=128 speedup at 8 = %.1f", sp)
+	}
+
+	// (d) The OT variant at N=128 lands within 1.5x of baseline N=16 at 24
+	// threads (the paper's headline result).
+	if r := modelTime(amd, ot, 128, 24) / modelTime(amd, baseline, 16, 24); r > 1.5 {
+		t.Errorf("OT-16 N=128 vs baseline N=16 at 24 threads = %.2fx, want <= 1.5x", r)
+	}
+	// and clearly beats the N=128 baseline.
+	if r := modelTime(amd, baseline, 128, 24) / modelTime(amd, ot, 128, 24); r < 1.5 {
+		t.Errorf("OT-16 N=128 speedup over baseline N=128 = %.2fx, want >= 1.5x", r)
+	}
+}
+
+func TestFig3ShapeIvyBridge(t *testing.T) {
+	ivy := machine.IvyBridge20()
+	baseline := mustVariant(t, "Baseline: P>=Box")
+	ot := mustVariant(t, "Shift-Fuse OT-8: P<Box")
+	// Single-thread baseline near the paper's ~4-5 s.
+	if t1 := modelTime(ivy, baseline, 16, 1); t1 < 2.5 || t1 > 10 {
+		t.Errorf("Ivy baseline single-thread = %.1fs, want ~4-5s", t1)
+	}
+	// Baseline N=128 at 20 threads roughly 2x slower than N=16 (Fig. 3
+	// text: "still 2 times slower").
+	gap := modelTime(ivy, baseline, 128, 20) / modelTime(ivy, baseline, 16, 20)
+	if gap < 1.4 || gap > 12 {
+		t.Errorf("Ivy N=128/N=16 baseline gap at 20 threads = %.2f", gap)
+	}
+	// OT-8 fixes it.
+	if r := modelTime(ivy, ot, 128, 20) / modelTime(ivy, baseline, 16, 20); r > 1.6 {
+		t.Errorf("Ivy OT-8 N=128 vs baseline N=16 = %.2fx", r)
+	}
+	// Hyper-threading does not help the bandwidth-bound baseline (Fig. 11
+	// shows it getting slower), but does not hurt OT.
+	if modelTime(ivy, baseline, 128, 40) < modelTime(ivy, baseline, 128, 20) {
+		t.Error("HT improved the bandwidth-bound baseline")
+	}
+	if modelTime(ivy, ot, 128, 40) > 1.2*modelTime(ivy, ot, 128, 20) {
+		t.Error("HT materially hurt OT")
+	}
+}
+
+func TestFig4ShapeSandyBridge(t *testing.T) {
+	sandy := machine.SandyBridge16()
+	baseline := mustVariant(t, "Baseline: P>=Box")
+	ot := mustVariant(t, "Shift-Fuse OT-16: P<Box")
+	if r := modelTime(sandy, ot, 128, 16) / modelTime(sandy, baseline, 16, 16); r > 1.6 {
+		t.Errorf("Sandy OT-16 N=128 vs baseline N=16 = %.2fx", r)
+	}
+	if r := modelTime(sandy, baseline, 128, 16) / modelTime(sandy, ot, 128, 16); r < 1.5 {
+		t.Errorf("Sandy OT win over baseline at N=128 = %.2fx, want >= 1.5", r)
+	}
+}
+
+func TestFig10WavefrontOffsetAboveOT(t *testing.T) {
+	// Wavefront schedules scale but sit offset above the OT lines
+	// (Sec. VI-B "Wavefront Tiling").
+	amd := machine.MagnyCours()
+	wf := mustVariant(t, "Blocked WF-CLO-16: P<Box")
+	ot := mustVariant(t, "Shift-Fuse OT-8: P<Box")
+	twf := modelTime(amd, wf, 128, 24)
+	tot := modelTime(amd, ot, 128, 24)
+	if !(twf > tot) {
+		t.Errorf("wavefront (%.2fs) not above OT (%.2fs) at 24 threads", twf, tot)
+	}
+	// But wavefront still scales: 24 threads much faster than 1.
+	if sp := modelTime(amd, wf, 128, 1) / twf; sp < 4 {
+		t.Errorf("wavefront speedup at 24 = %.1f, want >= 4", sp)
+	}
+}
+
+func TestFig9GranularityCrossover(t *testing.T) {
+	// P>=Box wins at N=16; the two granularities converge by N=128.
+	for _, m := range []machine.Machine{machine.MagnyCours(), machine.IvyBridge20()} {
+		p := m.Cores()
+		_, over16 := Best(m, sched.OverBoxes, 16, PaperNumBoxes(16), p)
+		_, within16 := Best(m, sched.WithinBox, 16, PaperNumBoxes(16), p)
+		if !(over16 < within16) {
+			t.Errorf("%s: P>=Box (%.2f) not faster than P<Box (%.2f) at N=16",
+				m.Name, over16, within16)
+		}
+		_, over128 := Best(m, sched.OverBoxes, 128, PaperNumBoxes(128), p)
+		_, within128 := Best(m, sched.WithinBox, 128, PaperNumBoxes(128), p)
+		ratio := within128 / over128
+		if ratio > 1.4 || ratio < 0.6 {
+			t.Errorf("%s: granularities did not converge at N=128 (ratio %.2f)", m.Name, ratio)
+		}
+	}
+}
+
+func TestBestTileSizesArePaperLike(t *testing.T) {
+	// "In general tile sizes of 8 and 16 were the most efficient": the best
+	// P<Box variant at N=128 should be an OT with tile 8 or 16 on every
+	// machine.
+	for _, m := range []machine.Machine{machine.MagnyCours(), machine.IvyBridge20(), machine.SandyBridge16()} {
+		v, _ := Best(m, sched.WithinBox, 128, PaperNumBoxes(128), m.Cores())
+		if v.Family != sched.OverlappedTile {
+			t.Errorf("%s: best P<Box family = %s", m.Name, v.Family)
+		}
+		if v.TileSize != 8 && v.TileSize != 16 {
+			t.Errorf("%s: best tile size = %d, want 8 or 16", m.Name, v.TileSize)
+		}
+	}
+}
+
+func TestIntermediateBoxSizesFallBetween(t *testing.T) {
+	// "performance results for box sizes of N = 32 and 64 fall smoothly in
+	// between those of N = 16 and 128" for the baseline at max threads.
+	amd := machine.MagnyCours()
+	baseline := mustVariant(t, "Baseline: P>=Box")
+	t16 := modelTime(amd, baseline, 16, 24)
+	t32 := modelTime(amd, baseline, 32, 24)
+	t64 := modelTime(amd, baseline, 64, 24)
+	t128 := modelTime(amd, baseline, 128, 24)
+	if !(t16 <= t32 && t32 <= t64 && t64 <= t128) {
+		t.Errorf("not monotone: %.2f %.2f %.2f %.2f", t16, t32, t64, t128)
+	}
+}
+
+func TestRegionOverheadPenalizesFineGrainSmallBoxes(t *testing.T) {
+	// The Fig. 9 explanation: P<Box on N=16 boxes pays hundreds of
+	// thousands of parallel-region costs.
+	amd := machine.MagnyCours()
+	cfg := Config{
+		Machine: amd,
+		Variant: sched.Variant{Family: sched.Series, Par: sched.WithinBox},
+		BoxN:    16, NumBoxes: PaperNumBoxes(16), Threads: 24,
+	}
+	b := Time(cfg)
+	if b.RegionSec < 0.5 {
+		t.Errorf("region overhead = %.3fs, expected substantial (>0.5s)", b.RegionSec)
+	}
+	// The same schedule on 24 big boxes pays almost nothing.
+	cfg.BoxN, cfg.NumBoxes = 128, PaperNumBoxes(128)
+	if b := Time(cfg); b.RegionSec > 0.2 {
+		t.Errorf("region overhead at N=128 = %.3fs, expected negligible", b.RegionSec)
+	}
+}
+
+func TestNUMAAwareAblationRaisesPlateau(t *testing.T) {
+	// With NUMA-correct placement both sockets' bandwidth is available, so
+	// the bandwidth-bound baseline plateau drops.
+	amd := machine.MagnyCours()
+	v := sched.Variant{Family: sched.Series}
+	naive := Time(Config{Machine: amd, Variant: v, BoxN: 128, NumBoxes: 24, Threads: 24})
+	aware := Time(Config{Machine: amd, Variant: v, BoxN: 128, NumBoxes: 24, Threads: 24, NUMAAware: true})
+	if !(aware.TotalSec < naive.TotalSec) {
+		t.Errorf("NUMA-aware (%.2fs) not faster than naive (%.2fs)", aware.TotalSec, naive.TotalSec)
+	}
+	if aware.BWGBs <= naive.BWGBs {
+		t.Errorf("NUMA-aware BW %.1f <= naive %.1f", aware.BWGBs, naive.BWGBs)
+	}
+}
+
+func TestCurveLengthAndPositivity(t *testing.T) {
+	amd := machine.MagnyCours()
+	ts := amd.ThreadSweep()
+	c := Curve(amd, sched.Variant{Family: sched.Series}, 32, PaperNumBoxes(32), ts)
+	if len(c) != len(ts) {
+		t.Fatalf("curve length %d vs %d", len(c), len(ts))
+	}
+	for i, v := range c {
+		if v <= 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Fatalf("curve[%d] = %v", i, v)
+		}
+	}
+}
+
+func TestRooflinePlacement(t *testing.T) {
+	amd := machine.MagnyCours()
+	base := RooflineFor(sched.Variant{Family: sched.Series}, 128, amd, 24)
+	ot := RooflineFor(sched.Variant{Family: sched.OverlappedTile, TileSize: 16, Intra: sched.FusedSched}, 128, amd, 24)
+	// The whole study in one contrast: at full thread count the spilled
+	// baseline sits below the balance point (memory-bound), the overlapped
+	// tiles above it (compute-bound).
+	if !base.MemoryBound {
+		t.Errorf("baseline not memory-bound: %+v", base)
+	}
+	if ot.MemoryBound {
+		t.Errorf("OT memory-bound: %+v", ot)
+	}
+	if !(ot.IntensityFlopPerByte > 2*base.IntensityFlopPerByte) {
+		t.Errorf("OT intensity %v not well above baseline %v",
+			ot.IntensityFlopPerByte, base.IntensityFlopPerByte)
+	}
+	// At one thread even the baseline is compute-bound (the figures' clean
+	// start of every curve).
+	if b1 := RooflineFor(sched.Variant{Family: sched.Series}, 128, amd, 1); b1.MemoryBound {
+		t.Errorf("baseline memory-bound at 1 thread: %+v", b1)
+	}
+}
+
+func TestTimePanicsOnBadConfig(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("bad config did not panic")
+		}
+	}()
+	Time(Config{Machine: machine.MagnyCours(), Variant: sched.Variant{Family: sched.Series}, BoxN: 0, NumBoxes: 1, Threads: 1})
+}

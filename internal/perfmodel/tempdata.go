@@ -1,0 +1,114 @@
+// Package perfmodel is the analytic performance substrate that stands in
+// for the paper's testbeds: Table I temporary-storage formulas, a
+// per-schedule DRAM-traffic model, and a roofline-style execution-time
+// model with bandwidth contention, socket filling, wavefront pipeline
+// efficiency and parallelization-granularity limits. It regenerates the
+// scaling curves of Figures 2-4 and 9-12 in shape (this reproduction runs
+// on commodity hardware; see DESIGN.md for the substitution argument).
+package perfmodel
+
+import (
+	"fmt"
+
+	"stencilsched/internal/kernel"
+	"stencilsched/internal/sched"
+)
+
+// TempData is Table I: the temporary flux and velocity storage of each
+// schedule category, in float64 elements.
+type TempData struct {
+	FluxElems int64
+	VelElems  int64
+}
+
+// Bytes returns the total temporary bytes.
+func (t TempData) Bytes() int64 { return (t.FluxElems + t.VelElems) * 8 }
+
+// TableI returns the paper's Table I formulas for a variant on an N^3 box
+// with P threads (P enters only for the per-thread tiles of the overlapped
+// schedules). C is the component count (5).
+//
+// Formulas, verbatim from Table I with C = kernel.NComp, T = v.TileSize:
+//
+//	Series of loops:            flux C(N+1)^3,        velocity (N+1)^3
+//	Loops shifted and fused:    flux 2 + 2N + 2N^2,   velocity 3(N+1)^3
+//	Shifted, fused, tiled (WF): flux 2(3CN^2),        velocity 3(N+1)^3
+//	Shifted, fused, overlapped: flux PC(2 + 2T + 2T^2), velocity PC(3(T+1)^3)
+//
+// The overlapped-tile row with a Basic-Sched intra-tile schedule is not in
+// Table I (the paper lists the fused form); it needs per-thread tile-sized
+// flux and velocity arrays: flux PC(T+1)^3, velocity P(T+1)^3.
+func TableI(v sched.Variant, n, p int) (TempData, error) {
+	if err := v.Validate(); err != nil {
+		return TempData{}, err
+	}
+	if n <= 0 || p <= 0 {
+		return TempData{}, fmt.Errorf("perfmodel: need positive N and P (got %d, %d)", n, p)
+	}
+	c := int64(kernel.NComp)
+	n64 := int64(n)
+	np1 := n64 + 1
+	switch v.Family {
+	case sched.Series:
+		return TempData{FluxElems: c * np1 * np1 * np1, VelElems: np1 * np1 * np1}, nil
+	case sched.ShiftFuse:
+		return TempData{
+			FluxElems: 2 + 2*n64 + 2*n64*n64,
+			VelElems:  3 * np1 * np1 * np1,
+		}, nil
+	case sched.BlockedWavefront:
+		return TempData{
+			FluxElems: 2 * (3 * c * n64 * n64),
+			VelElems:  3 * np1 * np1 * np1,
+		}, nil
+	case sched.OverlappedTile:
+		sh := v.TileShape()
+		tx, ty := int64(sh[0]), int64(sh[1])
+		var tp1 int64 = 1
+		for _, t := range sh {
+			tp1 *= int64(t) + 1
+		}
+		p64 := int64(p)
+		if v.Intra == sched.FusedSched {
+			return TempData{
+				FluxElems: p64 * c * (2 + 2*tx + 2*tx*ty),
+				VelElems:  p64 * c * (3 * tp1),
+			}, nil
+		}
+		return TempData{
+			FluxElems: p64 * c * tp1,
+			VelElems:  p64 * tp1,
+		}, nil
+	default:
+		return TempData{}, fmt.Errorf("perfmodel: unknown family %v", v.Family)
+	}
+}
+
+// TableIRows renders Table I for the given N and P as (schedule, flux
+// formula value, velocity formula value) rows in the paper's order.
+type TableIRow struct {
+	Schedule  string
+	Flux, Vel int64
+}
+
+// TableIFor returns the four rows of Table I evaluated at N, T, P.
+func TableIFor(n, tileSize, p int) []TableIRow {
+	rows := []struct {
+		name string
+		v    sched.Variant
+	}{
+		{"Series of Loops", sched.Variant{Family: sched.Series}},
+		{"Loops shifted and fused", sched.Variant{Family: sched.ShiftFuse}},
+		{"Loops shifted, fused, tiled", sched.Variant{Family: sched.BlockedWavefront, Par: sched.WithinBox, TileSize: tileSize}},
+		{"Shifted, fused, overlapping tiles", sched.Variant{Family: sched.OverlappedTile, TileSize: tileSize, Intra: sched.FusedSched}},
+	}
+	out := make([]TableIRow, 0, len(rows))
+	for _, r := range rows {
+		td, err := TableI(r.v, n, p)
+		if err != nil {
+			panic(err) // static rows are always valid
+		}
+		out = append(out, TableIRow{Schedule: r.name, Flux: td.FluxElems, Vel: td.VelElems})
+	}
+	return out
+}

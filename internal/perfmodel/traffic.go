@@ -1,0 +1,265 @@
+package perfmodel
+
+import (
+	"math"
+
+	"stencilsched/internal/box"
+	"stencilsched/internal/ivect"
+	"stencilsched/internal/kernel"
+	"stencilsched/internal/machine"
+	"stencilsched/internal/sched"
+	"stencilsched/internal/tiling"
+)
+
+// Model constants. Each is a documented engineering approximation; the
+// cache-simulator experiments (cmd/cachebw) validate the resulting traffic
+// ratios between schedules against the paper's Section VI-B bandwidth
+// measurements.
+const (
+	// StencilReReadFactor inflates main-array reads of the spilled
+	// (out-of-cache) schedules: the y/z stencil neighbors and the
+	// re-traversal of just-written temporaries are not perfectly absorbed
+	// once the working set exceeds the cache share.
+	StencilReReadFactor = 1.4
+	// HaloL3SharingFactor is the fraction of an overlapped tile's halo
+	// re-reads served by the socket-shared L3 (a neighbor tile recently
+	// streamed the same cells) rather than DRAM.
+	HaloL3SharingFactor = 0.5
+	// CLITrafficPenalty and CLIComputePenalty charge the component-
+	// loop-inside variants for striding across the component dimension
+	// (the components of one cell are sc = N_g^3 elements apart, wasting
+	// cache-line locality), per the paper's observation that untiled CLI
+	// was uniformly slower.
+	CLITrafficPenalty = 1.2
+	CLIComputePenalty = 1.1
+	// HTMemPenalty is the extra memory-system pressure of running two
+	// hyper-threads per core for bandwidth-bound schedules (the paper's
+	// Fig. 11 baseline degrades beyond 20 threads while OT does not).
+	HTMemPenalty = 1.15
+	// SpillBlendDecades controls how gradually traffic moves from the
+	// compulsory regime to the full-spill regime as the working set grows
+	// past the cache share: the blend completes when the working set is
+	// 2^SpillBlendDecades times the share. This is what makes N = 32 and
+	// 64 "fall smoothly in between" N = 16 and 128 (Section VI).
+	SpillBlendDecades = 2.0
+	// TLBPressurePerDecade adds a small traffic penalty per doubling of
+	// working-set-to-cache ratio, modeling TLB and page-locality decay for
+	// very large footprints.
+	TLBPressurePerDecade = 0.02
+	// StagingComputePenalty charges the series-of-loops schedule (and the
+	// series intra-tile schedule of Basic-Sched overlapped tiles) for
+	// staging every value through memory temporaries: even when the
+	// temporaries stay cached, the extra loads, stores and loop passes cost
+	// cycles that the fused schedules avoid. Calibrated to the paper's
+	// observation that shifting and fusing alone buys ~16% at N = 16 on 24
+	// threads (Fig. 2 discussion).
+	StagingComputePenalty = 1.25
+)
+
+// WorkingSetBytes returns the bytes one execution context (thread for
+// P<Box tiles, box for P>=Box) repeatedly touches while running variant v
+// on an N^3 box — the quantity compared against the cache share to decide
+// whether temporaries stream from DRAM.
+func WorkingSetBytes(v sched.Variant, n int) int64 {
+	c := int64(kernel.NComp)
+	n64 := int64(n)
+	cell := n64 * n64 * n64 * 8
+	gcell := (n64 + 2*kernel.NGhost) * (n64 + 2*kernel.NGhost) * (n64 + 2*kernel.NGhost) * 8
+	face := (n64 + 1) * (n64 + 1) * (n64 + 1) * 8
+	switch v.Family {
+	case sched.Series:
+		// phi0 (ghosted) + flux + velocity + phi1.
+		return c*gcell + c*face + face + c*cell
+	case sched.ShiftFuse, sched.BlockedWavefront:
+		// phi0 + 3 velocity face fields + phi1; carried flux caches are
+		// negligible.
+		return c*gcell + 3*face + c*cell
+	case sched.OverlappedTile:
+		// Per-tile working set: the ghosted tile region of phi0, the tile's
+		// velocity fields, the tile flux temporaries and the tile's phi1.
+		sh := v.TileShape()
+		var gt, tface, tcell int64 = 1, 1, 1
+		for _, t := range sh {
+			gt *= int64(t) + 2*kernel.NGhost
+			tface *= int64(t) + 1
+			tcell *= int64(t)
+		}
+		ws := c*gt*8 + 3*tface*8 + c*tcell*8
+		if v.Intra == sched.BasicSched {
+			ws += c * tface * 8
+		}
+		return ws
+	default:
+		panic("perfmodel: unknown family")
+	}
+}
+
+// Traffic describes modeled DRAM movement for one application of the
+// exemplar to one box.
+type Traffic struct {
+	Bytes int64
+	// Fits reports whether the schedule's working set fit in its cache
+	// share (the compulsory-traffic regime).
+	Fits bool
+}
+
+// cacheShareBytes returns the last-level cache available to one execution
+// context when p threads run compactly on machine m, plus its private L2.
+func cacheShareBytes(m machine.Machine, p int) int64 {
+	if p < 1 {
+		p = 1
+	}
+	perSocket := p
+	if s := m.SocketsUsed(p); s > 1 {
+		perSocket = (p + s - 1) / s
+	}
+	if perSocket > m.CoresPerSocket {
+		perSocket = m.CoresPerSocket
+	}
+	return m.L3.SizeBytes/int64(perSocket) + m.L2.SizeBytes
+}
+
+// compulsoryBytes is the unavoidable traffic of one box application: read
+// the ghosted input once, write-allocate the output.
+func compulsoryBytes(n int) int64 {
+	c := int64(kernel.NComp)
+	n64 := int64(n)
+	g := n64 + 2*kernel.NGhost
+	return c*g*g*g*8 + 2*c*n64*n64*n64*8
+}
+
+// TrafficBytes models the DRAM traffic of one application of variant v to
+// an N^3 box on machine m with p threads active. The coefficients follow
+// the pass structure of each schedule (see the per-family comments); the
+// cache simulator in internal/cachesim validates the resulting ratios.
+func TrafficBytes(v sched.Variant, n int, m machine.Machine, p int) Traffic {
+	c := int64(kernel.NComp)
+	n64 := int64(n)
+	cell := n64 * n64 * n64 * 8
+	share := cacheShareBytes(m, p)
+	ws := WorkingSetBytes(v, n)
+	fits := ws <= share
+
+	var faces int64 // total faces over the three directions, in bytes/comp
+	for d := 0; d < 3; d++ {
+		sz := [3]int64{n64, n64, n64}
+		sz[d]++
+		faces += sz[0] * sz[1] * sz[2] * 8
+	}
+
+	var b float64
+	switch v.Family {
+	case sched.Series:
+		// Per direction (summed via `faces`):
+		//   pass 1: read phi0 (C comps, with spill re-reads), write-allocate
+		//           flux (C comps);
+		//   velocity copy: read flux comp, write-allocate velocity;
+		//   pass 2a: read flux + velocity, write back flux;
+		//   pass 2b: re-read flux, read-modify-write phi1.
+		b = 3*float64(c*cell)*StencilReReadFactor + // pass-1 phi0 reads, per dir
+			2*float64(c)*float64(faces) + // pass-1 flux write-allocate
+			3*float64(faces) + // velocity copy (read + write-alloc)
+			float64(c+1)*float64(faces) + // pass-2a reads
+			float64(c)*float64(faces) + // pass-2a write-back
+			float64(c)*float64(faces) + // pass-2b flux re-read
+			3*2*float64(c*cell) // pass-2b phi1 RMW, per dir
+	case sched.ShiftFuse:
+		// Velocity pass: read 3 phi0 components, write-allocate 3 face
+		// fields. Fused sweep (per component for CLO): read phi0 comp once
+		// (the fusion's point), re-read the 3 velocity fields, RMW phi1.
+		b = 3*float64(cell) + 2*float64(faces) + // velocity pass
+			float64(c*cell)*StencilReReadFactor + // fused phi0 reads
+			float64(c)*float64(faces) + // velocity re-reads per comp sweep
+			2*float64(c*cell) // phi1 write-allocate
+	case sched.BlockedWavefront:
+		// Like the fused schedule, but the per-tile traversal re-reads the
+		// halo planes of phi0 at tile boundaries in y and z (dimensions the
+		// tiling actually cuts).
+		sh := v.TileShape()
+		halo := 1.0
+		for _, d := range []int{1, 2} {
+			if sh[d] < n {
+				t := float64(sh[d])
+				halo *= (t + 2*kernel.NGhost) / t
+			}
+		}
+		b = 3*float64(cell) + 2*float64(faces) +
+			float64(c*cell)*halo +
+			float64(c)*float64(faces) +
+			2*float64(c*cell)
+	case sched.OverlappedTile:
+		// Each tile reads its ghosted phi0 region; shared halos are partly
+		// served by the socket L3. Velocity and flux temporaries are
+		// tile-local and stay in cache; phi1 is write-allocated once. Only
+		// dimensions the tiling cuts contribute halo re-reads (pencil and
+		// slab tiles skip whole factors).
+		sh := v.TileShape()
+		halo := 1.0
+		for _, td := range sh {
+			if td < n {
+				t := float64(td)
+				halo *= (t + 2*kernel.NGhost) / t
+			}
+		}
+		haloEff := 1 + (halo-1)*(1-HaloL3SharingFactor)
+		b = float64(c*cell)*haloEff + 2*float64(c*cell)
+		if !fits {
+			// Tiles too large for the cache share spill their temporaries,
+			// degrading toward the series schedule.
+			b += 2 * float64(c) * float64(faces)
+		}
+	}
+	// Blend between the compulsory regime and the full-spill regime as the
+	// working set grows past the cache share, with a gentle TLB/page
+	// pressure term for very large footprints.
+	comp := float64(compulsoryBytes(n))
+	if v.Family == sched.OverlappedTile {
+		// For overlapped tiles the "fit" form already includes the halo
+		// re-read traffic; b computed above is that form unless spilled.
+		comp = b
+	}
+	ratio := float64(ws) / float64(share)
+	if ratio > 1 {
+		decades := math.Log2(ratio)
+		frac := decades / SpillBlendDecades
+		if frac > 1 {
+			frac = 1
+		}
+		b = comp + (b-comp)*frac
+		b *= 1 + TLBPressurePerDecade*decades
+	} else {
+		b = comp
+	}
+	if v.Comp == sched.CLI {
+		b *= CLITrafficPenalty
+	}
+	return Traffic{Bytes: int64(b), Fits: fits}
+}
+
+// FlopsPerBox returns the floating-point work of one application of
+// variant v to an N^3 box, including the extra work of the fused schedules'
+// velocity precomputation and the overlapped tiles' recomputation.
+func FlopsPerBox(v sched.Variant, n int) float64 {
+	b := box.Cube(n)
+	w := kernel.WorkFor(b)
+	flops := float64(w.Flops)
+	fusedFamily := v.Family != sched.Series &&
+		!(v.Family == sched.OverlappedTile && v.Intra == sched.BasicSched)
+	if fusedFamily {
+		// Velocity pass: one face average per face (single component).
+		flops += float64(w.Faces) * kernel.FlopsPerFaceAvg
+	}
+	if v.Family == sched.OverlappedTile {
+		rf := tiling.DecomposeVect(b, ivect.IntVect(v.TileShape())).OverlapStats().RecomputeFactor()
+		// Face evaluations (eval1, eval2 and the velocity pass) are
+		// recomputed on tile surfaces; the accumulation is not.
+		flops = float64(w.FlopsAccum) + (flops-float64(w.FlopsAccum))*rf
+	}
+	if !fusedFamily {
+		flops *= StagingComputePenalty
+	}
+	if v.Comp == sched.CLI {
+		flops *= CLIComputePenalty
+	}
+	return flops
+}

@@ -1,0 +1,98 @@
+// Package plotfile writes level data as legacy-VTK structured-points
+// files, one file per box — the visualization-output facility of a PDE
+// framework (Chombo writes HDF5 plotfiles; VTK legacy ASCII is the
+// stdlib-only equivalent every common visualizer opens). Component names
+// follow the exemplar state [rho, u, v, w, e] by default.
+package plotfile
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"stencilsched/internal/box"
+	"stencilsched/internal/ivect"
+	"stencilsched/internal/layout"
+)
+
+// DefaultNames are the exemplar's component names.
+var DefaultNames = []string{"rho", "u", "v", "w", "e"}
+
+// WriteBox writes one box's valid region (no ghosts) as a VTK
+// structured-points dataset with one scalar field per component.
+func WriteBox(w io.Writer, b box.Box, get func(p ivect.IntVect, c int) float64, ncomp int, names []string, dx float64, title string) error {
+	if b.IsEmpty() {
+		return fmt.Errorf("plotfile: empty box")
+	}
+	if dx <= 0 {
+		dx = 1
+	}
+	bw := bufio.NewWriter(w)
+	sz := b.Size()
+	fmt.Fprintln(bw, "# vtk DataFile Version 3.0")
+	fmt.Fprintln(bw, title)
+	fmt.Fprintln(bw, "ASCII")
+	fmt.Fprintln(bw, "DATASET STRUCTURED_POINTS")
+	fmt.Fprintf(bw, "DIMENSIONS %d %d %d\n", sz[0], sz[1], sz[2])
+	fmt.Fprintf(bw, "ORIGIN %g %g %g\n",
+		(float64(b.Lo[0])+0.5)*dx, (float64(b.Lo[1])+0.5)*dx, (float64(b.Lo[2])+0.5)*dx)
+	fmt.Fprintf(bw, "SPACING %g %g %g\n", dx, dx, dx)
+	fmt.Fprintf(bw, "POINT_DATA %d\n", b.NumPts())
+	for c := 0; c < ncomp; c++ {
+		name := fmt.Sprintf("comp%d", c)
+		if c < len(names) && names[c] != "" {
+			name = names[c]
+		}
+		fmt.Fprintf(bw, "SCALARS %s double 1\n", name)
+		fmt.Fprintln(bw, "LOOKUP_TABLE default")
+		// VTK structured points expect x fastest — the box traversal
+		// order.
+		count := 0
+		var err error
+		b.ForEach(func(p ivect.IntVect) {
+			if err != nil {
+				return
+			}
+			if _, werr := fmt.Fprintf(bw, "%.17g\n", get(p, c)); werr != nil {
+				err = werr
+			}
+			count++
+		})
+		if err != nil {
+			return err
+		}
+		if count != b.NumPts() {
+			return fmt.Errorf("plotfile: wrote %d of %d points", count, b.NumPts())
+		}
+	}
+	return bw.Flush()
+}
+
+// SaveLevel writes one VTK file per box of the level into dir, named
+// prefix_NNNN.vtk, and returns the file paths.
+func SaveLevel(dir, prefix string, ld *layout.LevelData, names []string, dx float64) ([]string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	var paths []string
+	for i, b := range ld.Layout.Boxes {
+		path := filepath.Join(dir, fmt.Sprintf("%s_%04d.vtk", prefix, i))
+		f, err := os.Create(path)
+		if err != nil {
+			return nil, err
+		}
+		fb := ld.Fabs[i]
+		err = WriteBox(f, b, fb.Get, ld.NComp, names,
+			dx, fmt.Sprintf("%s box %d of %d", prefix, i, ld.Layout.NumBoxes()))
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return nil, err
+		}
+		paths = append(paths, path)
+	}
+	return paths, nil
+}

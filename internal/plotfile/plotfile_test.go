@@ -1,0 +1,91 @@
+package plotfile
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"testing"
+
+	"stencilsched/internal/box"
+	"stencilsched/internal/ivect"
+	"stencilsched/internal/layout"
+)
+
+func TestWriteBoxStructure(t *testing.T) {
+	b := box.NewSized(ivect.New(2, 0, -1), ivect.New(3, 2, 2))
+	var sb strings.Builder
+	get := func(p ivect.IntVect, c int) float64 {
+		return float64(p[0]) + 10*float64(p[1]) + 100*float64(p[2]) + 1000*float64(c)
+	}
+	if err := WriteBox(&sb, b, get, 2, []string{"a", "b"}, 0.5, "test"); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	lines := strings.Split(out, "\n")
+	if lines[0] != "# vtk DataFile Version 3.0" {
+		t.Fatalf("bad header: %q", lines[0])
+	}
+	if !strings.Contains(out, "DIMENSIONS 3 2 2") {
+		t.Fatalf("missing dimensions:\n%s", out[:200])
+	}
+	// Origin is the low cell center scaled by dx.
+	if !strings.Contains(out, "ORIGIN 1.25 0.25 -0.25") {
+		t.Fatalf("bad origin:\n%s", out[:300])
+	}
+	if !strings.Contains(out, "SCALARS a double 1") || !strings.Contains(out, "SCALARS b double 1") {
+		t.Fatal("missing scalar fields")
+	}
+	// Value count: 2 comps x 12 points.
+	count := 0
+	for _, l := range lines {
+		if _, err := strconv.ParseFloat(strings.TrimSpace(l), 64); err == nil && !strings.Contains(l, " ") {
+			count++
+		}
+	}
+	if count != 24 {
+		t.Fatalf("%d data values, want 24", count)
+	}
+	// First value of comp 0 is at the box's low corner (x fastest).
+	idx := strings.Index(out, "LOOKUP_TABLE default\n")
+	first := strings.SplitN(out[idx+len("LOOKUP_TABLE default\n"):], "\n", 2)[0]
+	if want := fmt.Sprintf("%.17g", get(b.Lo, 0)); first != want {
+		t.Fatalf("first value %q, want %q", first, want)
+	}
+}
+
+func TestWriteBoxErrors(t *testing.T) {
+	var sb strings.Builder
+	if err := WriteBox(&sb, box.Empty(), nil, 1, nil, 1, "t"); err == nil {
+		t.Error("empty box accepted")
+	}
+}
+
+func TestSaveLevel(t *testing.T) {
+	l, err := layout.Decompose(box.Cube(8), 4, [3]bool{true, true, true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ld := layout.NewLevelData(l, 5, 2)
+	for _, f := range ld.Fabs {
+		f.Fill(1.5)
+	}
+	dir := t.TempDir()
+	paths, err := SaveLevel(dir, "plt", ld, DefaultNames, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) != 8 {
+		t.Fatalf("%d files", len(paths))
+	}
+	b, err := os.ReadFile(paths[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(b), "SCALARS rho double 1") {
+		t.Fatal("default component names missing")
+	}
+	if !strings.Contains(string(b), "POINT_DATA 64") {
+		t.Fatal("wrong point count")
+	}
+}

@@ -1,0 +1,191 @@
+package poly
+
+import (
+	"fmt"
+	"strings"
+)
+
+// GenGo emits a Go loop nest that scans the set in lexicographic order —
+// the literal code-generation step of CodeGen+ (the paper's Section IV-E
+// tool emits C; this emits Go). vars names the loop variables, outermost
+// first, and body is the statement placed in the innermost loop (use the
+// variable names). The emitted code depends on two integer-division
+// helpers with floor/ceil semantics:
+//
+//	func cdiv(a, b int) int // ceil(a/b), b > 0
+//	func fdiv(a, b int) int // floor(a/b), b > 0
+//
+// which Helpers returns. Bounds come from the same Fourier–Motzkin
+// projections Scan uses, so for unit-coefficient sets (boxes, shifted
+// unions, tiles, wavefront slices) the generated nest visits exactly the
+// set's points; for general coefficients the projection is an
+// over-approximation and a guard `if` is emitted around the body.
+func (s *Set) GenGo(vars []string, body string) (string, error) {
+	if len(vars) != s.Dim {
+		return "", fmt.Errorf("poly: %d variable names for %d dims", len(vars), s.Dim)
+	}
+	// Build projections, innermost last (as in Scan).
+	projs := make([]*Set, s.Dim)
+	cur := s.clone()
+	for k := s.Dim - 1; k >= 0; k-- {
+		projs[k] = cur
+		if k > 0 {
+			cur = cur.EliminateLast()
+		}
+	}
+	var b strings.Builder
+	indent := ""
+	needGuard := false
+	for k := 0; k < s.Dim; k++ {
+		lbs, ubs, guard, err := boundExprs(projs[k], k, vars)
+		if err != nil {
+			return "", err
+		}
+		needGuard = needGuard || guard
+		lb := foldBounds(lbs, "max")
+		ub := foldBounds(ubs, "min")
+		fmt.Fprintf(&b, "%sfor %s := %s; %s <= %s; %s++ {\n",
+			indent, vars[k], lb, vars[k], ub, vars[k])
+		indent += "\t"
+	}
+	if needGuard {
+		fmt.Fprintf(&b, "%sif %s {\n%s\t%s\n%s}\n", indent, guardExpr(s, vars), indent, body, indent)
+	} else {
+		fmt.Fprintf(&b, "%s%s\n", indent, body)
+	}
+	for k := s.Dim - 1; k >= 0; k-- {
+		indent = indent[:len(indent)-1]
+		fmt.Fprintf(&b, "%s}\n", indent)
+	}
+	return b.String(), nil
+}
+
+// Helpers returns the integer-division helper functions the generated
+// code calls.
+func Helpers() string {
+	return `func cdiv(a, b int) int {
+	q := a / b
+	if a%b != 0 && (a > 0) == (b > 0) {
+		q++
+	}
+	return q
+}
+
+func fdiv(a, b int) int {
+	q := a / b
+	if a%b != 0 && (a < 0) != (b < 0) {
+		q--
+	}
+	return q
+}
+`
+}
+
+// boundExprs renders the lower and upper bound expressions of variable k
+// given the projection's constraints. guard reports whether any constraint
+// had |coef| > 1 (integer-gap risk needing a membership guard).
+func boundExprs(proj *Set, k int, vars []string) (lbs, ubs []string, guard bool, err error) {
+	for _, a := range proj.Cons {
+		c := a.coef(k)
+		if c == 0 {
+			continue
+		}
+		rest := renderRest(a, k, vars)
+		switch {
+		case c == 1:
+			lbs = append(lbs, negate(rest))
+		case c == -1:
+			ubs = append(ubs, rest)
+		case c > 1:
+			lbs = append(lbs, fmt.Sprintf("cdiv(%s, %d)", negate(rest), c))
+			guard = true
+		default:
+			ubs = append(ubs, fmt.Sprintf("fdiv(%s, %d)", rest, -c))
+			guard = true
+		}
+	}
+	if len(lbs) == 0 || len(ubs) == 0 {
+		return nil, nil, false, fmt.Errorf("poly: variable %s unbounded", vars[k])
+	}
+	return lbs, ubs, guard, nil
+}
+
+// renderRest renders the constraint's terms excluding variable k as a Go
+// expression (the "rest" in c*x_k + rest >= 0).
+func renderRest(a Affine, k int, vars []string) string {
+	var terms []string
+	for i, c := range a.Coef {
+		if i == k || c == 0 {
+			continue
+		}
+		switch c {
+		case 1:
+			terms = append(terms, vars[i])
+		case -1:
+			terms = append(terms, "-"+vars[i])
+		default:
+			terms = append(terms, fmt.Sprintf("%d*%s", c, vars[i]))
+		}
+	}
+	if a.Const != 0 || len(terms) == 0 {
+		terms = append(terms, fmt.Sprintf("%d", a.Const))
+	}
+	expr := terms[0]
+	for _, t := range terms[1:] {
+		if strings.HasPrefix(t, "-") {
+			expr += " - " + t[1:]
+		} else {
+			expr += " + " + t
+		}
+	}
+	return expr
+}
+
+// negate renders -(expr), simplifying single terms (including "-0" -> "0").
+func negate(expr string) string {
+	if strings.HasPrefix(expr, "-") && !strings.ContainsAny(expr[1:], "+- ") {
+		return expr[1:]
+	}
+	if !strings.ContainsAny(expr, "+- ") {
+		if expr == "0" {
+			return "0"
+		}
+		return "-" + expr
+	}
+	return fmt.Sprintf("-(%s)", expr)
+}
+
+// foldBounds folds multiple bound expressions with max/min.
+func foldBounds(exprs []string, fn string) string {
+	out := exprs[0]
+	for _, e := range exprs[1:] {
+		out = fmt.Sprintf("%s(%s, %s)", fn, out, e)
+	}
+	return out
+}
+
+// guardExpr renders the full membership test of the set.
+func guardExpr(s *Set, vars []string) string {
+	var parts []string
+	for _, a := range s.Cons {
+		var terms []string
+		for i, c := range a.Coef {
+			if c == 0 {
+				continue
+			}
+			switch c {
+			case 1:
+				terms = append(terms, vars[i])
+			case -1:
+				terms = append(terms, "-"+vars[i])
+			default:
+				terms = append(terms, fmt.Sprintf("%d*%s", c, vars[i]))
+			}
+		}
+		if a.Const != 0 || len(terms) == 0 {
+			terms = append(terms, fmt.Sprintf("%d", a.Const))
+		}
+		parts = append(parts, strings.Join(terms, "+")+" >= 0")
+	}
+	return strings.Join(parts, " && ")
+}

@@ -1,0 +1,347 @@
+// Package poly is a small polyhedral layer in the spirit of the CodeGen+ /
+// Omega+ tooling the paper uses to generate its variants' complex loop
+// bounds (Section IV-E). It provides integer sets defined by affine
+// inequalities, Fourier–Motzkin projection, and polyhedron scanning — the
+// generation of a loop nest that visits every integer point of a set in
+// lexicographic order.
+//
+// The implementation targets the shapes that arise in inter-loop stencil
+// scheduling: boxes, shifted/fused unions, tiles and wavefronts, whose
+// constraints have small coefficients. Fourier–Motzkin elimination over
+// integers is exact for unit-coefficient constraints (the common case
+// here); for general coefficients the projection is a sound over-
+// approximation and Scan re-checks membership before visiting a point.
+package poly
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Affine is an affine expression Coef · x + Const over Dim variables.
+// Missing trailing coefficients are zero.
+type Affine struct {
+	Coef  []int
+	Const int
+}
+
+// Eval evaluates the expression at x.
+func (a Affine) Eval(x []int) int {
+	v := a.Const
+	for i, c := range a.Coef {
+		if c != 0 {
+			v += c * x[i]
+		}
+	}
+	return v
+}
+
+// coef returns the coefficient of variable i.
+func (a Affine) coef(i int) int {
+	if i < len(a.Coef) {
+		return a.Coef[i]
+	}
+	return 0
+}
+
+// String renders the expression for diagnostics.
+func (a Affine) String() string {
+	var b strings.Builder
+	first := true
+	for i, c := range a.Coef {
+		if c == 0 {
+			continue
+		}
+		if !first && c > 0 {
+			b.WriteByte('+')
+		}
+		if c == 1 {
+			fmt.Fprintf(&b, "x%d", i)
+		} else if c == -1 {
+			fmt.Fprintf(&b, "-x%d", i)
+		} else {
+			fmt.Fprintf(&b, "%dx%d", c, i)
+		}
+		first = false
+	}
+	if a.Const != 0 || first {
+		if !first && a.Const > 0 {
+			b.WriteByte('+')
+		}
+		fmt.Fprintf(&b, "%d", a.Const)
+	}
+	return b.String()
+}
+
+// Set is the set of integer points x in Z^Dim satisfying every constraint
+// A_i(x) >= 0.
+type Set struct {
+	Dim  int
+	Cons []Affine
+}
+
+// NewSet returns the universe set of the given dimension.
+func NewSet(dim int) *Set {
+	if dim < 0 {
+		panic(fmt.Sprintf("poly: negative dimension %d", dim))
+	}
+	return &Set{Dim: dim}
+}
+
+// clone returns a deep copy.
+func (s *Set) clone() *Set {
+	c := &Set{Dim: s.Dim, Cons: make([]Affine, len(s.Cons))}
+	for i, a := range s.Cons {
+		c.Cons[i] = Affine{Coef: append([]int(nil), a.Coef...), Const: a.Const}
+	}
+	return c
+}
+
+// Add constrains the set with expr >= 0 and returns the set for chaining.
+func (s *Set) Add(expr Affine) *Set {
+	if len(expr.Coef) > s.Dim {
+		panic(fmt.Sprintf("poly: expression over %d vars in %d-d set", len(expr.Coef), s.Dim))
+	}
+	s.Cons = append(s.Cons, expr)
+	return s
+}
+
+// AddEq constrains the set with expr == 0.
+func (s *Set) AddEq(expr Affine) *Set {
+	neg := Affine{Coef: make([]int, len(expr.Coef)), Const: -expr.Const}
+	for i, c := range expr.Coef {
+		neg.Coef[i] = -c
+	}
+	return s.Add(expr).Add(neg)
+}
+
+// Lower constrains x_d >= v.
+func (s *Set) Lower(d, v int) *Set { return s.Add(unit(s.Dim, d, 1, -v)) }
+
+// Upper constrains x_d <= v.
+func (s *Set) Upper(d, v int) *Set { return s.Add(unit(s.Dim, d, -1, v)) }
+
+// Range constrains lo <= x_d <= hi.
+func (s *Set) Range(d, lo, hi int) *Set { return s.Lower(d, lo).Upper(d, hi) }
+
+func unit(dim, d, c, k int) Affine {
+	a := Affine{Coef: make([]int, dim), Const: k}
+	a.Coef[d] = c
+	return a
+}
+
+// Contains reports whether x satisfies all constraints.
+func (s *Set) Contains(x []int) bool {
+	if len(x) != s.Dim {
+		panic(fmt.Sprintf("poly: point of dim %d in %d-d set", len(x), s.Dim))
+	}
+	for _, a := range s.Cons {
+		if a.Eval(x) < 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Intersect returns the set of points in both s and o (equal dims).
+func (s *Set) Intersect(o *Set) *Set {
+	if s.Dim != o.Dim {
+		panic("poly: dimension mismatch")
+	}
+	r := s.clone()
+	r.Cons = append(r.Cons, o.clone().Cons...)
+	return r
+}
+
+// EliminateLast projects out the innermost (last) variable by
+// Fourier–Motzkin elimination, returning a set over Dim-1 variables.
+func (s *Set) EliminateLast() *Set {
+	d := s.Dim - 1
+	if d < 0 {
+		panic("poly: cannot eliminate from 0-d set")
+	}
+	out := NewSet(d)
+	var lowers, uppers []Affine // a.coef(d) > 0 and < 0 respectively
+	for _, a := range s.Cons {
+		switch c := a.coef(d); {
+		case c > 0:
+			lowers = append(lowers, a)
+		case c < 0:
+			uppers = append(uppers, a)
+		default:
+			out.Add(truncate(a, d))
+		}
+	}
+	for _, lo := range lowers {
+		for _, hi := range uppers {
+			// lo: a x_d + r_lo >= 0, a > 0; hi: -b x_d + r_hi >= 0, b > 0.
+			// Combine: b*r_lo + a*r_hi >= 0.
+			a, b := lo.coef(d), -hi.coef(d)
+			comb := Affine{Coef: make([]int, d), Const: b*lo.Const + a*hi.Const}
+			for i := 0; i < d; i++ {
+				comb.Coef[i] = b*lo.coef(i) + a*hi.coef(i)
+			}
+			out.Add(comb)
+		}
+	}
+	return out
+}
+
+func truncate(a Affine, dim int) Affine {
+	t := Affine{Coef: make([]int, dim), Const: a.Const}
+	copy(t.Coef, a.Coef)
+	return t
+}
+
+// IsEmpty reports whether the set has no integer points. For sets with
+// non-unit coefficients this may rarely report false for an empty set
+// (Fourier–Motzkin integer gaps); Scan remains correct regardless because
+// it re-checks membership.
+func (s *Set) IsEmpty() bool {
+	cur := s.clone()
+	for cur.Dim > 0 {
+		cur = cur.EliminateLast()
+	}
+	for _, a := range cur.Cons {
+		if a.Const < 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// bounds computes the integer bounds of variable d given fixed outer values
+// x[0..d-1], using the constraints of the projection s (which must only
+// involve variables 0..d). ok is false when the range is empty or
+// unbounded on either side.
+func bounds(proj *Set, d int, x []int) (lo, hi int, ok bool) {
+	const unset = int(^uint(0) >> 1)
+	lo, hi = -unset-1, unset // min/max int sentinels
+	haveLo, haveHi := false, false
+	for _, a := range proj.Cons {
+		c := a.coef(d)
+		if c == 0 {
+			continue
+		}
+		rest := a.Const
+		for i := 0; i < d; i++ {
+			rest += a.coef(i) * x[i]
+		}
+		if c > 0 {
+			// c*x_d + rest >= 0  =>  x_d >= ceil(-rest/c)
+			b := ceilDiv(-rest, c)
+			if !haveLo || b > lo {
+				lo, haveLo = b, true
+			}
+		} else {
+			// c*x_d + rest >= 0, c<0  =>  x_d <= floor(rest/(-c))
+			b := floorDiv(rest, -c)
+			if !haveHi || b < hi {
+				hi, haveHi = b, true
+			}
+		}
+	}
+	if !haveLo || !haveHi {
+		return 0, 0, false
+	}
+	return lo, hi, lo <= hi
+}
+
+func ceilDiv(a, b int) int {
+	q := a / b
+	if a%b != 0 && ((a > 0) == (b > 0)) {
+		q++
+	}
+	return q
+}
+
+func floorDiv(a, b int) int {
+	q := a / b
+	if a%b != 0 && ((a < 0) != (b < 0)) {
+		q--
+	}
+	return q
+}
+
+// Scan visits every integer point of the set in lexicographic order
+// (variable 0 outermost), the polyhedron-scanning operation a code
+// generator turns into a loop nest. Unbounded sets panic.
+func (s *Set) Scan(body func(x []int)) {
+	// Projections proj[k] constrain variables 0..k only.
+	projs := make([]*Set, s.Dim)
+	cur := s.clone()
+	for k := s.Dim - 1; k >= 0; k-- {
+		projs[k] = cur
+		if k > 0 {
+			cur = cur.EliminateLast()
+		}
+	}
+	x := make([]int, s.Dim)
+	var rec func(k int)
+	rec = func(k int) {
+		if k == s.Dim {
+			if s.Contains(x) { // guard against FM integer relaxation
+				body(x)
+			}
+			return
+		}
+		lo, hi, ok := bounds(projs[k], k, x)
+		if !ok {
+			if projs[k].hasBothBounds(k) {
+				return // genuinely empty at these outer values
+			}
+			panic(fmt.Sprintf("poly: variable x%d unbounded", k))
+		}
+		for v := lo; v <= hi; v++ {
+			x[k] = v
+			rec(k + 1)
+		}
+	}
+	if s.Dim == 0 {
+		return
+	}
+	rec(0)
+}
+
+// hasBothBounds reports whether variable d has at least one lower and one
+// upper constraint in the set.
+func (s *Set) hasBothBounds(d int) bool {
+	lo, hi := false, false
+	for _, a := range s.Cons {
+		if c := a.coef(d); c > 0 {
+			lo = true
+		} else if c < 0 {
+			hi = true
+		}
+	}
+	return lo && hi
+}
+
+// Enumerate returns all points in lexicographic order (for tests and small
+// sets).
+func (s *Set) Enumerate() [][]int {
+	var out [][]int
+	s.Scan(func(x []int) {
+		out = append(out, append([]int(nil), x...))
+	})
+	return out
+}
+
+// Count returns the number of integer points.
+func (s *Set) Count() int {
+	n := 0
+	s.Scan(func([]int) { n++ })
+	return n
+}
+
+// Box returns the dim-dimensional set lo <= x_d <= hi per dimension.
+func Box(lo, hi []int) *Set {
+	if len(lo) != len(hi) {
+		panic("poly: box corner length mismatch")
+	}
+	s := NewSet(len(lo))
+	for d := range lo {
+		s.Range(d, lo[d], hi[d])
+	}
+	return s
+}

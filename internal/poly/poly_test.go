@@ -1,0 +1,175 @@
+package poly
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+func TestAffineEvalAndString(t *testing.T) {
+	a := Affine{Coef: []int{2, -1, 0}, Const: 3}
+	if got := a.Eval([]int{1, 2, 9}); got != 3 {
+		t.Fatalf("Eval = %d", got)
+	}
+	if got := a.String(); got != "2x0-x1+3" {
+		t.Fatalf("String = %q", got)
+	}
+	if got := (Affine{}).String(); got != "0" {
+		t.Fatalf("zero String = %q", got)
+	}
+}
+
+func TestBoxScanVisitsAllLexicographically(t *testing.T) {
+	s := Box([]int{0, -1}, []int{2, 1})
+	got := s.Enumerate()
+	want := [][]int{
+		{0, -1}, {0, 0}, {0, 1},
+		{1, -1}, {1, 0}, {1, 1},
+		{2, -1}, {2, 0}, {2, 1},
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Enumerate = %v", got)
+	}
+	if s.Count() != 9 {
+		t.Fatalf("Count = %d", s.Count())
+	}
+}
+
+func TestTriangleScan(t *testing.T) {
+	// { (i,j) : 0 <= i <= 3, 0 <= j <= i } — the wavefront-style lower
+	// triangle.
+	s := NewSet(2).Range(0, 0, 3).Lower(1, 0)
+	s.Add(Affine{Coef: []int{1, -1}}) // i - j >= 0
+	if got := s.Count(); got != 4+3+2+1 {
+		t.Fatalf("triangle count = %d", got)
+	}
+	for _, p := range s.Enumerate() {
+		if p[1] > p[0] {
+			t.Fatalf("point %v outside triangle", p)
+		}
+	}
+}
+
+func TestDiagonalSliceViaEquality(t *testing.T) {
+	// Points of a 4x4 box on anti-diagonal i+j = 3.
+	s := Box([]int{0, 0}, []int{3, 3})
+	s.AddEq(Affine{Coef: []int{1, 1}, Const: -3})
+	if got := s.Count(); got != 4 {
+		t.Fatalf("diagonal count = %d", got)
+	}
+}
+
+func TestEliminationMatchesBruteForceProjection(t *testing.T) {
+	rnd := rand.New(rand.NewSource(31))
+	for iter := 0; iter < 50; iter++ {
+		// Random box with a couple of random unit-coefficient constraints:
+		// the shapes stencil scheduling produces.
+		lo := []int{rnd.Intn(5) - 2, rnd.Intn(5) - 2, rnd.Intn(5) - 2}
+		hi := []int{lo[0] + rnd.Intn(4), lo[1] + rnd.Intn(4), lo[2] + rnd.Intn(4)}
+		s := Box(lo, hi)
+		for k := 0; k < 2; k++ {
+			c := Affine{Coef: []int{rnd.Intn(3) - 1, rnd.Intn(3) - 1, rnd.Intn(3) - 1}, Const: rnd.Intn(5) - 2}
+			s.Add(c)
+		}
+		proj := s.EliminateLast()
+		// Brute force: (x0,x1) is in the projection iff some x2 completes it.
+		for x0 := lo[0] - 1; x0 <= hi[0]+1; x0++ {
+			for x1 := lo[1] - 1; x1 <= hi[1]+1; x1++ {
+				exists := false
+				for x2 := lo[2] - 1; x2 <= hi[2]+1; x2++ {
+					if s.Contains([]int{x0, x1, x2}) {
+						exists = true
+						break
+					}
+				}
+				if exists && !proj.Contains([]int{x0, x1}) {
+					t.Fatalf("projection lost point (%d,%d) of %v", x0, x1, s.Cons)
+				}
+				// FM over integers is an over-approximation in general, so
+				// the converse is only checked for unit coefficients, where
+				// it is exact — and all constraints here have |coef| <= 1.
+				if !exists && proj.Contains([]int{x0, x1}) {
+					t.Fatalf("projection gained point (%d,%d) of %v", x0, x1, s.Cons)
+				}
+			}
+		}
+	}
+}
+
+func TestScanEqualsMembershipFilter(t *testing.T) {
+	rnd := rand.New(rand.NewSource(37))
+	for iter := 0; iter < 50; iter++ {
+		s := Box([]int{0, 0, 0}, []int{rnd.Intn(5) + 1, rnd.Intn(5) + 1, rnd.Intn(5) + 1})
+		s.Add(Affine{Coef: []int{rnd.Intn(3) - 1, rnd.Intn(3) - 1, rnd.Intn(3) - 1}, Const: rnd.Intn(6) - 2})
+		var scanned [][]int
+		s.Scan(func(x []int) { scanned = append(scanned, append([]int(nil), x...)) })
+		var brute [][]int
+		for x0 := 0; x0 <= 6; x0++ {
+			for x1 := 0; x1 <= 6; x1++ {
+				for x2 := 0; x2 <= 6; x2++ {
+					if s.Contains([]int{x0, x1, x2}) {
+						brute = append(brute, []int{x0, x1, x2})
+					}
+				}
+			}
+		}
+		if !reflect.DeepEqual(scanned, brute) {
+			t.Fatalf("scan %v != brute %v for %v", scanned, brute, s.Cons)
+		}
+	}
+}
+
+func TestIsEmpty(t *testing.T) {
+	if Box([]int{0}, []int{3}).IsEmpty() {
+		t.Error("non-empty box reported empty")
+	}
+	s := NewSet(2).Range(0, 0, 3).Range(1, 5, 4) // 5 <= x1 <= 4
+	if !s.IsEmpty() {
+		t.Error("empty range not detected")
+	}
+	// Contradictory diagonal constraints.
+	s2 := NewSet(1)
+	s2.Add(Affine{Coef: []int{1}, Const: -10}) // x >= 10
+	s2.Add(Affine{Coef: []int{-1}, Const: 5})  // x <= 5
+	if !s2.IsEmpty() {
+		t.Error("contradiction not detected")
+	}
+}
+
+func TestIntersect(t *testing.T) {
+	a := Box([]int{0, 0}, []int{4, 4})
+	b := Box([]int{2, 3}, []int{9, 9})
+	got := a.Intersect(b).Count()
+	if got != 3*2 {
+		t.Fatalf("intersection count = %d", got)
+	}
+}
+
+func TestScanUnboundedPanics(t *testing.T) {
+	s := NewSet(1).Lower(0, 0) // no upper bound
+	defer func() {
+		if recover() == nil {
+			t.Error("unbounded scan did not panic")
+		}
+	}()
+	s.Scan(func([]int) {})
+}
+
+func TestScanEmptyInnerDimension(t *testing.T) {
+	// Outer values for which the inner range is empty must be skipped, not
+	// panicked on: { (i,j) : 0<=i<=3, i<=j<=2 } has no j at i=3.
+	s := NewSet(2).Range(0, 0, 3).Upper(1, 2)
+	s.Add(Affine{Coef: []int{-1, 1}}) // j >= i
+	if got := s.Count(); got != 3+2+1 {
+		t.Fatalf("count = %d", got)
+	}
+}
+
+func TestContainsDimMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("dim mismatch did not panic")
+		}
+	}()
+	Box([]int{0}, []int{1}).Contains([]int{0, 0})
+}

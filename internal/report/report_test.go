@@ -1,0 +1,89 @@
+package report
+
+import (
+	"encoding/csv"
+	"errors"
+	"strings"
+	"testing"
+)
+
+func sample() *Table {
+	t := &Table{
+		Title:  "Sample",
+		Note:   "a note",
+		Header: []string{"name", "value", "time (s)"},
+	}
+	t.Add("alpha", 42, 0.123456)
+	t.Add("beta-long-name", -1, 1234.5)
+	return t
+}
+
+func TestAddFormatsCells(t *testing.T) {
+	tab := sample()
+	if tab.Rows[0][0] != "alpha" || tab.Rows[0][1] != "42" {
+		t.Fatalf("row 0 = %v", tab.Rows[0])
+	}
+	if tab.Rows[0][2] != "0.1235" {
+		t.Fatalf("float formatting = %q", tab.Rows[0][2])
+	}
+}
+
+func TestRenderAligned(t *testing.T) {
+	out := sample().String()
+	if !strings.Contains(out, "== Sample ==") || !strings.Contains(out, "(a note)") {
+		t.Fatalf("missing title/note:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// title, note, header, separator, 2 rows
+	if len(lines) != 6 {
+		t.Fatalf("%d lines:\n%s", len(lines), out)
+	}
+	// Columns align: "value" column starts at the same offset in header and
+	// rows.
+	hdr := lines[2]
+	row := lines[4]
+	if strings.Index(hdr, "value") != strings.Index(row, "42") {
+		t.Fatalf("misaligned columns:\n%s\n%s", hdr, row)
+	}
+	if !strings.HasPrefix(lines[3], "----") {
+		t.Fatalf("missing separator: %q", lines[3])
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	var b strings.Builder
+	if err := sample().CSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := csv.NewReader(strings.NewReader(b.String())).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 3 || recs[0][0] != "name" || recs[2][0] != "beta-long-name" {
+		t.Fatalf("csv = %v", recs)
+	}
+}
+
+type failWriter struct{ n int }
+
+func (w *failWriter) Write(p []byte) (int, error) {
+	w.n += len(p)
+	if w.n > 10 {
+		return 0, errors.New("disk full")
+	}
+	return len(p), nil
+}
+
+func TestRenderPropagatesWriteErrors(t *testing.T) {
+	if err := sample().Render(&failWriter{}); err == nil {
+		t.Fatal("write error swallowed")
+	}
+}
+
+func TestEmptyTableRenders(t *testing.T) {
+	tab := &Table{Title: "Empty", Header: []string{"a"}}
+	out := tab.String()
+	if !strings.Contains(out, "Empty") || !strings.Contains(out, "a") {
+		t.Fatalf("empty render:\n%s", out)
+	}
+}

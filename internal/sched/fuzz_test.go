@@ -1,0 +1,37 @@
+package sched
+
+import "testing"
+
+// FuzzParse checks that Parse never panics and that anything it accepts
+// round-trips through Name back to an equal variant (canonicalization
+// property). Run with `go test -fuzz FuzzParse ./internal/sched` for a
+// real fuzzing session; the seed corpus runs in every normal test pass.
+func FuzzParse(f *testing.F) {
+	for _, v := range Studied() {
+		f.Add(v.Name())
+	}
+	f.Add("Shift-Fuse OT-32x8x4: P<Box")
+	f.Add("Blocked WF-CLI-4x8x16: P<Box")
+	f.Add("Baseline: P≥Box")
+	f.Add("")
+	f.Add("OT-: P<Box")
+	f.Add("Blocked WF--4: P<Box")
+	f.Add("Basic-Sched OT-99999999999999999999: P<Box")
+	f.Add("Shift-Fuse OT-8x8: P<Box")
+	f.Fuzz(func(t *testing.T, s string) {
+		v, err := Parse(s)
+		if err != nil {
+			return
+		}
+		if verr := v.Validate(); verr != nil {
+			t.Fatalf("Parse(%q) returned invalid variant %+v: %v", s, v, verr)
+		}
+		got, err := Parse(v.Name())
+		if err != nil {
+			t.Fatalf("Name %q of parsed %q does not re-parse: %v", v.Name(), s, err)
+		}
+		if got != v {
+			t.Fatalf("round trip changed variant: %q -> %+v -> %q -> %+v", s, v, v.Name(), got)
+		}
+	})
+}

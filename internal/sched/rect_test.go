@@ -1,0 +1,88 @@
+package sched
+
+import "testing"
+
+func TestRectNameParseRoundTrip(t *testing.T) {
+	vs := []Variant{
+		{Family: OverlappedTile, Par: WithinBox, Intra: FusedSched, TileVec: [3]int{32, 8, 4}},
+		{Family: OverlappedTile, Par: OverBoxes, Intra: BasicSched, TileVec: [3]int{4, 16, 8}},
+		{Family: BlockedWavefront, Par: WithinBox, Comp: CLI, TileVec: [3]int{8, 8, 32}},
+	}
+	for _, v := range vs {
+		if err := v.Validate(); err != nil {
+			t.Fatalf("%+v: %v", v, err)
+		}
+		got, err := Parse(v.Name())
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", v.Name(), err)
+		}
+		if got != v {
+			t.Fatalf("round trip %q: %+v != %+v", v.Name(), got, v)
+		}
+	}
+	if name := vs[0].Name(); name != "Shift-Fuse OT-32x8x4: P<Box" {
+		t.Fatalf("rect name = %q", name)
+	}
+}
+
+func TestRectValidation(t *testing.T) {
+	bad := []Variant{
+		// Both cubic and rectangular set.
+		{Family: OverlappedTile, TileSize: 8, TileVec: [3]int{8, 8, 8}},
+		// Edge not in the studied sizes.
+		{Family: OverlappedTile, TileVec: [3]int{8, 8, 7}},
+		// Rect shape on an untiled family.
+		{Family: ShiftFuse, TileVec: [3]int{8, 8, 8}},
+	}
+	for _, v := range bad {
+		if v.Validate() == nil {
+			t.Errorf("%+v validated", v)
+		}
+	}
+}
+
+func TestTileShapeAndMaxEdge(t *testing.T) {
+	cubic := Variant{Family: OverlappedTile, TileSize: 16}
+	if cubic.TileShape() != [3]int{16, 16, 16} || cubic.MaxTileEdge() != 16 {
+		t.Fatal("cubic shape wrong")
+	}
+	rect := Variant{Family: BlockedWavefront, TileVec: [3]int{4, 32, 8}}
+	if rect.TileShape() != [3]int{4, 32, 8} || rect.MaxTileEdge() != 32 {
+		t.Fatal("rect shape wrong")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("TileShape on untiled family did not panic")
+		}
+	}()
+	Variant{Family: Series}.TileShape()
+}
+
+func TestExtendedDesignSpace(t *testing.T) {
+	vs := ExtendedDesignSpace()
+	// 8 untiled + 2*64 blocked WF + 2*2*64 OT.
+	want := 8 + 2*64 + 4*64
+	if len(vs) != want {
+		t.Fatalf("extended space has %d points, want %d", len(vs), want)
+	}
+	seen := map[Variant]bool{}
+	for _, v := range vs {
+		if err := v.Validate(); err != nil {
+			t.Fatalf("%+v invalid: %v", v, err)
+		}
+		if seen[v] {
+			t.Fatalf("duplicate %+v", v)
+		}
+		seen[v] = true
+	}
+	// Every studied cubic variant with P<Box tiling appears in the
+	// extension (as the equal-edge shape).
+	for _, s := range Studied() {
+		if !s.Tiled() || s.Par != WithinBox {
+			continue
+		}
+		if !seen[s] {
+			t.Errorf("studied %s missing from extended space", s.Name())
+		}
+	}
+}

@@ -1,0 +1,148 @@
+package sched
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestStudiedCountAndValidity(t *testing.T) {
+	vs := Studied()
+	if len(vs) != 32 {
+		t.Fatalf("Studied() has %d variants, want 32", len(vs))
+	}
+	seen := map[Variant]bool{}
+	for _, v := range vs {
+		if err := v.Validate(); err != nil {
+			t.Errorf("%v invalid: %v", v, err)
+		}
+		if seen[v] {
+			t.Errorf("duplicate variant %v", v)
+		}
+		seen[v] = true
+	}
+}
+
+func TestStudiedCoversPaperFigureLegends(t *testing.T) {
+	// Every schedule named in Figures 2-4 and 10-12 must be in the studied
+	// set (with CLO as the default component placement for baseline and
+	// shift-fuse).
+	legends := []string{
+		"Baseline: P>=Box",
+		"Shift-Fuse: P>=Box",
+		"Shift-Fuse OT-16: P>=Box",
+		"Shift-Fuse OT-8: P<Box",
+		"Shift-Fuse OT-16: P<Box",
+		"Basic-Sched OT-8: P<Box",
+		"Basic-Sched OT-16: P<Box",
+		"Basic-Sched OT-16: P>=Box",
+		"Shift-Fuse OT-8: P>=Box",
+		"Blocked WF-CLO-16: P<Box",
+		"Blocked WF-CLI-4: P<Box",
+		"Blocked WF-CLI-16: P<Box",
+	}
+	for _, name := range legends {
+		if _, err := ByName(name); err != nil {
+			t.Errorf("legend %q not covered: %v", name, err)
+		}
+	}
+}
+
+func TestNameParseRoundTrip(t *testing.T) {
+	for _, v := range Studied() {
+		got, err := Parse(v.Name())
+		if err != nil {
+			t.Errorf("Parse(%q): %v", v.Name(), err)
+			continue
+		}
+		if got != v {
+			t.Errorf("round trip %q: got %+v, want %+v", v.Name(), got, v)
+		}
+	}
+}
+
+func TestParseAcceptsUnicodeGE(t *testing.T) {
+	v, err := Parse("Baseline: P≥Box")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Family != Series || v.Par != OverBoxes || v.Comp != CLO {
+		t.Fatalf("parsed %+v", v)
+	}
+}
+
+func TestParseRejectsGarbage(t *testing.T) {
+	bad := []string{
+		"",
+		"Baseline",
+		"Baseline: P~Box",
+		"Chaos OT-8: P<Box",
+		"Blocked WF-XXX-16: P<Box",
+		"Shift-Fuse OT-7: P<Box", // tile size not studied
+		"Frob OT-8: P<Box",
+	}
+	for _, s := range bad {
+		if _, err := Parse(s); err == nil {
+			t.Errorf("Parse(%q) succeeded", s)
+		}
+	}
+}
+
+func TestValidate(t *testing.T) {
+	cases := []struct {
+		v  Variant
+		ok bool
+	}{
+		{Variant{Family: Series}, true},
+		{Variant{Family: Series, TileSize: 8}, false},
+		{Variant{Family: BlockedWavefront, TileSize: 8}, true},
+		{Variant{Family: BlockedWavefront}, false},
+		{Variant{Family: BlockedWavefront, TileSize: 7}, false},
+		{Variant{Family: OverlappedTile, TileSize: 32, Intra: FusedSched}, true},
+		{Variant{Family: ShiftFuse, Intra: FusedSched}, false},
+		{Variant{Family: Family(9)}, false},
+	}
+	for _, c := range cases {
+		err := c.v.Validate()
+		if (err == nil) != c.ok {
+			t.Errorf("Validate(%+v) = %v, want ok=%v", c.v, err, c.ok)
+		}
+	}
+}
+
+func TestNamesSortedUnique(t *testing.T) {
+	names := Names()
+	if len(names) != 32 {
+		t.Fatalf("%d names", len(names))
+	}
+	for i := 1; i < len(names); i++ {
+		if names[i-1] >= names[i] {
+			t.Fatalf("names not sorted/unique at %d: %q, %q", i, names[i-1], names[i])
+		}
+	}
+}
+
+func TestStringForms(t *testing.T) {
+	v := Variant{Family: OverlappedTile, Par: WithinBox, TileSize: 8, Intra: FusedSched}
+	if got := v.Name(); got != "Shift-Fuse OT-8: P<Box" {
+		t.Errorf("Name = %q", got)
+	}
+	if !strings.Contains(Variant{Family: BlockedWavefront, Par: WithinBox, Comp: CLI, TileSize: 4}.Name(), "WF-CLI-4") {
+		t.Error("blocked WF name missing parts")
+	}
+	if OverBoxes.String() != "P>=Box" || WithinBox.String() != "P<Box" {
+		t.Error("granularity strings wrong")
+	}
+}
+
+func TestDesignSpaceSize(t *testing.T) {
+	if got := DesignSpaceSize(); got != 4+4+16+32 {
+		t.Fatalf("DesignSpaceSize = %d", got)
+	}
+}
+
+func TestByNameRejectsUnstudied(t *testing.T) {
+	// Valid point but not in the studied set: blocked WF over boxes.
+	if _, err := ByName("Blocked WF-CLO-8: P>=Box"); err == nil {
+		t.Error("unstudied variant accepted")
+	}
+}

@@ -1,0 +1,84 @@
+// Package stats provides the small measurement utilities the benchmark
+// harness uses: repeated timing with min/mean/stddev, and speedup /
+// parallel-efficiency series.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"time"
+)
+
+// Sample summarizes repeated timings.
+type Sample struct {
+	Reps   int
+	MinSec float64
+	MaxSec float64
+	Mean   float64
+	StdDev float64
+}
+
+// Time runs f reps times and summarizes the wall-clock timings. Reported
+// results use the minimum (the standard practice for noisy shared
+// machines); the spread is kept for error reporting. It panics for
+// non-positive reps.
+func Time(reps int, f func()) Sample {
+	if reps <= 0 {
+		panic(fmt.Sprintf("stats: reps %d must be positive", reps))
+	}
+	s := Sample{Reps: reps, MinSec: math.Inf(1), MaxSec: math.Inf(-1)}
+	var sum, sumSq float64
+	for i := 0; i < reps; i++ {
+		start := time.Now()
+		f()
+		d := time.Since(start).Seconds()
+		if d < s.MinSec {
+			s.MinSec = d
+		}
+		if d > s.MaxSec {
+			s.MaxSec = d
+		}
+		sum += d
+		sumSq += d * d
+	}
+	s.Mean = sum / float64(reps)
+	if reps > 1 {
+		v := (sumSq - sum*sum/float64(reps)) / float64(reps-1)
+		if v > 0 {
+			s.StdDev = math.Sqrt(v)
+		}
+	}
+	return s
+}
+
+// Speedup converts a time series (indexed like threads) into speedups
+// relative to the first entry.
+func Speedup(times []float64) []float64 {
+	out := make([]float64, len(times))
+	if len(times) == 0 {
+		return out
+	}
+	base := times[0]
+	for i, t := range times {
+		if t > 0 {
+			out[i] = base / t
+		}
+	}
+	return out
+}
+
+// Efficiency converts times and their thread counts into parallel
+// efficiencies (speedup / threads).
+func Efficiency(times []float64, threads []int) []float64 {
+	if len(times) != len(threads) {
+		panic(fmt.Sprintf("stats: %d times vs %d thread counts", len(times), len(threads)))
+	}
+	sp := Speedup(times)
+	out := make([]float64, len(sp))
+	for i := range sp {
+		if threads[i] > 0 {
+			out[i] = sp[i] / float64(threads[i])
+		}
+	}
+	return out
+}

@@ -1,0 +1,124 @@
+package variants
+
+import (
+	"stencilsched/internal/box"
+	"stencilsched/internal/fab"
+	"stencilsched/internal/ivect"
+	"stencilsched/internal/kernel"
+	"stencilsched/internal/sched"
+	"stencilsched/internal/tiling"
+	"stencilsched/internal/wavefront"
+)
+
+// execBlockedWF runs the shifted, fused and tiled schedule of Section IV-C
+// (Fig. 8b): the fused iteration space is tiled with T^3 tiles, tile
+// (i,j,k) depends on its three lexicographic predecessor tiles through the
+// carried flux values, and tiles on the same anti-diagonal execute
+// concurrently.
+//
+// Carried flux values cross tile boundaries through global co-dimension
+// caches — one slot per lattice column in each direction (the paper's "flux
+// cache", 3-D for CLO and 4-D for CLI). Within a wavefront no two tiles
+// share a column in any direction (tiles sharing an (y,z) column differ
+// only in the x tile index and therefore sit on different anti-diagonals),
+// so the wavefront barrier is the only synchronization required.
+func execBlockedWF(s *state, comp sched.CompLoop, shape ivect.IntVect, threads int) Stats {
+	stats := Stats{UniqueFaces: s.uniqueFaces()}
+	stats.FacesEvaluated = stats.UniqueFaces
+	vel := velocityField(s, s.valid, threads)
+	stats.TempVelBytes = velBytes(vel)
+
+	dec := tiling.DecomposeVect(s.valid, shape)
+	sz := s.valid.Size()
+	nx, ny, nz := sz[0], sz[1], sz[2]
+
+	runs := [][2]int{{0, kernel.NComp}}
+	if comp == sched.CLO {
+		runs = runs[:0]
+		for c := 0; c < kernel.NComp; c++ {
+			runs = append(runs, [2]int{c, c + 1})
+		}
+	}
+	nc := runs[0][1] - runs[0][0]
+	gfx := make([]float64, nc*ny*nz)
+	gfy := make([]float64, nc*nx*nz)
+	gfz := make([]float64, nc*nx*ny)
+	stats.TempFluxBytes = int64(len(gfx)+len(gfy)+len(gfz)) * 8
+
+	for _, r := range runs {
+		stats.Wavefront = wavefront.Run(dec.Grid.Size(), threads, func(_ int, tv ivect.IntVect) {
+			fusedTileBody(s, vel, dec.TileAt(tv).Cells, r[0], r[1], gfx, gfy, gfz)
+		})
+	}
+	return stats
+}
+
+// fusedTileBody runs the fused sweep over one tile's cells for components
+// [cLo, cHi), carrying flux values through the global co-dimension caches
+// gfx (indexed by (y,z) relative to the valid box), gfy ((x,z)) and gfz
+// ((x,y)). Slots double as the intra-tile carried values: each cell reads
+// its low-face flux from the slot and leaves its high-face flux there, so
+// the same body works for any tile shape, including a single tile covering
+// the whole box (which reproduces the serial shifted-and-fused sweep).
+// Only at the valid-box boundary is the low-face flux recomputed directly
+// (the loop "shift").
+func fusedTileBody(s *state, vel [3]*fab.FAB, tile box.Box, cLo, cHi int, gfx, gfy, gfz []float64) {
+	valid := s.valid
+	sz := valid.Size()
+	nx, ny := sz[0], sz[1]
+	nc := cHi - cLo
+	vx, vy, vz := newVelAcc(vel[0]), newVelAcc(vel[1]), newVelAcc(vel[2])
+	phs := make([][]float64, nc)
+	dst := make([][]float64, nc)
+	for ci := 0; ci < nc; ci++ {
+		phs[ci] = s.comp0(cLo + ci)
+		dst[ci] = s.comp1(cLo + ci)
+	}
+	for z := tile.Lo[2]; z <= tile.Hi[2]; z++ {
+		zi := z - valid.Lo[2]
+		for y := tile.Lo[1]; y <= tile.Hi[1]; y++ {
+			yi := y - valid.Lo[1]
+			for x := tile.Lo[0]; x <= tile.Hi[0]; x++ {
+				xi := x - valid.Lo[0]
+				p := ivect.New(x, y, z)
+				o0 := s.off0(p)
+				o1 := s.off1(p)
+				velXhi := vx.at(p.Shift(0, 1))
+				velYhi := vy.at(p.Shift(1, 1))
+				velZhi := vz.at(p.Shift(2, 1))
+				for ci := 0; ci < nc; ci++ {
+					ph := phs[ci]
+					fxhi := kernel.Flux2(velXhi, kernel.FaceAvg(ph, o0+1, 1))
+					var fxlo float64
+					if x == valid.Lo[0] {
+						fxlo = fluxAt(s, vx, ph, p, 0)
+					} else {
+						fxlo = gfx[ci*ny*sz[2]+zi*ny+yi]
+					}
+					fyhi := kernel.Flux2(velYhi, kernel.FaceAvg(ph, o0+s.str0[1], s.str0[1]))
+					var fylo float64
+					if y == valid.Lo[1] {
+						fylo = fluxAt(s, vy, ph, p, 1)
+					} else {
+						fylo = gfy[ci*nx*sz[2]+zi*nx+xi]
+					}
+					fzhi := kernel.Flux2(velZhi, kernel.FaceAvg(ph, o0+s.str0[2], s.str0[2]))
+					var fzlo float64
+					if z == valid.Lo[2] {
+						fzlo = fluxAt(s, vz, ph, p, 2)
+					} else {
+						fzlo = gfz[ci*nx*ny+yi*nx+xi]
+					}
+					v := dst[ci][o1]
+					v += fxhi - fxlo
+					v += fyhi - fylo
+					v += fzhi - fzlo
+					dst[ci][o1] = v
+					gfx[ci*ny*sz[2]+zi*ny+yi] = fxhi
+					gfy[ci*nx*sz[2]+zi*nx+xi] = fyhi
+					gfz[ci*nx*ny+yi*nx+xi] = fzhi
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,69 @@
+package variants
+
+import (
+	"testing"
+
+	"stencilsched/internal/box"
+	"stencilsched/internal/fab"
+	"stencilsched/internal/ivect"
+	"stencilsched/internal/kernel"
+	"stencilsched/internal/sched"
+)
+
+func TestHierarchicalOTBitwiseEqualReference(t *testing.T) {
+	cases := []struct{ outer, inner ivect.IntVect }{
+		{ivect.Uniform(8), ivect.Uniform(4)},
+		{ivect.Uniform(8), ivect.Uniform(8)}, // degenerate: flat OT-8
+		{ivect.New(16, 8, 8), ivect.New(8, 4, 4)},
+		{ivect.Uniform(6), ivect.New(6, 3, 2)}, // ragged inner shapes
+	}
+	for _, b := range []box.Box{box.Cube(16), box.NewSized(ivect.New(1, -2, 3), ivect.New(11, 13, 9))} {
+		phi0, want := makeState(b, 777)
+		kernel.Reference(phi0, want, b)
+		for _, cse := range cases {
+			for _, threads := range []int{1, 3} {
+				phi1 := fab.New(b, kernel.NComp)
+				ExecHierarchicalOT(phi0, phi1, b, cse.outer, cse.inner, threads)
+				if d, at, c := phi1.MaxDiff(want, b); d != 0 {
+					t.Errorf("box %v outer %v inner %v threads %d: diff %g at %v comp %d",
+						b, cse.outer, cse.inner, threads, d, at, c)
+				}
+			}
+		}
+	}
+}
+
+func TestHierarchicalOTRecomputeMatchesFlatWhenAligned(t *testing.T) {
+	// When the inner shape divides the outer shape and the outer divides
+	// the box, the hierarchical inner-tile boundaries coincide with the
+	// flat OT boundaries, so the recompute factor is identical.
+	b := box.Cube(16)
+	phi0, phi1 := kernel.NewState(b)
+	phi0.Fill(1)
+	flat := Exec(sched.Variant{Family: sched.OverlappedTile, Par: sched.WithinBox,
+		TileSize: 4, Intra: sched.FusedSched}, phi0, phi1, b, 2)
+	hier := ExecHierarchicalOT(phi0, phi1, b, ivect.Uniform(8), ivect.Uniform(4), 2)
+	if flat.FacesEvaluated != hier.FacesEvaluated {
+		t.Fatalf("aligned hierarchical evals %d != flat %d", hier.FacesEvaluated, flat.FacesEvaluated)
+	}
+}
+
+func TestHierarchicalOTPanicsOnBadShapes(t *testing.T) {
+	b := box.Cube(8)
+	phi0, phi1 := kernel.NewState(b)
+	for _, cse := range []struct{ outer, inner ivect.IntVect }{
+		{ivect.Uniform(4), ivect.Uniform(8)}, // inner > outer
+		{ivect.Uniform(0), ivect.Uniform(4)},
+		{ivect.New(8, 8, 8), ivect.New(8, 0, 8)},
+	} {
+		cse := cse
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("shapes %v/%v did not panic", cse.outer, cse.inner)
+				}
+			}()
+			ExecHierarchicalOT(phi0, phi1, b, cse.outer, cse.inner, 1)
+		}()
+	}
+}

@@ -1,0 +1,94 @@
+package variants
+
+import (
+	"testing"
+
+	"stencilsched/internal/box"
+	"stencilsched/internal/fab"
+	"stencilsched/internal/ivect"
+	"stencilsched/internal/kernel"
+	"stencilsched/internal/sched"
+)
+
+// TestRectangularTilesBitwiseEqualReference extends the central
+// equivalence property to rectangular tile shapes: pencils, slabs, and
+// mixed shapes, clipped and unclipped.
+func TestRectangularTilesBitwiseEqualReference(t *testing.T) {
+	b := box.NewSized(ivect.New(2, -1, 0), ivect.New(12, 9, 10))
+	phi0, want := makeState(b, 404)
+	kernel.Reference(phi0, want, b)
+
+	shapes := [][3]int{
+		{4, 8, 8},   // mixed
+		{32, 4, 4},  // x pencil spanning the box
+		{32, 32, 4}, // z slab
+		{8, 4, 32},
+	}
+	for _, fam := range []sched.Family{sched.BlockedWavefront, sched.OverlappedTile} {
+		for _, intra := range []sched.IntraTile{sched.BasicSched, sched.FusedSched} {
+			if fam == sched.BlockedWavefront && intra == sched.FusedSched {
+				continue // intra-tile axis applies to OT only
+			}
+			for _, sh := range shapes {
+				v := sched.Variant{Family: fam, Par: sched.WithinBox, TileVec: sh, Intra: intra}
+				if fam == sched.OverlappedTile {
+					v.Comp = sched.CLO
+				}
+				if err := v.Validate(); err != nil {
+					t.Fatalf("%+v: %v", v, err)
+				}
+				for _, threads := range []int{1, 4} {
+					phi1 := fab.New(b, kernel.NComp)
+					Exec(v, phi0, phi1, b, threads)
+					if d, at, c := phi1.MaxDiff(want, b); d != 0 {
+						t.Errorf("%s threads=%d: diff %g at %v comp %d", v.Name(), threads, d, at, c)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestSlabTilesHaveLowerRecompute checks the geometric payoff of non-cubic
+// shapes: a slab spanning the box in x and y only cuts the z dimension, so
+// it performs no redundant x- or y-face evaluations and its recompute
+// factor sits below the cube's — the flip side being a much larger
+// per-tile working set and less parallelism (the tradeoff the extended
+// design space exposes).
+func TestSlabTilesHaveLowerRecompute(t *testing.T) {
+	b := box.Cube(32)
+	phi0, phi1 := kernel.NewState(b)
+	phi0.Fill(1)
+	cube := Exec(sched.Variant{Family: sched.OverlappedTile, Par: sched.WithinBox,
+		TileSize: 8, Intra: sched.FusedSched}, phi0, phi1, b, 2)
+	slab := Exec(sched.Variant{Family: sched.OverlappedTile, Par: sched.WithinBox,
+		TileVec: [3]int{32, 32, 8}, Intra: sched.FusedSched}, phi0, phi1, b, 2)
+	if !(slab.RecomputeFactor() < cube.RecomputeFactor()) {
+		t.Fatalf("slab recompute %.4f not below cube %.4f",
+			slab.RecomputeFactor(), cube.RecomputeFactor())
+	}
+	// Exact values: cube cuts all three dims ((9/8 ratio per direction at
+	// N=32 gives (3*4*9*32^2)/(3*33*32^2)); the slab only the z one.
+	if got, want := slab.RecomputeFactor(), (33.0+33+36)/(3*33); got != want {
+		t.Fatalf("slab recompute = %v, want %v", got, want)
+	}
+}
+
+// TestWholeBoxTileDegeneratesToSerialFused checks the degenerate shape:
+// one tile covering the whole box equals the untiled fused schedule's
+// result and performs zero recomputation.
+func TestWholeBoxTileDegeneratesToSerialFused(t *testing.T) {
+	b := box.Cube(16)
+	phi0, want := makeState(b, 11)
+	kernel.Reference(phi0, want, b)
+	v := sched.Variant{Family: sched.OverlappedTile, Par: sched.WithinBox,
+		TileVec: [3]int{16, 16, 16}, Intra: sched.FusedSched}
+	phi1 := fab.New(b, kernel.NComp)
+	st := Exec(v, phi0, phi1, b, 4)
+	if d, _, _ := phi1.MaxDiff(want, b); d != 0 {
+		t.Fatalf("diff %g", d)
+	}
+	if st.RecomputeFactor() != 1 {
+		t.Fatalf("whole-box tile recompute = %v", st.RecomputeFactor())
+	}
+}

@@ -1,0 +1,247 @@
+package variants
+
+import (
+	"stencilsched/internal/box"
+	"stencilsched/internal/fab"
+	"stencilsched/internal/ivect"
+	"stencilsched/internal/kernel"
+	"stencilsched/internal/parallel"
+	"stencilsched/internal/sched"
+)
+
+// execSeries runs the original exemplar schedule of Figure 6: for each
+// direction, a full pass of fourth-order face averages into a box-sized
+// flux temporary, a velocity capture, a flux scaling pass, and an
+// accumulation pass. Within-box parallelism (P<Box) splits every spatial
+// loop over z slabs, the paper's "z-slices within a box" granularity.
+//
+// comp selects the component-loop placement: CLO keeps the component loop
+// around the spatial loops exactly as written in Figure 6; CLI moves it
+// innermost, under the x loop.
+func execSeries(s *state, comp sched.CompLoop, threads int) Stats {
+	stats := Stats{UniqueFaces: s.uniqueFaces()}
+	stats.FacesEvaluated = stats.UniqueFaces
+	for dir := 0; dir < ivect.SpaceDim; dir++ {
+		faces := s.valid.SurroundingFaces(dir)
+		flux := fab.New(faces, kernel.NComp)
+		velocity := fab.New(faces, 1)
+		if b := flux.Bytes() + velocity.Bytes(); b > stats.TempFluxBytes+stats.TempVelBytes {
+			stats.TempFluxBytes = flux.Bytes()
+			stats.TempVelBytes = velocity.Bytes()
+		}
+
+		fy, fz, fc := flux.Strides()
+		sd := s.str0[dir]
+		nzF := faces.Size()[2]
+
+		// Pass 1: face averages for every component (EvalFlux1).
+		if comp == sched.CLO {
+			for c := 0; c < kernel.NComp; c++ {
+				ph := s.comp0(c)
+				out := flux.Comp(c)
+				parallel.ForChunked(threads, nzF, func(_, zlo, zhi int) {
+					for zi := zlo; zi < zhi; zi++ {
+						for y := faces.Lo[1]; y <= faces.Hi[1]; y++ {
+							src := s.off0(ivect.New(faces.Lo[0], y, faces.Lo[2]+zi))
+							dst := (y-faces.Lo[1])*fy + zi*fz
+							for x := 0; x <= faces.Hi[0]-faces.Lo[0]; x++ {
+								out[dst+x] = kernel.FaceAvg(ph, src+x, sd)
+							}
+						}
+					}
+				})
+			}
+		} else {
+			fluxData := flux.Data()
+			phiData := s.phi0.Data()
+			parallel.ForChunked(threads, nzF, func(_, zlo, zhi int) {
+				for zi := zlo; zi < zhi; zi++ {
+					for y := faces.Lo[1]; y <= faces.Hi[1]; y++ {
+						src := s.off0(ivect.New(faces.Lo[0], y, faces.Lo[2]+zi))
+						dst := (y-faces.Lo[1])*fy + zi*fz
+						for x := 0; x <= faces.Hi[0]-faces.Lo[0]; x++ {
+							for c := 0; c < kernel.NComp; c++ {
+								fluxData[dst+x+c*fc] = kernel.FaceAvg(phiData[c*s.sc0:(c+1)*s.sc0], src+x, sd)
+							}
+						}
+					}
+				}
+			})
+		}
+
+		// Velocity capture (Fig. 6 line 11) before any face is overwritten.
+		velocity.CopyFromShifted(flux, faces, ivect.Zero, kernel.VelComp(dir), 0, 1)
+		vData := velocity.Comp(0)
+
+		// Pass 2: flux product (EvalFlux2) and accumulation, per Figure 6
+		// with the component loop outside; CLI fuses the component loop
+		// into the spatial loops of both steps.
+		cells := s.valid
+		nzC := cells.Size()[2]
+		if comp == sched.CLO {
+			for c := 0; c < kernel.NComp; c++ {
+				out := flux.Comp(c)
+				parallel.ForChunked(threads, nzF, func(_, zlo, zhi int) {
+					for zi := zlo; zi < zhi; zi++ {
+						for y := faces.Lo[1]; y <= faces.Hi[1]; y++ {
+							off := (y-faces.Lo[1])*fy + zi*fz
+							for x := 0; x <= faces.Hi[0]-faces.Lo[0]; x++ {
+								out[off+x] = kernel.Flux2(vData[off+x], out[off+x])
+							}
+						}
+					}
+				})
+				dst := s.comp1(c)
+				fd := flux.Comp(c)
+				fdir := fluxDirStride(dir, fy, fz)
+				parallel.ForChunked(threads, nzC, func(_, zlo, zhi int) {
+					for zi := zlo; zi < zhi; zi++ {
+						for y := cells.Lo[1]; y <= cells.Hi[1]; y++ {
+							fOff := (y-cells.Lo[1])*fy + (zi+cells.Lo[2]-faces.Lo[2])*fz
+							pOff := s.off1(ivect.New(cells.Lo[0], y, cells.Lo[2]+zi))
+							for x := 0; x <= cells.Hi[0]-cells.Lo[0]; x++ {
+								dst[pOff+x] += fd[fOff+x+fdir] - fd[fOff+x]
+							}
+						}
+					}
+				})
+			}
+		} else {
+			fluxData := flux.Data()
+			parallel.ForChunked(threads, nzF, func(_, zlo, zhi int) {
+				for zi := zlo; zi < zhi; zi++ {
+					for y := faces.Lo[1]; y <= faces.Hi[1]; y++ {
+						off := (y-faces.Lo[1])*fy + zi*fz
+						for x := 0; x <= faces.Hi[0]-faces.Lo[0]; x++ {
+							v := vData[off+x]
+							for c := 0; c < kernel.NComp; c++ {
+								fluxData[off+x+c*fc] = kernel.Flux2(v, fluxData[off+x+c*fc])
+							}
+						}
+					}
+				}
+			})
+			phi1Data := s.phi1.Data()
+			fdir := fluxDirStride(dir, fy, fz)
+			parallel.ForChunked(threads, nzC, func(_, zlo, zhi int) {
+				for zi := zlo; zi < zhi; zi++ {
+					for y := cells.Lo[1]; y <= cells.Hi[1]; y++ {
+						fOff := (y-cells.Lo[1])*fy + (zi+cells.Lo[2]-faces.Lo[2])*fz
+						pOff := s.off1(ivect.New(cells.Lo[0], y, cells.Lo[2]+zi))
+						for x := 0; x <= cells.Hi[0]-cells.Lo[0]; x++ {
+							for c := 0; c < kernel.NComp; c++ {
+								phi1Data[pOff+x+c*s.sc1] += fluxData[fOff+x+fdir+c*fc] - fluxData[fOff+x+c*fc]
+							}
+						}
+					}
+				}
+			})
+		}
+	}
+	return stats
+}
+
+// fluxDirStride returns the stride between a cell's low and high face in
+// the flux array for direction dir, given the flux array's y and z strides.
+func fluxDirStride(dir, fy, fz int) int {
+	switch dir {
+	case 0:
+		return 1
+	case 1:
+		return fy
+	default:
+		return fz
+	}
+}
+
+// ExecSeriesNoVelocityTemp runs the series-of-loops ablation that avoids
+// the velocity temporary via pass reordering (see execSeriesNoVelTemp).
+// It has the same contract as Exec.
+func ExecSeriesNoVelocityTemp(phi0, phi1 *fab.FAB, valid box.Box, threads int) Stats {
+	kernel.CheckState(phi0, phi1, valid)
+	return execSeriesNoVelTemp(newState(phi0, phi1, valid), parallel.Threads(threads))
+}
+
+// execSeriesNoVelTemp is the ablation of the paper's note that the
+// component-loop-outside series variant can avoid the velocity temporary by
+// reordering: the face average of the velocity component is computed first
+// and left in place in the flux array; other components scale against it;
+// the velocity component scales itself last. Results remain bitwise
+// identical to Reference. Exposed through AblationSeriesNoVelocityTemp.
+func execSeriesNoVelTemp(s *state, threads int) Stats {
+	stats := Stats{UniqueFaces: s.uniqueFaces()}
+	stats.FacesEvaluated = stats.UniqueFaces
+	for dir := 0; dir < ivect.SpaceDim; dir++ {
+		faces := s.valid.SurroundingFaces(dir)
+		flux := fab.New(faces, kernel.NComp)
+		if flux.Bytes() > stats.TempFluxBytes {
+			stats.TempFluxBytes = flux.Bytes()
+		}
+		fy, fz, _ := flux.Strides()
+		sd := s.str0[dir]
+		nzF := faces.Size()[2]
+		vc := kernel.VelComp(dir)
+
+		// Pass 1 unchanged: all face averages.
+		for c := 0; c < kernel.NComp; c++ {
+			ph := s.comp0(c)
+			out := flux.Comp(c)
+			parallel.ForChunked(threads, nzF, func(_, zlo, zhi int) {
+				for zi := zlo; zi < zhi; zi++ {
+					for y := faces.Lo[1]; y <= faces.Hi[1]; y++ {
+						src := s.off0(ivect.New(faces.Lo[0], y, faces.Lo[2]+zi))
+						dst := (y-faces.Lo[1])*fy + zi*fz
+						for x := 0; x <= faces.Hi[0]-faces.Lo[0]; x++ {
+							out[dst+x] = kernel.FaceAvg(ph, src+x, sd)
+						}
+					}
+				}
+			})
+		}
+
+		// Pass 2: scale components against the in-place velocity component,
+		// the velocity component itself last; accumulate after scaling.
+		vel := flux.Comp(vc)
+		order := make([]int, 0, kernel.NComp)
+		for c := 0; c < kernel.NComp; c++ {
+			if c != vc {
+				order = append(order, c)
+			}
+		}
+		order = append(order, vc)
+		scale := func(c int) {
+			out := flux.Comp(c)
+			parallel.ForChunked(threads, nzF, func(_, zlo, zhi int) {
+				for zi := zlo; zi < zhi; zi++ {
+					for y := faces.Lo[1]; y <= faces.Hi[1]; y++ {
+						off := (y-faces.Lo[1])*fy + zi*fz
+						for x := 0; x <= faces.Hi[0]-faces.Lo[0]; x++ {
+							out[off+x] = kernel.Flux2(vel[off+x], out[off+x])
+						}
+					}
+				}
+			})
+		}
+		for _, c := range order {
+			scale(c)
+		}
+		cells := s.valid
+		fdir := fluxDirStride(dir, fy, fz)
+		for c := 0; c < kernel.NComp; c++ {
+			dst := s.comp1(c)
+			fd := flux.Comp(c)
+			parallel.ForChunked(threads, cells.Size()[2], func(_, zlo, zhi int) {
+				for zi := zlo; zi < zhi; zi++ {
+					for y := cells.Lo[1]; y <= cells.Hi[1]; y++ {
+						fOff := (y-cells.Lo[1])*fy + (zi+cells.Lo[2]-faces.Lo[2])*fz
+						pOff := s.off1(ivect.New(cells.Lo[0], y, cells.Lo[2]+zi))
+						for x := 0; x <= cells.Hi[0]-cells.Lo[0]; x++ {
+							dst[pOff+x] += fd[fOff+x+fdir] - fd[fOff+x]
+						}
+					}
+				}
+			})
+		}
+	}
+	return stats
+}

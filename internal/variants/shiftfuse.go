@@ -1,0 +1,204 @@
+package variants
+
+import (
+	"stencilsched/internal/box"
+	"stencilsched/internal/fab"
+	"stencilsched/internal/ivect"
+	"stencilsched/internal/kernel"
+	"stencilsched/internal/sched"
+	"stencilsched/internal/wavefront"
+)
+
+// execShiftFuse runs the shifted-and-fused schedule of Section IV-B
+// (Fig. 8a). The three advection-velocity face fields are precomputed
+// (Table I charges the fused schedules 3(N+1)^3 velocity temporaries), and
+// then a single sweep over cells computes, per cell, the six face fluxes it
+// needs and accumulates all three direction contributions at once. Flux
+// values are reused across iterations through carried caches — a scalar in
+// x, a row in y and a plane in z — which creates the (x-1),(y-1),(z-1)
+// dependences that force either serial execution or wavefront parallelism.
+//
+// withinBox selects P<Box: a per-iteration wavefront over cells (the
+// variant the paper notes "ruins spatial locality in the X-direction").
+// Otherwise the sweep is serial within the box.
+func execShiftFuse(s *state, comp sched.CompLoop, withinBox bool, threads int) Stats {
+	stats := Stats{UniqueFaces: s.uniqueFaces()}
+	stats.FacesEvaluated = stats.UniqueFaces
+	vel := velocityField(s, s.valid, threads)
+	stats.TempVelBytes = velBytes(vel)
+
+	runs := [][2]int{{0, kernel.NComp}} // CLI: all components per sweep
+	if comp == sched.CLO {
+		runs = runs[:0]
+		for c := 0; c < kernel.NComp; c++ {
+			runs = append(runs, [2]int{c, c + 1})
+		}
+	}
+
+	sz := s.valid.Size()
+	if withinBox {
+		// Per-iteration wavefront: 2-D co-dimension caches, one slot per
+		// lattice column in each direction.
+		nc := runs[0][1] - runs[0][0]
+		cfx := make([]float64, nc*sz[1]*sz[2])
+		cfy := make([]float64, nc*sz[0]*sz[2])
+		cfz := make([]float64, nc*sz[0]*sz[1])
+		stats.TempFluxBytes = int64(len(cfx)+len(cfy)+len(cfz)) * 8
+		for _, r := range runs {
+			stats.Wavefront = fusedCellWavefront(s, vel, r[0], r[1], threads, cfx, cfy, cfz)
+		}
+		return stats
+	}
+
+	// Serial fused sweep: scalar/row/plane carried caches (Table I's
+	// 2 + 2N + 2N^2 flux temporaries per in-flight component).
+	nc := runs[0][1] - runs[0][0]
+	fx := make([]float64, nc)
+	fy := make([]float64, nc*sz[0])
+	fz := make([]float64, nc*sz[0]*sz[1])
+	stats.TempFluxBytes = int64(len(fx)+len(fy)+len(fz)) * 8
+	for _, r := range runs {
+		fusedSweepSerial(s, vel, s.valid, r[0], r[1], fx, fy, fz)
+	}
+	return stats
+}
+
+// fluxAt evaluates the full flux (velocity times fourth-order face average)
+// at the face whose high-side cell is p, in direction d, for the component
+// slice ph. It is the recomputation primitive shared by the fused seeds and
+// the overlapped tiles; by construction it produces the exact bits the
+// staged schedules produce.
+func fluxAt(s *state, vel velAcc, ph []float64, p ivect.IntVect, d int) float64 {
+	return kernel.Flux2(vel.at(p), kernel.FaceAvg(ph, s.off0(p), s.str0[d]))
+}
+
+// fusedSweepSerial performs the fused lexicographic sweep over the cells of
+// region for components [cLo, cHi), with caller-provided carried caches:
+// fx has cHi-cLo slots, fy (cHi-cLo)*nx, fz (cHi-cLo)*nx*ny, where nx, ny
+// are the region's x and y extents.
+//
+// The caches are seeded at the region's low boundary by direct
+// recomputation of the low-face flux (the loop "shift" of Fig. 8a), so the
+// routine is also the intra-tile schedule of the fused overlapped tiles:
+// passing a tile box recomputes that tile's surface fluxes.
+func fusedSweepSerial(s *state, vel [3]*fab.FAB, region box.Box, cLo, cHi int, fx, fy, fz []float64) {
+	nx := region.Hi[0] - region.Lo[0] + 1
+	nc := cHi - cLo
+	vx, vy, vz := newVelAcc(vel[0]), newVelAcc(vel[1]), newVelAcc(vel[2])
+	// Per-component slices hoisted out of the spatial loops.
+	phs := make([][]float64, nc)
+	dst := make([][]float64, nc)
+	for ci := 0; ci < nc; ci++ {
+		phs[ci] = s.comp0(cLo + ci)
+		dst[ci] = s.comp1(cLo + ci)
+	}
+	for z := region.Lo[2]; z <= region.Hi[2]; z++ {
+		for y := region.Lo[1]; y <= region.Hi[1]; y++ {
+			for x := region.Lo[0]; x <= region.Hi[0]; x++ {
+				p := ivect.New(x, y, z)
+				o0 := s.off0(p)
+				o1 := s.off1(p)
+				xi := x - region.Lo[0]
+				yi := y - region.Lo[1]
+				velXhi := vx.at(p.Shift(0, 1))
+				velYhi := vy.at(p.Shift(1, 1))
+				velZhi := vz.at(p.Shift(2, 1))
+				for ci := 0; ci < nc; ci++ {
+					ph := phs[ci]
+					fxhi := kernel.Flux2(velXhi, kernel.FaceAvg(ph, o0+1, 1))
+					var fxlo float64
+					if x == region.Lo[0] {
+						fxlo = fluxAt(s, vx, ph, p, 0)
+					} else {
+						fxlo = fx[ci]
+					}
+					fyhi := kernel.Flux2(velYhi, kernel.FaceAvg(ph, o0+s.str0[1], s.str0[1]))
+					var fylo float64
+					if y == region.Lo[1] {
+						fylo = fluxAt(s, vy, ph, p, 1)
+					} else {
+						fylo = fy[ci*nx+xi]
+					}
+					fzhi := kernel.Flux2(velZhi, kernel.FaceAvg(ph, o0+s.str0[2], s.str0[2]))
+					var fzlo float64
+					if z == region.Lo[2] {
+						fzlo = fluxAt(s, vz, ph, p, 2)
+					} else {
+						fzlo = fz[ci*nx*(region.Hi[1]-region.Lo[1]+1)+yi*nx+xi]
+					}
+					v := dst[ci][o1]
+					v += fxhi - fxlo
+					v += fyhi - fylo
+					v += fzhi - fzlo
+					dst[ci][o1] = v
+					fx[ci] = fxhi
+					fy[ci*nx+xi] = fyhi
+					fz[ci*nx*(region.Hi[1]-region.Lo[1]+1)+yi*nx+xi] = fzhi
+				}
+			}
+		}
+	}
+}
+
+// fusedCellWavefront executes the fused computation for components
+// [cLo, cHi) as a per-iteration wavefront over the cells of the valid box:
+// cells on the same anti-diagonal run concurrently, and the carried flux
+// values live in 2-D co-dimension caches indexed by the lattice column in
+// each direction (cfx by (y,z), cfy by (x,z), cfz by (x,y)). A cell's cache
+// slots are written only by its lexicographic predecessors in earlier
+// wavefronts, so the barrier between wavefronts is the only synchronization
+// needed.
+func fusedCellWavefront(s *state, vel [3]*fab.FAB, cLo, cHi, threads int, cfx, cfy, cfz []float64) wavefront.Stats {
+	region := s.valid
+	sz := region.Size()
+	nx, ny := sz[0], sz[1]
+	nc := cHi - cLo
+	vx, vy, vz := newVelAcc(vel[0]), newVelAcc(vel[1]), newVelAcc(vel[2])
+	phs := make([][]float64, nc)
+	dst := make([][]float64, nc)
+	for ci := 0; ci < nc; ci++ {
+		phs[ci] = s.comp0(cLo + ci)
+		dst[ci] = s.comp1(cLo + ci)
+	}
+	return wavefront.Run(sz, threads, func(_ int, rel ivect.IntVect) {
+		p := region.Lo.Add(rel)
+		o0 := s.off0(p)
+		o1 := s.off1(p)
+		xi, yi, zi := rel[0], rel[1], rel[2]
+		velXhi := vx.at(p.Shift(0, 1))
+		velYhi := vy.at(p.Shift(1, 1))
+		velZhi := vz.at(p.Shift(2, 1))
+		for ci := 0; ci < nc; ci++ {
+			ph := phs[ci]
+			fxhi := kernel.Flux2(velXhi, kernel.FaceAvg(ph, o0+1, 1))
+			var fxlo float64
+			if xi == 0 {
+				fxlo = fluxAt(s, vx, ph, p, 0)
+			} else {
+				fxlo = cfx[ci*ny*sz[2]+zi*ny+yi]
+			}
+			fyhi := kernel.Flux2(velYhi, kernel.FaceAvg(ph, o0+s.str0[1], s.str0[1]))
+			var fylo float64
+			if yi == 0 {
+				fylo = fluxAt(s, vy, ph, p, 1)
+			} else {
+				fylo = cfy[ci*nx*sz[2]+zi*nx+xi]
+			}
+			fzhi := kernel.Flux2(velZhi, kernel.FaceAvg(ph, o0+s.str0[2], s.str0[2]))
+			var fzlo float64
+			if zi == 0 {
+				fzlo = fluxAt(s, vz, ph, p, 2)
+			} else {
+				fzlo = cfz[ci*nx*ny+yi*nx+xi]
+			}
+			v := dst[ci][o1]
+			v += fxhi - fxlo
+			v += fyhi - fylo
+			v += fzhi - fzlo
+			dst[ci][o1] = v
+			cfx[ci*ny*sz[2]+zi*ny+yi] = fxhi
+			cfy[ci*nx*sz[2]+zi*nx+xi] = fyhi
+			cfz[ci*nx*ny+yi*nx+xi] = fzhi
+		}
+	})
+}

@@ -1,0 +1,246 @@
+// Package variants implements every inter-loop scheduling variant of the
+// study as an executor over the exemplar state. All executors compute
+// bit-for-bit identical results to kernel.Reference: the flux expressions
+// funnel through kernel.FaceAvg/kernel.Flux2, every cell receives its three
+// direction contributions in x, y, z order, and recomputation (overlapped
+// tiles) re-evaluates the same expressions on the same read-only inputs.
+//
+// The files of this package mirror Section IV:
+//
+//	series.go     — IV-A, the original series of modular loops
+//	shiftfuse.go  — IV-B, shifted and fused loops (serial and per-iteration
+//	                wavefront)
+//	blockedwf.go  — IV-C, shifted/fused/tiled loops in tile wavefronts
+//	overlapped.go — IV-D, overlapped (communication-avoiding) tiles
+package variants
+
+import (
+	"fmt"
+
+	"stencilsched/internal/box"
+	"stencilsched/internal/fab"
+	"stencilsched/internal/ivect"
+	"stencilsched/internal/kernel"
+	"stencilsched/internal/parallel"
+	"stencilsched/internal/sched"
+	"stencilsched/internal/wavefront"
+)
+
+// Stats reports what a variant execution allocated and did, feeding the
+// Table I temporary-storage accounting and the wavefront-efficiency
+// analysis. Byte counts are per concurrently executing context (for P<Box
+// tile schedules: per thread times threads actually used).
+type Stats struct {
+	Variant sched.Variant
+	// TempFluxBytes is the peak flux temporary storage.
+	TempFluxBytes int64
+	// TempVelBytes is the peak velocity temporary storage.
+	TempVelBytes int64
+	// FacesEvaluated counts face-average evaluations per component,
+	// including recomputed ones; UniqueFaces counts the distinct faces. The
+	// ratio is the overlapped-tile redundancy factor.
+	FacesEvaluated int64
+	UniqueFaces    int64
+	// Wavefront is filled by the wavefront-parallel variants.
+	Wavefront wavefront.Stats
+}
+
+// RecomputeFactor returns FacesEvaluated/UniqueFaces (1 when unknown).
+func (s Stats) RecomputeFactor() float64 {
+	if s.UniqueFaces == 0 {
+		return 1
+	}
+	return float64(s.FacesEvaluated) / float64(s.UniqueFaces)
+}
+
+// Exec runs variant v on one box. phi0 must cover kernel.GrownBox(valid)
+// and phi1 must cover valid; results accumulate into phi1, exactly like
+// kernel.Reference. threads is the within-box thread count and is honored
+// only by P<Box variants; P>=Box variants run the box serially (their
+// parallelism is across boxes — see ExecLevel).
+func Exec(v sched.Variant, phi0, phi1 *fab.FAB, valid box.Box, threads int) Stats {
+	if err := v.Validate(); err != nil {
+		panic(fmt.Sprintf("variants: %v", err))
+	}
+	kernel.CheckState(phi0, phi1, valid)
+	st := newState(phi0, phi1, valid)
+	if v.Par == sched.OverBoxes {
+		threads = 1
+	}
+	threads = parallel.Threads(threads)
+	var stats Stats
+	switch v.Family {
+	case sched.Series:
+		stats = execSeries(st, v.Comp, threads)
+	case sched.ShiftFuse:
+		stats = execShiftFuse(st, v.Comp, v.Par == sched.WithinBox, threads)
+	case sched.BlockedWavefront:
+		stats = execBlockedWF(st, v.Comp, ivect.IntVect(v.TileShape()), threads)
+	case sched.OverlappedTile:
+		stats = execOverlapped(st, v.Intra, ivect.IntVect(v.TileShape()), threads)
+	}
+	stats.Variant = v
+	return stats
+}
+
+// State bundles one box's solution data for level execution.
+type State struct {
+	Valid      box.Box
+	Phi0, Phi1 *fab.FAB
+}
+
+// NewLevelState allocates exemplar state for each box.
+func NewLevelState(boxes []box.Box) []State {
+	out := make([]State, len(boxes))
+	for i, b := range boxes {
+		phi0, phi1 := kernel.NewState(b)
+		out[i] = State{Valid: b, Phi0: phi0, Phi1: phi1}
+	}
+	return out
+}
+
+// ExecLevel runs variant v across a set of boxes with the given total
+// thread count — the paper's two parallelization granularities:
+//
+//   - P>=Box: threads are distributed over boxes (dynamic, since real runs
+//     have many more boxes than threads) and each box executes serially;
+//   - P<Box: boxes execute one after another and all threads work inside
+//     the current box.
+//
+// It returns the Stats of the last box executed (all boxes are identically
+// shaped in the study).
+func ExecLevel(v sched.Variant, states []State, threads int) Stats {
+	var last Stats
+	if v.Par == sched.OverBoxes {
+		results := make([]Stats, len(states))
+		parallel.Dynamic(threads, len(states), 1, func(_, i int) {
+			s := states[i]
+			results[i] = Exec(v, s.Phi0, s.Phi1, s.Valid, 1)
+		})
+		if len(results) > 0 {
+			last = results[len(results)-1]
+		}
+		return last
+	}
+	for _, s := range states {
+		last = Exec(v, s.Phi0, s.Phi1, s.Valid, threads)
+	}
+	return last
+}
+
+// state caches the raw-slice view of the exemplar data that the executors'
+// inner loops address with incremental offsets, the pointer-offset idiom of
+// Section III-C.
+type state struct {
+	valid box.Box
+	phi0  *fab.FAB
+	phi1  *fab.FAB
+	// per-direction strides of phi0's layout (x is unit stride)
+	str0 [3]int
+	sc0  int // component stride of phi0
+	str1 [3]int
+	sc1  int
+}
+
+func newState(phi0, phi1 *fab.FAB, valid box.Box) *state {
+	s0y, s0z, s0c := phi0.Strides()
+	s1y, s1z, s1c := phi1.Strides()
+	return &state{
+		valid: valid,
+		phi0:  phi0,
+		phi1:  phi1,
+		str0:  [3]int{1, s0y, s0z},
+		sc0:   s0c,
+		str1:  [3]int{1, s1y, s1z},
+		sc1:   s1c,
+	}
+}
+
+// off0 returns the flat offset of point p in one component slice of phi0.
+func (s *state) off0(p ivect.IntVect) int {
+	lo := s.phi0.Box().Lo
+	return (p[0] - lo[0]) + s.str0[1]*(p[1]-lo[1]) + s.str0[2]*(p[2]-lo[2])
+}
+
+// off1 returns the flat offset of point p in one component slice of phi1.
+func (s *state) off1(p ivect.IntVect) int {
+	lo := s.phi1.Box().Lo
+	return (p[0] - lo[0]) + s.str1[1]*(p[1]-lo[1]) + s.str1[2]*(p[2]-lo[2])
+}
+
+// comp0 and comp1 return single-component slices.
+func (s *state) comp0(c int) []float64 { return s.phi0.Comp(c) }
+func (s *state) comp1(c int) []float64 { return s.phi1.Comp(c) }
+
+// uniqueFaces returns the number of distinct faces of the valid box summed
+// over directions.
+func (s *state) uniqueFaces() int64 {
+	var n int64
+	for d := 0; d < ivect.SpaceDim; d++ {
+		n += int64(s.valid.SurroundingFaces(d).NumPts())
+	}
+	return n
+}
+
+// velocityField computes the three face-centered advection-velocity arrays
+// vel[d][face] = FaceAvg(phi0, comp d+1) over the faces of region (a cell
+// box), in parallel over z slabs. It is the precomputation pass of the
+// fused schedules; Table I charges it 3(N+1)^3 temporary values.
+//
+// The returned FABs are defined on region.SurroundingFaces(d).
+func velocityField(s *state, region box.Box, threads int) [3]*fab.FAB {
+	var vel [3]*fab.FAB
+	for d := 0; d < 3; d++ {
+		faces := region.SurroundingFaces(d)
+		v := fab.New(faces, 1)
+		out := v.Comp(0)
+		vy, vz, _ := v.Strides()
+		ph := s.comp0(kernel.VelComp(d))
+		sd := s.str0[d]
+		nz := faces.Size()[2]
+		parallel.ForChunked(threads, nz, func(_, zlo, zhi int) {
+			for zi := zlo; zi < zhi; zi++ {
+				z := faces.Lo[2] + zi
+				for y := faces.Lo[1]; y <= faces.Hi[1]; y++ {
+					src := s.off0(ivect.New(faces.Lo[0], y, z))
+					dst := (y - faces.Lo[1]) * vy
+					dst += zi * vz
+					for x := 0; x <= faces.Hi[0]-faces.Lo[0]; x++ {
+						out[dst+x] = kernel.FaceAvg(ph, src+x, sd)
+					}
+				}
+			}
+		})
+		vel[d] = v
+	}
+	return vel
+}
+
+// velAcc is a raw-slice accessor for a single-component face FAB, used in
+// the fused inner loops instead of bounds-checked Get.
+type velAcc struct {
+	data   []float64
+	lo     ivect.IntVect
+	sy, sz int
+}
+
+func newVelAcc(f *fab.FAB) velAcc {
+	sy, sz, _ := f.Strides()
+	return velAcc{data: f.Comp(0), lo: f.Box().Lo, sy: sy, sz: sz}
+}
+
+// at returns the velocity at face p.
+func (v velAcc) at(p ivect.IntVect) float64 {
+	return v.data[(p[0]-v.lo[0])+v.sy*(p[1]-v.lo[1])+v.sz*(p[2]-v.lo[2])]
+}
+
+// velBytes sums the storage of a velocity field.
+func velBytes(vel [3]*fab.FAB) int64 {
+	var b int64
+	for _, v := range vel {
+		if v != nil {
+			b += v.Bytes()
+		}
+	}
+	return b
+}

@@ -1,0 +1,128 @@
+// Package wavefront schedules computations whose items carry the canonical
+// stencil-fusion dependences: item (i,j,k) may run only after (i-1,j,k),
+// (i,j-1,k) and (i,j,k-1). The shifted-and-fused variants of Section IV-B
+// and the blocked-wavefront variants of Section IV-C (Fig. 8a/8b) execute
+// under exactly this pattern, because a fused iteration reuses flux values
+// produced by its lexicographic predecessors.
+//
+// Items on the same anti-diagonal w = i+j+k are mutually independent and
+// run concurrently; a barrier separates consecutive wavefronts. The package
+// also reports the concurrency profile (how many items each wavefront
+// offers), which quantifies the pipeline fill/drain penalty that keeps the
+// wavefront schedules from being competitive in the paper's results.
+package wavefront
+
+import (
+	"fmt"
+
+	"stencilsched/internal/ivect"
+	"stencilsched/internal/parallel"
+)
+
+// Stats summarizes the parallelism a wavefront execution offered.
+type Stats struct {
+	Items      int // total items executed
+	Wavefronts int // number of barriers + 1
+	MaxWidth   int // widest wavefront
+	// Steps is the makespan in item-execution rounds when the given thread
+	// count executes each wavefront greedily: sum over wavefronts of
+	// ceil(width / threads). Perfect parallelism would need
+	// ceil(Items/threads); Efficiency is their ratio.
+	Steps int
+}
+
+// Efficiency returns the fraction of ideal speedup the wavefront schedule
+// achieves with the thread count used to produce s: idealSteps/Steps in
+// (0, 1].
+func (s Stats) Efficiency(threads int) float64 {
+	if s.Items == 0 || s.Steps == 0 {
+		return 1
+	}
+	threads = parallel.Threads(threads)
+	ideal := (s.Items + threads - 1) / threads
+	return float64(ideal) / float64(s.Steps)
+}
+
+// Profile computes the Stats of running a grid of the given size (items
+// indexed (0..gx-1, 0..gy-1, 0..gz-1)) on the given thread count, without
+// executing anything.
+func Profile(grid ivect.IntVect, threads int) Stats {
+	if grid[0] <= 0 || grid[1] <= 0 || grid[2] <= 0 {
+		return Stats{}
+	}
+	threads = parallel.Threads(threads)
+	widths := widths(grid)
+	s := Stats{Items: grid.Prod(), Wavefronts: len(widths)}
+	for _, w := range widths {
+		if w > s.MaxWidth {
+			s.MaxWidth = w
+		}
+		s.Steps += (w + threads - 1) / threads
+	}
+	return s
+}
+
+// widths returns the number of items on each anti-diagonal of the grid.
+func widths(grid ivect.IntVect) []int {
+	nw := grid.Sum() - 2
+	ws := make([]int, nw)
+	for w := 0; w < nw; w++ {
+		ws[w] = diagonalCount(grid, w)
+	}
+	return ws
+}
+
+// diagonalCount counts lattice points (i,j,k) with 0 <= i < gx etc. and
+// i+j+k = w, by inclusion–exclusion over the upper bounds.
+func diagonalCount(grid ivect.IntVect, w int) int {
+	// Number of non-negative solutions of i+j+k = w with i < gx, j < gy,
+	// k < gz.
+	count := 0
+	for mask := 0; mask < 8; mask++ {
+		r := w
+		sign := 1
+		for d := 0; d < 3; d++ {
+			if mask&(1<<d) != 0 {
+				r -= grid[d]
+				sign = -sign
+			}
+		}
+		if r < 0 {
+			continue
+		}
+		count += sign * (r + 2) * (r + 1) / 2
+	}
+	return count
+}
+
+// Run executes body(tid, idx) for every index of the grid, honoring the
+// (i-1,j,k),(i,j-1,k),(i,j,k-1) dependences by anti-diagonal wavefronts,
+// with up to threads concurrent items per wavefront and a barrier between
+// wavefronts. Items within a wavefront are distributed dynamically, since
+// wavefront widths are ragged. It returns the concurrency Stats.
+func Run(grid ivect.IntVect, threads int, body func(tid int, idx ivect.IntVect)) Stats {
+	if grid[0] <= 0 || grid[1] <= 0 || grid[2] <= 0 {
+		panic(fmt.Sprintf("wavefront: bad grid %v", grid))
+	}
+	threads = parallel.Threads(threads)
+	nw := grid.Sum() - 2
+	// Pre-enumerate each diagonal once; the enumeration cost is trivial
+	// next to the stencil work per item.
+	items := make([]ivect.IntVect, 0, 64)
+	for w := 0; w < nw; w++ {
+		items = items[:0]
+		for k := max(0, w-grid[0]-grid[1]+2); k < grid[2] && k <= w; k++ {
+			for j := max(0, w-k-grid[0]+1); j < grid[1] && j+k <= w; j++ {
+				i := w - j - k
+				if i >= 0 && i < grid[0] {
+					items = append(items, ivect.New(i, j, k))
+				}
+			}
+		}
+		snapshot := items
+		parallel.Dynamic(threads, len(snapshot), 1, func(tid, n int) {
+			body(tid, snapshot[n])
+		})
+	}
+	return Profile(grid, threads)
+}

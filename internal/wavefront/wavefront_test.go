@@ -1,0 +1,157 @@
+package wavefront
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"stencilsched/internal/ivect"
+)
+
+func TestRunVisitsEveryIndexOnce(t *testing.T) {
+	grid := ivect.New(3, 4, 5)
+	var mu sync.Mutex
+	seen := map[ivect.IntVect]int{}
+	Run(grid, 4, func(_ int, idx ivect.IntVect) {
+		mu.Lock()
+		seen[idx]++
+		mu.Unlock()
+	})
+	if len(seen) != grid.Prod() {
+		t.Fatalf("visited %d of %d", len(seen), grid.Prod())
+	}
+	for idx, n := range seen {
+		if n != 1 {
+			t.Fatalf("index %v visited %d times", idx, n)
+		}
+	}
+}
+
+func TestRunHonorsDependences(t *testing.T) {
+	// Record a completion stamp per item; each item must complete after all
+	// three of its predecessors. Use a global atomic-ish clock under a
+	// mutex (ordering only needs to be consistent, not precise).
+	grid := ivect.New(4, 4, 4)
+	var mu sync.Mutex
+	clock := 0
+	stamp := map[ivect.IntVect]int{}
+	Run(grid, 8, func(_ int, idx ivect.IntVect) {
+		mu.Lock()
+		clock++
+		stamp[idx] = clock
+		mu.Unlock()
+	})
+	for idx, s := range stamp {
+		for d := 0; d < 3; d++ {
+			if idx[d] == 0 {
+				continue
+			}
+			pred := idx.Shift(d, -1)
+			if stamp[pred] >= s {
+				t.Fatalf("item %v (stamp %d) ran before predecessor %v (stamp %d)",
+					idx, s, pred, stamp[pred])
+			}
+		}
+	}
+}
+
+func TestRunSerialThreadOne(t *testing.T) {
+	// With one thread the visit order must still respect dependences and
+	// touch everything; also exercises the threads<1 clamp.
+	grid := ivect.New(2, 3, 2)
+	var order []ivect.IntVect
+	Run(grid, 0, func(tid int, idx ivect.IntVect) {
+		if tid != 0 {
+			t.Errorf("tid %d with one thread", tid)
+		}
+		order = append(order, idx)
+	})
+	if len(order) != grid.Prod() {
+		t.Fatalf("visited %d", len(order))
+	}
+	for i := 1; i < len(order); i++ {
+		if order[i].Sum() < order[i-1].Sum() {
+			t.Fatalf("wavefront numbers decreased: %v after %v", order[i], order[i-1])
+		}
+	}
+}
+
+func TestProfileCounts(t *testing.T) {
+	// 2x2x2 grid: wavefronts widths 1,3,3,1.
+	s := Profile(ivect.New(2, 2, 2), 4)
+	if s.Items != 8 || s.Wavefronts != 4 || s.MaxWidth != 3 {
+		t.Fatalf("stats = %+v", s)
+	}
+	// Steps with 4 threads: 1+1+1+1 = 4; ideal = ceil(8/4) = 2.
+	if s.Steps != 4 {
+		t.Fatalf("steps = %d", s.Steps)
+	}
+	if got, want := s.Efficiency(4), 0.5; got != want {
+		t.Fatalf("efficiency = %v, want %v", got, want)
+	}
+}
+
+func TestProfileMatchesEnumeration(t *testing.T) {
+	rnd := rand.New(rand.NewSource(13))
+	for i := 0; i < 100; i++ {
+		grid := ivect.New(rnd.Intn(6)+1, rnd.Intn(6)+1, rnd.Intn(6)+1)
+		threads := rnd.Intn(8) + 1
+		// Brute-force widths.
+		widths := make([]int, grid.Sum()-2)
+		for x := 0; x < grid[0]; x++ {
+			for y := 0; y < grid[1]; y++ {
+				for z := 0; z < grid[2]; z++ {
+					widths[x+y+z]++
+				}
+			}
+		}
+		steps, maxW := 0, 0
+		for _, w := range widths {
+			steps += (w + threads - 1) / threads
+			if w > maxW {
+				maxW = w
+			}
+		}
+		s := Profile(grid, threads)
+		if s.Items != grid.Prod() || s.Wavefronts != len(widths) ||
+			s.Steps != steps || s.MaxWidth != maxW {
+			t.Fatalf("grid %v threads %d: got %+v, want items %d wf %d steps %d max %d",
+				grid, threads, s, grid.Prod(), len(widths), steps, maxW)
+		}
+	}
+}
+
+func TestEfficiencyOneThreadIsPerfect(t *testing.T) {
+	// Serial execution has no pipeline penalty.
+	s := Profile(ivect.New(5, 7, 3), 1)
+	if got := s.Efficiency(1); got != 1 {
+		t.Fatalf("serial efficiency = %v", got)
+	}
+}
+
+func TestEfficiencyDropsWithThreadsAtFixedGrid(t *testing.T) {
+	// The paper's wavefront weakness: with more threads, the narrow fill and
+	// drain wavefronts waste a larger share.
+	grid := ivect.New(8, 8, 8)
+	prev := 1.1
+	for _, p := range []int{1, 2, 4, 8, 16} {
+		e := Profile(grid, p).Efficiency(p)
+		if e > prev+1e-12 {
+			t.Fatalf("efficiency increased with threads: %v -> %v at %d", prev, e, p)
+		}
+		prev = e
+	}
+	// And it is materially below 1 at high thread counts.
+	if e := Profile(grid, 16).Efficiency(16); e > 0.95 {
+		t.Fatalf("expected a visible pipeline penalty, got %v", e)
+	}
+}
+
+func TestRunPanicsOnBadGrid(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("bad grid did not panic")
+		}
+	}()
+	Run(ivect.New(0, 1, 1), 2, func(int, ivect.IntVect) {})
+}
