@@ -1,6 +1,7 @@
 package stencilsched
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sort"
@@ -48,7 +49,10 @@ func Machines() []Machine { return machine.All() }
 func MachineByName(key string) (Machine, error) { return machine.ByName(key) }
 
 // Problem sizes one measured run: NumBoxes boxes of BoxN^3 cells executed
-// with Threads total threads.
+// with Threads total threads. Threads must be at least 1: the execution
+// layer (internal/parallel) clamps non-positive counts to one, and
+// accepting them here would turn a caller's typo into a silent serial
+// run, so Validate rejects them instead.
 type Problem struct {
 	BoxN     int
 	NumBoxes int
@@ -60,9 +64,16 @@ func (p Problem) Cells() int64 {
 	return int64(p.BoxN) * int64(p.BoxN) * int64(p.BoxN) * int64(p.NumBoxes)
 }
 
-func (p Problem) validate() error {
+// Validate reports whether the problem is runnable: BoxN >= 4 (the
+// stencil's ghost radius), NumBoxes >= 1, and Threads >= 1 (see the type
+// comment for why non-positive thread counts are an error rather than
+// clamped). Services use it to reject bad requests before queueing work.
+func (p Problem) Validate() error {
 	if p.BoxN < 4 || p.NumBoxes < 1 {
 		return fmt.Errorf("stencilsched: bad problem %+v (need BoxN >= 4, NumBoxes >= 1)", p)
+	}
+	if p.Threads < 1 {
+		return fmt.Errorf("stencilsched: bad problem %+v (need Threads >= 1; the executor would silently clamp %d to one thread)", p, p.Threads)
 	}
 	return nil
 }
@@ -88,10 +99,19 @@ type MeasuredResult struct {
 // modeled experiments for the figures — but throughput and the Table I
 // accounting are real.
 func RunMeasured(v Variant, p Problem, reps int) (MeasuredResult, error) {
+	return RunMeasuredContext(context.Background(), v, p, reps)
+}
+
+// RunMeasuredContext is RunMeasured with cancellation: ctx is checked
+// between repetitions, so a cancel or deadline aborts a long measurement
+// within one repetition. On interruption the partial timings are
+// discarded and ctx.Err() is returned — the entry point the stencilserved
+// job queue runs measured work through.
+func RunMeasuredContext(ctx context.Context, v Variant, p Problem, reps int) (MeasuredResult, error) {
 	if err := v.Validate(); err != nil {
 		return MeasuredResult{}, err
 	}
-	if err := p.validate(); err != nil {
+	if err := p.Validate(); err != nil {
 		return MeasuredResult{}, err
 	}
 	if reps < 1 {
@@ -108,9 +128,12 @@ func RunMeasured(v Variant, p Problem, reps int) (MeasuredResult, error) {
 		kernel.InitSmooth(s.Phi0, p.BoxN)
 	}
 	var last variants.Stats
-	timing := stats.Time(reps, func() {
+	timing, err := stats.TimeContext(ctx, reps, func() {
 		last = variants.ExecLevel(v, states, p.Threads)
 	})
+	if err != nil {
+		return MeasuredResult{}, err
+	}
 	res := MeasuredResult{
 		Problem: p,
 		Variant: v,
@@ -168,7 +191,15 @@ type TuneResult struct {
 // conclusion. A nil candidates slice tunes over every studied variant
 // whose tiles fit the box.
 func Autotune(p Problem, reps int, candidates []Variant) ([]TuneResult, error) {
-	if err := p.validate(); err != nil {
+	return AutotuneContext(context.Background(), p, reps, candidates)
+}
+
+// AutotuneContext is Autotune with cancellation: ctx is checked before
+// every candidate and between repetitions inside each measurement, so a
+// long tuning sweep aborts promptly on cancel or deadline (partial
+// results are discarded and ctx.Err() is returned).
+func AutotuneContext(ctx context.Context, p Problem, reps int, candidates []Variant) ([]TuneResult, error) {
+	if err := p.Validate(); err != nil {
 		return nil, err
 	}
 	if candidates == nil {
@@ -184,7 +215,10 @@ func Autotune(p Problem, reps int, candidates []Variant) ([]TuneResult, error) {
 	}
 	out := make([]TuneResult, 0, len(candidates))
 	for _, v := range candidates {
-		res, err := RunMeasured(v, p, reps)
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		res, err := RunMeasuredContext(ctx, v, p, reps)
 		if err != nil {
 			return nil, fmt.Errorf("stencilsched: autotune %s: %w", v.Name(), err)
 		}

@@ -1,0 +1,110 @@
+// Command stencilserved is the long-running scheduling service: the
+// one-shot CLIs re-measure from scratch on every invocation, while this
+// server amortizes tuning across requests with a persistent autotune
+// cache, bounds concurrent measured work with a job queue and a
+// goroutine-thread budget (so benchmarks stay meaningful under load),
+// and exposes Prometheus metrics.
+//
+// Endpoints:
+//
+//	POST   /v1/solve      queue an advection solve (async; 202 + job)
+//	POST   /v1/autotune   queue a measured tuning sweep; identical repeats
+//	                      are answered from the cache (200, source=cache)
+//	POST   /v1/model      modeled execution time on a paper machine (sync)
+//	GET    /v1/variants   the studied scheduling variants (JSON or ?format=text)
+//	GET    /v1/jobs       list jobs;  GET /v1/jobs/{id} one job
+//	DELETE /v1/jobs/{id}  cancel a job
+//	GET    /metrics       Prometheus text format
+//	GET    /healthz       liveness + queue stats
+//
+// SIGINT/SIGTERM drains gracefully: intake stops, queued jobs cancel,
+// running jobs finish (up to -drain-timeout), then the process exits.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"runtime"
+	"syscall"
+	"time"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", "127.0.0.1:8754", "listen address")
+		workers = flag.Int("workers", 2, "concurrent jobs")
+		depth   = flag.Int("queue", 64, "pending-job queue depth")
+		threads = flag.Int("max-threads", runtime.NumCPU(),
+			"total goroutine-thread budget across concurrent measured jobs")
+		cacheDir = flag.String("cache-dir", defaultCacheDir(),
+			"autotune cache directory (empty disables caching)")
+		jobTimeout   = flag.Duration("job-timeout", 15*time.Minute, "per-job ceiling (0 = none)")
+		drainTimeout = flag.Duration("drain-timeout", time.Minute, "graceful-shutdown budget")
+	)
+	flag.Parse()
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	srv, err := newServer(config{
+		workers: *workers, queueDepth: *depth, maxThreads: *threads,
+		cacheDir: *cacheDir, jobTimeout: *jobTimeout, drainTimeout: *drainTimeout,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "stencilserved:", err)
+		os.Exit(1)
+	}
+	if err := run(ctx, *addr, srv, nil); err != nil {
+		fmt.Fprintln(os.Stderr, "stencilserved:", err)
+		os.Exit(1)
+	}
+}
+
+// defaultCacheDir places the tunecache under the user cache directory,
+// falling back to the system temp dir.
+func defaultCacheDir() string {
+	if dir, err := os.UserCacheDir(); err == nil {
+		return filepath.Join(dir, "stencilserved", "tunecache")
+	}
+	return filepath.Join(os.TempDir(), "stencilserved-tunecache")
+}
+
+// run serves until ctx is canceled (SIGINT/SIGTERM in production; the
+// drain test cancels it directly), then shuts down gracefully: stop
+// accepting connections, drain in-flight jobs, exit. ready, when
+// non-nil, receives the bound address once the listener is up.
+func run(ctx context.Context, addr string, srv *server, ready func(net.Addr)) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	hs := &http.Server{Handler: srv}
+	log.Printf("stencilserved: listening on http://%s (workers=%d, thread budget=%d, cache=%s)",
+		ln.Addr(), srv.cfg.workers, srv.cfg.maxThreads, srv.cfg.cacheDir)
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+	if ready != nil {
+		ready(ln.Addr())
+	}
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	log.Printf("stencilserved: shutting down, draining jobs (budget %s)", srv.cfg.drainTimeout)
+	dctx, cancel := context.WithTimeout(context.Background(), srv.cfg.drainTimeout)
+	defer cancel()
+	serr := hs.Shutdown(dctx)
+	derr := srv.queue.Drain(dctx)
+	if derr != nil {
+		derr = fmt.Errorf("drain: %w", derr)
+	}
+	log.Printf("stencilserved: drained, exiting")
+	return errors.Join(serr, derr)
+}

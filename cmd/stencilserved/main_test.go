@@ -1,0 +1,86 @@
+package main
+
+import (
+	"bufio"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// TestSIGINTExitsCleanly builds the real binary, starts it, delivers an
+// actual SIGINT, and requires a clean (code 0) drained exit — the
+// process-level counterpart of TestRunDrainsInFlightJobsOnShutdown.
+func TestSIGINTExitsCleanly(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess test skipped in -short mode")
+	}
+	bin := filepath.Join(t.TempDir(), "stencilserved")
+	build := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+	cmd := exec.Command(bin,
+		"-addr", "127.0.0.1:0",
+		"-cache-dir", t.TempDir(),
+		"-drain-timeout", "10s")
+	stderr, err := cmd.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer cmd.Process.Kill()
+
+	// The startup log line carries the bound address.
+	var addr string
+	lines := make(chan string, 64)
+	go func() {
+		sc := bufio.NewScanner(stderr)
+		for sc.Scan() {
+			lines <- sc.Text()
+		}
+		close(lines)
+	}()
+	deadline := time.After(30 * time.Second)
+	for addr == "" {
+		select {
+		case line, ok := <-lines:
+			if !ok {
+				t.Fatal("server exited before listening")
+			}
+			if i := strings.Index(line, "http://"); i >= 0 {
+				addr = strings.Fields(line[i:])[0]
+			}
+		case <-deadline:
+			t.Fatal("no listening line within 30s")
+		}
+	}
+	resp, err := http.Get(addr + "/healthz")
+	if err != nil {
+		t.Fatalf("healthz: %v", err)
+	}
+	resp.Body.Close()
+
+	if err := cmd.Process.Signal(syscall.SIGINT); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- cmd.Wait() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("exit after SIGINT: %v (want code 0)", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("no exit within 30s of SIGINT")
+	}
+	if _, err := os.Stat(bin); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,556 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"math"
+	"net/http"
+	"sort"
+	"strings"
+	"time"
+
+	"stencilsched"
+	"stencilsched/internal/jobs"
+	"stencilsched/internal/metrics"
+	"stencilsched/internal/perfmodel"
+	"stencilsched/internal/report"
+	"stencilsched/internal/tunecache"
+)
+
+// config sizes the service.
+type config struct {
+	workers      int           // concurrent jobs
+	queueDepth   int           // pending jobs before 503
+	maxThreads   int           // total goroutine-thread budget across jobs
+	cacheDir     string        // tunecache directory ("" disables caching)
+	jobTimeout   time.Duration // per-job ceiling (0 = none)
+	drainTimeout time.Duration // graceful-shutdown budget
+}
+
+// server wires the queue, tuning cache, and metrics behind the HTTP API.
+type server struct {
+	cfg   config
+	queue *jobs.Queue
+	cache *tunecache.Cache
+	reg   *metrics.Registry
+	mux   *http.ServeMux
+	start time.Time
+
+	cacheHits   *metrics.Counter
+	cacheMisses *metrics.Counter
+}
+
+func newServer(cfg config) (*server, error) {
+	if cfg.workers < 1 {
+		cfg.workers = 1
+	}
+	if cfg.queueDepth < 1 {
+		cfg.queueDepth = 64
+	}
+	if cfg.maxThreads < 1 {
+		cfg.maxThreads = 1
+	}
+	s := &server{
+		cfg:   cfg,
+		queue: jobs.New(cfg.workers, cfg.queueDepth, cfg.maxThreads),
+		reg:   metrics.NewRegistry(),
+		mux:   http.NewServeMux(),
+		start: time.Now(),
+	}
+	if cfg.cacheDir != "" {
+		c, err := tunecache.Open(cfg.cacheDir)
+		if err != nil {
+			return nil, err
+		}
+		s.cache = c
+	}
+	// Register the cache counters up front so a scrape before any tuning
+	// traffic still shows them at zero.
+	s.cacheHits = s.reg.Counter("stencilserved_tunecache_hits_total",
+		"autotune requests answered from the cache without re-measuring")
+	s.cacheMisses = s.reg.Counter("stencilserved_tunecache_misses_total",
+		"autotune requests that had to measure")
+
+	s.handle("POST /v1/solve", s.handleSolve)
+	s.handle("POST /v1/autotune", s.handleAutotune)
+	s.handle("POST /v1/model", s.handleModel)
+	s.handle("GET /v1/variants", s.handleVariants)
+	s.handle("GET /v1/jobs", s.handleJobList)
+	s.handle("GET /v1/jobs/{id}", s.handleJobGet)
+	s.handle("DELETE /v1/jobs/{id}", s.handleJobCancel)
+	s.handle("GET /metrics", s.handleMetrics)
+	s.handle("GET /healthz", s.handleHealthz)
+	return s, nil
+}
+
+func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// handle registers a route instrumented with a per-route latency
+// histogram and a per-route/status response counter. The route label is
+// the mux pattern, not the raw URL, so job IDs do not explode metric
+// cardinality.
+func (s *server) handle(pattern string, h http.HandlerFunc) {
+	route := metrics.Label{Key: "route", Value: pattern}
+	hist := s.reg.Histogram("stencilserved_request_seconds",
+		"request latency by route", nil, route)
+	s.mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
+		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+		defer hist.ObserveSince(time.Now())
+		h(sw, r)
+		s.reg.Counter("stencilserved_responses_total", "responses by route and status",
+			route, metrics.Label{Key: "code", Value: fmt.Sprintf("%d", sw.code)}).Inc()
+	})
+}
+
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.code = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+func httpError(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, errorResponse{Error: fmt.Sprintf(format, args...)})
+}
+
+// decodeJSON decodes a request body strictly: unknown fields are an
+// error, because a misspelled tuning parameter silently falling back to
+// a default is exactly the failure mode this service exists to avoid.
+func decodeJSON(r *http.Request, v any) error {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	return dec.Decode(v)
+}
+
+// submit queues fn and answers 202 with the job snapshot, mapping queue
+// saturation to 503 (with Retry-After) so load shedding is visible to
+// clients.
+func (s *server) submit(w http.ResponseWriter, kind string, threads int, fn jobs.Func) {
+	snap, err := s.queue.Submit(kind, threads, s.cfg.jobTimeout, fn)
+	switch {
+	case err == jobs.ErrQueueFull:
+		w.Header().Set("Retry-After", "1")
+		httpError(w, http.StatusServiceUnavailable, "job queue full")
+	case err == jobs.ErrDraining:
+		httpError(w, http.StatusServiceUnavailable, "server shutting down")
+	case err != nil:
+		httpError(w, http.StatusInternalServerError, "%v", err)
+	default:
+		s.reg.Counter("stencilserved_jobs_submitted_total", "jobs accepted by kind",
+			metrics.Label{Key: "kind", Value: kind}).Inc()
+		writeJSON(w, http.StatusAccepted, snap)
+	}
+}
+
+// ---- POST /v1/solve ----------------------------------------------------
+
+type solveRequest struct {
+	DomainN    int        `json:"domain_n"`
+	BoxN       int        `json:"box_n"`
+	Variant    string     `json:"variant"`
+	U          [3]float64 `json:"u"`
+	Dt         float64    `json:"dt"`
+	Steps      int        `json:"steps"`
+	Integrator string     `json:"integrator"`
+	Threads    int        `json:"threads"`
+}
+
+type solveResult struct {
+	Variant     string     `json:"variant"`
+	DomainN     int        `json:"domain_n"`
+	BoxN        int        `json:"box_n"`
+	NumBoxes    int        `json:"num_boxes"`
+	Steps       int        `json:"steps"`
+	SimTime     float64    `json:"sim_time"`
+	Totals      [5]float64 `json:"totals"`
+	DensityLinf float64    `json:"density_linf"`
+	DensityL1   float64    `json:"density_l1"`
+	ElapsedSec  float64    `json:"elapsed_sec"`
+}
+
+// solveRho is the initial density served solves use: a smooth periodic
+// profile whose exact advected image is known, so every job can report
+// its density error. (Arbitrary client-supplied profiles would need a
+// function over the wire; an expression language is future work.)
+func solveRho(domainN int) func(x, y, z float64) float64 {
+	k := 2 * math.Pi / float64(domainN)
+	return func(x, y, z float64) float64 {
+		return 1 + 0.25*math.Sin(k*x)*math.Sin(k*y)*math.Sin(k*z)
+	}
+}
+
+func (s *server) handleSolve(w http.ResponseWriter, r *http.Request) {
+	req := solveRequest{
+		Variant:    "Shift-Fuse: P>=Box",
+		U:          [3]float64{0.5, 0.25, 0.125},
+		Dt:         0.2,
+		Steps:      1,
+		Integrator: "rk4",
+	}
+	if err := decodeJSON(r, &req); err != nil {
+		httpError(w, http.StatusBadRequest, "bad request: %v", err)
+		return
+	}
+	if req.BoxN == 0 {
+		req.BoxN = req.DomainN
+	}
+	v, err := stencilsched.ParseVariant(req.Variant)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	var integ stencilsched.Integrator
+	switch strings.ToLower(req.Integrator) {
+	case "euler":
+		integ = stencilsched.Euler
+	case "rk2":
+		integ = stencilsched.RK2
+	case "", "rk4":
+		integ = stencilsched.RK4
+	default:
+		httpError(w, http.StatusBadRequest, "unknown integrator %q (euler, rk2, rk4)", req.Integrator)
+		return
+	}
+	switch {
+	case req.DomainN < 4:
+		httpError(w, http.StatusBadRequest, "domain_n %d too small (need >= 4)", req.DomainN)
+		return
+	case req.Threads < 1:
+		httpError(w, http.StatusBadRequest, "threads %d invalid: must be >= 1 (the executor would silently clamp it to a serial run)", req.Threads)
+		return
+	case req.Steps < 1:
+		httpError(w, http.StatusBadRequest, "steps %d invalid: must be >= 1", req.Steps)
+		return
+	case req.Dt <= 0:
+		httpError(w, http.StatusBadRequest, "dt %g invalid: must be > 0", req.Dt)
+		return
+	}
+	req2 := req // capture by value for the job closure
+	s.submit(w, "solve", req.Threads, func(ctx context.Context) (any, error) {
+		prob := stencilsched.AdvectionProblem{
+			DomainN: req2.DomainN, BoxN: req2.BoxN,
+			U: req2.U, Rho: solveRho(req2.DomainN), Dt: req2.Dt,
+			Integrator: integ, Threads: req2.Threads,
+		}
+		adv, err := stencilsched.NewAdvection(prob, v)
+		if err != nil {
+			return nil, err
+		}
+		start := time.Now()
+		// Advance in short bursts so cancellation lands between steps.
+		const burst = 4
+		for done := 0; done < req2.Steps; {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			n := burst
+			if rest := req2.Steps - done; rest < n {
+				n = rest
+			}
+			adv.Advance(n)
+			done += n
+		}
+		linf, l1 := adv.DensityError()
+		return solveResult{
+			Variant: v.Name(), DomainN: req2.DomainN, BoxN: req2.BoxN,
+			NumBoxes: adv.NumBoxes(), Steps: req2.Steps, SimTime: adv.Time(),
+			Totals: adv.Totals(), DensityLinf: linf, DensityL1: l1,
+			ElapsedSec: time.Since(start).Seconds(),
+		}, nil
+	})
+}
+
+// ---- POST /v1/autotune -------------------------------------------------
+
+type autotuneRequest struct {
+	BoxN       int      `json:"box_n"`
+	NumBoxes   int      `json:"num_boxes"`
+	Threads    int      `json:"threads"`
+	Reps       int      `json:"reps"`
+	Candidates []string `json:"candidates"`
+}
+
+type tuneRow struct {
+	Variant      string  `json:"variant"`
+	Seconds      float64 `json:"seconds"`
+	MCellsPerSec float64 `json:"mcells_per_sec"`
+}
+
+type autotuneResult struct {
+	Source   string    `json:"source"` // "measured" or "cache"
+	BoxN     int       `json:"box_n"`
+	NumBoxes int       `json:"num_boxes"`
+	Threads  int       `json:"threads"`
+	Reps     int       `json:"reps"`
+	Results  []tuneRow `json:"results"` // fastest first
+}
+
+func (s *server) handleAutotune(w http.ResponseWriter, r *http.Request) {
+	req := autotuneRequest{NumBoxes: 1, Reps: 3}
+	if err := decodeJSON(r, &req); err != nil {
+		httpError(w, http.StatusBadRequest, "bad request: %v", err)
+		return
+	}
+	p := stencilsched.Problem{BoxN: req.BoxN, NumBoxes: req.NumBoxes, Threads: req.Threads}
+	if err := p.Validate(); err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if req.Reps < 1 {
+		httpError(w, http.StatusBadRequest, "reps %d invalid: must be >= 1", req.Reps)
+		return
+	}
+	// Resolve the candidate set up front: it is part of the cache key,
+	// and a bad variant name must 400 here, not fail a queued job.
+	var cands []stencilsched.Variant
+	if len(req.Candidates) == 0 {
+		for _, v := range stencilsched.Variants() {
+			if v.Tiled() && v.MaxTileEdge() > p.BoxN {
+				continue
+			}
+			cands = append(cands, v)
+		}
+	} else {
+		for _, name := range req.Candidates {
+			v, err := stencilsched.ParseVariant(name)
+			if err != nil {
+				httpError(w, http.StatusBadRequest, "%v", err)
+				return
+			}
+			cands = append(cands, v)
+		}
+	}
+	if len(cands) == 0 {
+		httpError(w, http.StatusBadRequest, "no feasible candidates for box_n %d", p.BoxN)
+		return
+	}
+
+	key := s.tuneKey(p, req.Reps, cands)
+	if s.cache != nil {
+		var cached []tuneRow
+		if ok, err := s.cache.Get(key, &cached); err == nil && ok {
+			s.cacheHits.Inc()
+			writeJSON(w, http.StatusOK, autotuneResult{
+				Source: "cache", BoxN: p.BoxN, NumBoxes: p.NumBoxes,
+				Threads: p.Threads, Reps: req.Reps, Results: cached,
+			})
+			return
+		}
+	}
+	s.cacheMisses.Inc()
+	s.submit(w, "autotune", p.Threads, func(ctx context.Context) (any, error) {
+		results, err := stencilsched.AutotuneContext(ctx, p, req.Reps, cands)
+		if err != nil {
+			return nil, err
+		}
+		rows := make([]tuneRow, len(results))
+		for i, t := range results {
+			rows[i] = tuneRow{Variant: t.Variant.Name(), Seconds: t.Seconds, MCellsPerSec: t.MCellsPerSec}
+		}
+		if s.cache != nil {
+			if err := s.cache.Put(key, rows); err != nil {
+				// A broken cache must not fail a finished measurement.
+				s.reg.Counter("stencilserved_tunecache_put_errors_total",
+					"failed cache writes").Inc()
+			}
+		}
+		return autotuneResult{
+			Source: "measured", BoxN: p.BoxN, NumBoxes: p.NumBoxes,
+			Threads: p.Threads, Reps: req.Reps, Results: rows,
+		}, nil
+	})
+}
+
+// tuneKey builds the cache key: host fingerprint + problem + reps +
+// the exact candidate set (order-insensitive).
+func (s *server) tuneKey(p stencilsched.Problem, reps int, cands []stencilsched.Variant) string {
+	names := make([]string, len(cands))
+	for i, v := range cands {
+		names[i] = v.Name()
+	}
+	sort.Strings(names)
+	parts := append([]string{
+		tunecache.Fingerprint(),
+		fmt.Sprintf("boxn=%d boxes=%d threads=%d reps=%d", p.BoxN, p.NumBoxes, p.Threads, reps),
+	}, names...)
+	return tunecache.Key(parts...)
+}
+
+// ---- POST /v1/model ----------------------------------------------------
+
+type modelRequest struct {
+	Machine   string `json:"machine"`
+	Variant   string `json:"variant"`
+	BoxN      int    `json:"box_n"`
+	NumBoxes  int    `json:"num_boxes"`
+	Threads   int    `json:"threads"`
+	NUMAAware bool   `json:"numa_aware"`
+}
+
+type modelResult struct {
+	Machine    string  `json:"machine"`
+	Variant    string  `json:"variant"`
+	BoxN       int     `json:"box_n"`
+	NumBoxes   int     `json:"num_boxes"`
+	Threads    int     `json:"threads"`
+	TotalSec   float64 `json:"total_sec"`
+	ComputeSec float64 `json:"compute_sec"`
+	MemorySec  float64 `json:"memory_sec"`
+	RegionSec  float64 `json:"region_sec"`
+	Speedup    float64 `json:"speedup"`
+	BWGBs      float64 `json:"bw_gbs"`
+	Fits       bool    `json:"cache_fit"`
+}
+
+func (s *server) handleModel(w http.ResponseWriter, r *http.Request) {
+	var req modelRequest
+	if err := decodeJSON(r, &req); err != nil {
+		httpError(w, http.StatusBadRequest, "bad request: %v", err)
+		return
+	}
+	m, err := stencilsched.MachineByName(req.Machine)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	v, err := stencilsched.ParseVariant(req.Variant)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if req.BoxN < 4 {
+		httpError(w, http.StatusBadRequest, "box_n %d too small (need >= 4)", req.BoxN)
+		return
+	}
+	if req.NumBoxes < 1 {
+		req.NumBoxes = perfmodel.PaperNumBoxes(req.BoxN)
+		if req.NumBoxes < 1 {
+			req.NumBoxes = 1
+		}
+	}
+	if req.Threads < 1 {
+		req.Threads = m.Cores()
+	}
+	b := stencilsched.Model(stencilsched.ModelConfig{
+		Machine: m, Variant: v, BoxN: req.BoxN, NumBoxes: req.NumBoxes,
+		Threads: req.Threads, NUMAAware: req.NUMAAware,
+	})
+	writeJSON(w, http.StatusOK, modelResult{
+		Machine: m.Name, Variant: v.Name(), BoxN: req.BoxN,
+		NumBoxes: req.NumBoxes, Threads: req.Threads,
+		TotalSec: b.TotalSec, ComputeSec: b.ComputeSec, MemorySec: b.MemorySec,
+		RegionSec: b.RegionSec, Speedup: b.Speedup, BWGBs: b.BWGBs, Fits: b.Fits,
+	})
+}
+
+// ---- GET /v1/variants --------------------------------------------------
+
+func (s *server) handleVariants(w http.ResponseWriter, r *http.Request) {
+	t := &report.Table{
+		Title:  "Studied scheduling variants",
+		Note:   "see internal/sched for the axes",
+		Header: []string{"name", "family", "granularity", "comp loop", "tile", "intra-tile"},
+	}
+	for _, v := range stencilsched.Variants() {
+		tile := "-"
+		if v.Tiled() {
+			sh := v.TileShape()
+			tile = fmt.Sprintf("%dx%dx%d", sh[0], sh[1], sh[2])
+		}
+		intra := "-"
+		if v.Family.String() == "OT" {
+			intra = v.Intra.String()
+		}
+		t.Add(v.Name(), v.Family.String(), v.Par.String(), v.Comp.String(), tile, intra)
+	}
+	if r.URL.Query().Get("format") == "text" {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		_ = t.Render(w)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = t.JSON(w)
+}
+
+// ---- jobs, metrics, health ---------------------------------------------
+
+func (s *server) handleJobList(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.queue.List())
+}
+
+func (s *server) handleJobGet(w http.ResponseWriter, r *http.Request) {
+	snap, ok := s.queue.Get(r.PathValue("id"))
+	if !ok {
+		httpError(w, http.StatusNotFound, "no such job %q", r.PathValue("id"))
+		return
+	}
+	writeJSON(w, http.StatusOK, snap)
+}
+
+func (s *server) handleJobCancel(w http.ResponseWriter, r *http.Request) {
+	snap, ok := s.queue.Cancel(r.PathValue("id"))
+	if !ok {
+		httpError(w, http.StatusNotFound, "no such job %q", r.PathValue("id"))
+		return
+	}
+	writeJSON(w, http.StatusOK, snap)
+}
+
+func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	st := s.queue.Stats()
+	for _, g := range []struct {
+		status string
+		n      int
+	}{
+		{"pending", st.Pending}, {"running", st.Running}, {"done", st.Done},
+		{"failed", st.Failed}, {"canceled", st.Canceled},
+	} {
+		s.reg.Gauge("stencilserved_jobs", "jobs by lifecycle status",
+			metrics.Label{Key: "status", Value: g.status}).Set(float64(g.n))
+	}
+	s.reg.Gauge("stencilserved_threads_in_use", "thread-budget tokens held by running jobs").Set(float64(st.ThreadsInUse))
+	s.reg.Gauge("stencilserved_thread_budget", "total thread-budget tokens").Set(float64(st.ThreadCap))
+	s.reg.Gauge("stencilserved_uptime_seconds", "seconds since start").Set(time.Since(s.start).Seconds())
+	if s.cache != nil {
+		s.reg.Gauge("stencilserved_tunecache_entries", "entry files in the tunecache").Set(float64(s.cache.Len()))
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = s.reg.WritePrometheus(w)
+}
+
+type healthResponse struct {
+	Status       string     `json:"status"`
+	UptimeSec    float64    `json:"uptime_sec"`
+	Queue        jobs.Stats `json:"queue"`
+	CacheEntries int        `json:"cache_entries"`
+	CacheDir     string     `json:"cache_dir,omitempty"`
+}
+
+func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	h := healthResponse{
+		Status:    "ok",
+		UptimeSec: time.Since(s.start).Seconds(),
+		Queue:     s.queue.Stats(),
+	}
+	if s.cache != nil {
+		h.CacheEntries = s.cache.Len()
+		h.CacheDir = s.cache.Dir()
+	}
+	writeJSON(w, http.StatusOK, h)
+}

@@ -1,0 +1,429 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"stencilsched"
+	"stencilsched/internal/jobs"
+)
+
+func newTestServer(t *testing.T, cfg config) (*server, *httptest.Server) {
+	t.Helper()
+	if cfg.workers == 0 {
+		cfg.workers = 2
+	}
+	if cfg.queueDepth == 0 {
+		cfg.queueDepth = 16
+	}
+	if cfg.maxThreads == 0 {
+		cfg.maxThreads = 4
+	}
+	if cfg.cacheDir == "" {
+		cfg.cacheDir = t.TempDir()
+	}
+	s, err := newServer(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s)
+	t.Cleanup(func() {
+		ts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_ = s.queue.Drain(ctx)
+	})
+	return s, ts
+}
+
+// doJSON posts body (marshaled) and decodes the response into out (when
+// non-nil), returning the status code.
+func doJSON(t *testing.T, method, url string, body, out any) int {
+	t.Helper()
+	var rd io.Reader
+	if body != nil {
+		b, err := json.Marshal(body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rd = bytes.NewReader(b)
+	}
+	req, err := http.NewRequest(method, url, rd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != nil {
+		if err := json.Unmarshal(data, out); err != nil {
+			t.Fatalf("%s %s: bad JSON %q: %v", method, url, data, err)
+		}
+	}
+	return resp.StatusCode
+}
+
+// awaitJob polls the job endpoint until the job is terminal.
+func awaitJob(t *testing.T, baseURL, id string) jobs.Snapshot {
+	t.Helper()
+	deadline := time.Now().Add(60 * time.Second)
+	for time.Now().Before(deadline) {
+		var snap jobs.Snapshot
+		if code := doJSON(t, http.MethodGet, baseURL+"/v1/jobs/"+id, nil, &snap); code != http.StatusOK {
+			t.Fatalf("GET job %s: status %d", id, code)
+		}
+		if snap.Status.Terminal() {
+			return snap
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("job %s never finished", id)
+	return jobs.Snapshot{}
+}
+
+func TestVariantsEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, config{})
+	var table struct {
+		Title  string     `json:"title"`
+		Header []string   `json:"header"`
+		Rows   [][]string `json:"rows"`
+	}
+	if code := doJSON(t, http.MethodGet, ts.URL+"/v1/variants", nil, &table); code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	if len(table.Rows) != 32 {
+		t.Fatalf("rows = %d, want the 32 studied variants", len(table.Rows))
+	}
+	resp, err := http.Get(ts.URL + "/v1/variants?format=text")
+	if err != nil {
+		t.Fatal(err)
+	}
+	text, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(text), "== Studied scheduling variants ==") {
+		t.Fatalf("text format missing title:\n%s", text)
+	}
+}
+
+func TestModelEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, config{})
+	var res modelResult
+	code := doJSON(t, http.MethodPost, ts.URL+"/v1/model",
+		map[string]any{"machine": "Magny", "variant": "Baseline: P>=Box", "box_n": 128}, &res)
+	if code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	if res.TotalSec <= 0 || res.Threads < 1 || res.NumBoxes < 1 {
+		t.Fatalf("bad model result %+v", res)
+	}
+	var e errorResponse
+	if code := doJSON(t, http.MethodPost, ts.URL+"/v1/model",
+		map[string]any{"machine": "no-such-machine", "variant": "Baseline: P>=Box", "box_n": 128}, &e); code != http.StatusBadRequest {
+		t.Fatalf("bad machine: status %d, want 400", code)
+	}
+}
+
+func TestSolveJobLifecycle(t *testing.T) {
+	_, ts := newTestServer(t, config{})
+	var snap jobs.Snapshot
+	code := doJSON(t, http.MethodPost, ts.URL+"/v1/solve", map[string]any{
+		"domain_n": 16, "box_n": 8, "steps": 2, "threads": 2, "dt": 0.2,
+	}, &snap)
+	if code != http.StatusAccepted {
+		t.Fatalf("status %d, want 202", code)
+	}
+	if snap.Status != jobs.StatusPending || snap.ID == "" {
+		t.Fatalf("bad submit snapshot %+v", snap)
+	}
+	got := awaitJob(t, ts.URL, snap.ID)
+	if got.Status != jobs.StatusDone {
+		t.Fatalf("job %s: %+v", snap.ID, got)
+	}
+	res, ok := got.Result.(map[string]any)
+	if !ok {
+		t.Fatalf("result type %T", got.Result)
+	}
+	if res["num_boxes"].(float64) != 8 { // 16^3 domain in 8^3 boxes
+		t.Fatalf("num_boxes = %v, want 8", res["num_boxes"])
+	}
+	if res["density_linf"].(float64) > 0.05 {
+		t.Fatalf("density error %v implausibly large", res["density_linf"])
+	}
+	// The job list shows it too.
+	var list []jobs.Snapshot
+	if code := doJSON(t, http.MethodGet, ts.URL+"/v1/jobs", nil, &list); code != http.StatusOK || len(list) != 1 {
+		t.Fatalf("job list: code %d, %d jobs", code, len(list))
+	}
+}
+
+func TestSolveValidation(t *testing.T) {
+	_, ts := newTestServer(t, config{})
+	cases := []map[string]any{
+		{"domain_n": 16, "steps": 2, "threads": 0},                     // bad threads -> 400, not silent serial
+		{"domain_n": 16, "steps": 2, "threads": -2},                    // negative threads
+		{"domain_n": 2, "steps": 2, "threads": 1},                      // domain too small
+		{"domain_n": 16, "steps": 0, "threads": 1},                     // no steps
+		{"domain_n": 16, "steps": 1, "threads": 1, "dt": -1},           // bad dt
+		{"domain_n": 16, "steps": 1, "threads": 1, "variant": "bogus"}, // bad variant
+		{"domain_n": 16, "steps": 1, "threads": 1, "thread": 4},        // misspelled field
+	}
+	for _, body := range cases {
+		var e errorResponse
+		if code := doJSON(t, http.MethodPost, ts.URL+"/v1/solve", body, &e); code != http.StatusBadRequest {
+			t.Errorf("%v: status %d, want 400", body, code)
+		} else if e.Error == "" {
+			t.Errorf("%v: empty error message", body)
+		}
+	}
+}
+
+func TestSolveCancellation(t *testing.T) {
+	_, ts := newTestServer(t, config{workers: 1})
+	var snap jobs.Snapshot
+	code := doJSON(t, http.MethodPost, ts.URL+"/v1/solve", map[string]any{
+		"domain_n": 32, "box_n": 16, "steps": 1000000, "threads": 1,
+	}, &snap)
+	if code != http.StatusAccepted {
+		t.Fatalf("status %d", code)
+	}
+	var canceled jobs.Snapshot
+	if code := doJSON(t, http.MethodDelete, ts.URL+"/v1/jobs/"+snap.ID, nil, &canceled); code != http.StatusOK {
+		t.Fatalf("DELETE status %d", code)
+	}
+	got := awaitJob(t, ts.URL, snap.ID)
+	if got.Status != jobs.StatusCanceled {
+		t.Fatalf("status = %s, want canceled", got.Status)
+	}
+}
+
+func TestJobNotFound(t *testing.T) {
+	_, ts := newTestServer(t, config{})
+	var e errorResponse
+	if code := doJSON(t, http.MethodGet, ts.URL+"/v1/jobs/nope-1", nil, &e); code != http.StatusNotFound {
+		t.Fatalf("GET unknown job: %d, want 404", code)
+	}
+	if code := doJSON(t, http.MethodDelete, ts.URL+"/v1/jobs/nope-1", nil, &e); code != http.StatusNotFound {
+		t.Fatalf("DELETE unknown job: %d, want 404", code)
+	}
+}
+
+func TestAutotuneCacheFlow(t *testing.T) {
+	_, ts := newTestServer(t, config{})
+	body := map[string]any{
+		"box_n": 8, "num_boxes": 1, "threads": 2, "reps": 1,
+		"candidates": []string{"Baseline: P>=Box", "Shift-Fuse: P>=Box"},
+	}
+	// First request: cache miss, measured asynchronously.
+	var snap jobs.Snapshot
+	if code := doJSON(t, http.MethodPost, ts.URL+"/v1/autotune", body, &snap); code != http.StatusAccepted {
+		t.Fatalf("first autotune: status %d, want 202", code)
+	}
+	got := awaitJob(t, ts.URL, snap.ID)
+	if got.Status != jobs.StatusDone {
+		t.Fatalf("autotune job: %+v", got)
+	}
+	res := got.Result.(map[string]any)
+	if res["source"] != "measured" {
+		t.Fatalf("first source = %v, want measured", res["source"])
+	}
+	if n := len(res["results"].([]any)); n != 2 {
+		t.Fatalf("results = %d rows, want 2", n)
+	}
+	// Identical repeat: answered synchronously from the cache.
+	var hit autotuneResult
+	if code := doJSON(t, http.MethodPost, ts.URL+"/v1/autotune", body, &hit); code != http.StatusOK {
+		t.Fatalf("repeat autotune: status %d, want 200 (cache hit)", code)
+	}
+	if hit.Source != "cache" || len(hit.Results) != 2 {
+		t.Fatalf("repeat = %+v, want cached 2 rows", hit)
+	}
+	if hit.Results[0].Seconds > hit.Results[1].Seconds {
+		t.Fatalf("cached results not sorted fastest first: %+v", hit.Results)
+	}
+	// A different candidate order is the same tuning request.
+	body["candidates"] = []string{"Shift-Fuse: P>=Box", "Baseline: P>=Box"}
+	if code := doJSON(t, http.MethodPost, ts.URL+"/v1/autotune", body, &hit); code != http.StatusOK || hit.Source != "cache" {
+		t.Fatalf("reordered candidates missed the cache: %d %+v", code, hit)
+	}
+	// The hit is visible on /metrics.
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	metricsText, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	for _, want := range []string{
+		"stencilserved_tunecache_hits_total 2",
+		"stencilserved_tunecache_misses_total 1",
+		`stencilserved_jobs{status="done"} `,
+		"stencilserved_thread_budget 4",
+		`stencilserved_responses_total{code="200",route="POST /v1/autotune"} 2`,
+	} {
+		if !strings.Contains(string(metricsText), want) {
+			t.Errorf("/metrics missing %q:\n%s", want, metricsText)
+		}
+	}
+}
+
+func TestAutotuneValidation(t *testing.T) {
+	_, ts := newTestServer(t, config{})
+	var e errorResponse
+	// Threads <= 0 must 400, not run serially.
+	code := doJSON(t, http.MethodPost, ts.URL+"/v1/autotune",
+		map[string]any{"box_n": 8, "threads": 0}, &e)
+	if code != http.StatusBadRequest || !strings.Contains(e.Error, "Threads") {
+		t.Fatalf("threads=0: code %d err %q, want 400 mentioning Threads", code, e.Error)
+	}
+	code = doJSON(t, http.MethodPost, ts.URL+"/v1/autotune",
+		map[string]any{"box_n": 8, "threads": 1, "candidates": []string{"not a variant"}}, &e)
+	if code != http.StatusBadRequest {
+		t.Fatalf("bad candidate: code %d, want 400", code)
+	}
+}
+
+func TestQueueFullShedsLoad(t *testing.T) {
+	_, ts := newTestServer(t, config{workers: 1, queueDepth: 1})
+	body := map[string]any{"domain_n": 32, "box_n": 16, "steps": 1000000, "threads": 1}
+	codes := make(map[int]int)
+	var ids []string
+	for i := 0; i < 3; i++ {
+		var snap jobs.Snapshot
+		code := doJSON(t, http.MethodPost, ts.URL+"/v1/solve", body, &snap)
+		codes[code]++
+		if snap.ID != "" {
+			ids = append(ids, snap.ID)
+		}
+	}
+	if codes[http.StatusServiceUnavailable] == 0 {
+		t.Fatalf("no 503 from a full 1-worker/1-slot queue: %v", codes)
+	}
+	for _, id := range ids { // stop the long jobs
+		doJSON(t, http.MethodDelete, ts.URL+"/v1/jobs/"+id, nil, nil)
+	}
+}
+
+func TestHealthz(t *testing.T) {
+	_, ts := newTestServer(t, config{})
+	var h healthResponse
+	if code := doJSON(t, http.MethodGet, ts.URL+"/healthz", nil, &h); code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	if h.Status != "ok" || h.Queue.Workers != 2 || h.Queue.ThreadCap != 4 {
+		t.Fatalf("bad health %+v", h)
+	}
+}
+
+// TestRunDrainsInFlightJobsOnShutdown exercises the exact code path a
+// SIGINT takes in main (signal.NotifyContext cancels run's context): the
+// listener closes, queued jobs cancel, and the in-flight job finishes
+// before run returns.
+func TestRunDrainsInFlightJobsOnShutdown(t *testing.T) {
+	s, err := newServer(config{
+		workers: 1, queueDepth: 8, maxThreads: 2,
+		cacheDir: t.TempDir(), drainTimeout: 10 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	addrc := make(chan net.Addr, 1)
+	done := make(chan error, 1)
+	go func() { done <- run(ctx, "127.0.0.1:0", s, func(a net.Addr) { addrc <- a }) }()
+	var addr net.Addr
+	select {
+	case addr = <-addrc:
+	case err := <-done:
+		t.Fatalf("run exited early: %v", err)
+	}
+	base := "http://" + addr.String()
+	var h healthResponse
+	if code := doJSON(t, http.MethodGet, base+"/healthz", nil, &h); code != http.StatusOK {
+		t.Fatalf("healthz over run's listener: %d", code)
+	}
+	// One controllable in-flight job, one queued behind it.
+	release := make(chan struct{})
+	started := make(chan struct{})
+	inflight, err := s.queue.Submit("test", 1, 0, func(ctx context.Context) (any, error) {
+		close(started)
+		<-release
+		return "survived the drain", nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	queued, err := s.queue.Submit("test", 1, 0, func(ctx context.Context) (any, error) {
+		return "should never run", nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-started
+	cancel() // the SIGINT stand-in
+	time.Sleep(20 * time.Millisecond)
+	close(release)
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("run returned %v, want clean exit", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("run did not exit after drain")
+	}
+	if got, _ := s.queue.Get(inflight.ID); got.Status != jobs.StatusDone || got.Result != "survived the drain" {
+		t.Fatalf("in-flight job after drain: %+v", got)
+	}
+	if got, _ := s.queue.Get(queued.ID); got.Status != jobs.StatusCanceled {
+		t.Fatalf("queued job after drain: %+v", got)
+	}
+	if _, err := s.queue.Submit("late", 1, 0, func(ctx context.Context) (any, error) { return nil, nil }); err != jobs.ErrDraining {
+		t.Fatalf("submit after drain: %v, want ErrDraining", err)
+	}
+	if _, err := http.Get(base + "/healthz"); err == nil {
+		t.Fatal("listener still accepting after shutdown")
+	}
+}
+
+func parseVariants(t *testing.T, names ...string) []stencilsched.Variant {
+	t.Helper()
+	out := make([]stencilsched.Variant, len(names))
+	for i, n := range names {
+		v, err := stencilsched.ParseVariant(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[i] = v
+	}
+	return out
+}
+
+func TestTuneKeyStability(t *testing.T) {
+	s, _ := newTestServer(t, config{})
+	prob := stencilsched.Problem{BoxN: 8, NumBoxes: 1, Threads: 2}
+	a := parseVariants(t, "Baseline: P>=Box", "Shift-Fuse: P>=Box")
+	b := parseVariants(t, "Shift-Fuse: P>=Box", "Baseline: P>=Box")
+	if s.tuneKey(prob, 1, a) != s.tuneKey(prob, 1, b) {
+		t.Fatal("candidate order changed the cache key")
+	}
+	if s.tuneKey(prob, 1, a) == s.tuneKey(prob, 2, a) {
+		t.Fatal("reps not part of the cache key")
+	}
+	other := stencilsched.Problem{BoxN: 16, NumBoxes: 1, Threads: 2}
+	if s.tuneKey(other, 1, a) == s.tuneKey(prob, 1, a) {
+		t.Fatal("problem not part of the cache key")
+	}
+}

@@ -25,4 +25,14 @@
 // their shapes from the calibrated machine models in internal/machine and
 // internal/perfmodel (see DESIGN.md for the substitution argument and
 // EXPERIMENTS.md for paper-vs-reproduction records).
+//
+// # Service layer
+//
+// Long-running workloads go through cmd/stencilserved, an HTTP service
+// that queues solves and measured tuning sweeps on a bounded worker pool
+// (internal/jobs), caches autotune results per host/problem/candidate
+// set (internal/tunecache), and exposes Prometheus metrics
+// (internal/metrics). The context-aware entry points RunMeasuredContext
+// and AutotuneContext exist for it — and for any caller that needs to
+// cancel a long measurement.
 package stencilsched

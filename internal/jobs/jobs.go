@@ -1,0 +1,365 @@
+// Package jobs is the scheduling service's execution core: a bounded
+// worker-pool job queue with per-job context cancellation and timeouts,
+// status tracking, a thread-budget semaphore, and graceful drain.
+//
+// Two bounds matter independently. The worker count limits how many jobs
+// execute at once; the thread budget limits how many goroutine-threads
+// those jobs fork in total, because a measured benchmark sharing cores
+// with another measured benchmark produces garbage numbers. A job
+// declares its thread need at submission and a worker acquires that many
+// tokens (FIFO, so wide jobs are not starved) before the job's function
+// runs.
+//
+// Lifecycle: pending -> running -> done | failed | canceled. Cancellation
+// is cooperative — the job function receives a context and is expected to
+// check it (the stencilsched *Context entry points do) — except for jobs
+// still waiting in the queue or for thread tokens, which cancel
+// immediately.
+package jobs
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Status is a job's lifecycle state.
+type Status string
+
+// The job lifecycle states.
+const (
+	StatusPending  Status = "pending"
+	StatusRunning  Status = "running"
+	StatusDone     Status = "done"
+	StatusFailed   Status = "failed"
+	StatusCanceled Status = "canceled"
+)
+
+// Terminal reports whether the status is final.
+func (s Status) Terminal() bool {
+	return s == StatusDone || s == StatusFailed || s == StatusCanceled
+}
+
+// Func is the work a job performs. It must honor ctx to be cancelable
+// and its result must be JSON-marshalable (it is served over the wire).
+type Func func(ctx context.Context) (any, error)
+
+// Submission errors.
+var (
+	ErrQueueFull = errors.New("jobs: queue full")
+	ErrDraining  = errors.New("jobs: queue draining")
+)
+
+// job is the internal record; all mutable fields are guarded by Queue.mu.
+type job struct {
+	id       string
+	kind     string
+	threads  int
+	timeout  time.Duration
+	fn       Func
+	status   Status
+	result   any
+	err      string
+	created  time.Time
+	started  time.Time
+	finished time.Time
+	cancel   context.CancelFunc // set once a worker picks the job up
+	canceled bool               // cancel requested
+}
+
+// Snapshot is a job's externally visible state.
+type Snapshot struct {
+	ID       string     `json:"id"`
+	Kind     string     `json:"kind"`
+	Status   Status     `json:"status"`
+	Threads  int        `json:"threads"`
+	Created  time.Time  `json:"created"`
+	Started  *time.Time `json:"started,omitempty"`
+	Finished *time.Time `json:"finished,omitempty"`
+	Result   any        `json:"result,omitempty"`
+	Error    string     `json:"error,omitempty"`
+}
+
+func (j *job) snapshot() Snapshot {
+	s := Snapshot{
+		ID: j.id, Kind: j.kind, Status: j.status, Threads: j.threads,
+		Created: j.created, Result: j.result, Error: j.err,
+	}
+	if !j.started.IsZero() {
+		t := j.started
+		s.Started = &t
+	}
+	if !j.finished.IsZero() {
+		t := j.finished
+		s.Finished = &t
+	}
+	return s
+}
+
+// Stats summarizes the queue for health and metrics endpoints.
+type Stats struct {
+	Pending      int `json:"pending"`
+	Running      int `json:"running"`
+	Done         int `json:"done"`
+	Failed       int `json:"failed"`
+	Canceled     int `json:"canceled"`
+	Workers      int `json:"workers"`
+	ThreadsInUse int `json:"threads_in_use"`
+	ThreadCap    int `json:"thread_cap"`
+}
+
+// Queue is a bounded worker-pool job queue. Create one with New; all
+// methods are safe for concurrent use.
+type Queue struct {
+	mu         sync.Mutex
+	jobs       map[string]*job
+	order      []string
+	pending    chan *job
+	sem        *threadSem
+	workers    int
+	seq        uint64
+	draining   bool
+	wg         sync.WaitGroup
+	baseCtx    context.Context
+	baseCancel context.CancelFunc
+}
+
+// New starts a queue with the given worker count, pending-queue depth,
+// and total thread budget (each clamped to at least 1).
+func New(workers, depth, maxThreads int) *Queue {
+	if workers < 1 {
+		workers = 1
+	}
+	if depth < 1 {
+		depth = 1
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	q := &Queue{
+		jobs:       make(map[string]*job),
+		pending:    make(chan *job, depth),
+		sem:        newThreadSem(maxThreads),
+		workers:    workers,
+		baseCtx:    ctx,
+		baseCancel: cancel,
+	}
+	q.wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go q.worker()
+	}
+	return q
+}
+
+// Submit enqueues fn as a job of the given kind needing threads
+// goroutine-threads, with an optional per-job timeout (0 means none). It
+// never blocks: a full queue returns ErrQueueFull and a draining queue
+// ErrDraining.
+func (q *Queue) Submit(kind string, threads int, timeout time.Duration, fn Func) (Snapshot, error) {
+	if fn == nil {
+		return Snapshot{}, fmt.Errorf("jobs: nil job func")
+	}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.draining {
+		return Snapshot{}, ErrDraining
+	}
+	q.seq++
+	j := &job{
+		id:      fmt.Sprintf("%s-%d", kind, q.seq),
+		kind:    kind,
+		threads: q.sem.clamp(threads),
+		timeout: timeout,
+		fn:      fn,
+		status:  StatusPending,
+		created: time.Now(),
+	}
+	select {
+	case q.pending <- j:
+	default:
+		return Snapshot{}, ErrQueueFull
+	}
+	q.jobs[j.id] = j
+	q.order = append(q.order, j.id)
+	return j.snapshot(), nil
+}
+
+// Get returns the job's current snapshot.
+func (q *Queue) Get(id string) (Snapshot, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	j, ok := q.jobs[id]
+	if !ok {
+		return Snapshot{}, false
+	}
+	return j.snapshot(), true
+}
+
+// List returns every job in submission order.
+func (q *Queue) List() []Snapshot {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	out := make([]Snapshot, 0, len(q.order))
+	for _, id := range q.order {
+		out = append(out, q.jobs[id].snapshot())
+	}
+	return out
+}
+
+// Cancel requests cancellation of a job. Jobs not yet picked up by a
+// worker become canceled immediately; running jobs get their context
+// canceled and finish as canceled once their function returns. Canceling
+// a finished job is a no-op. It reports whether the job exists.
+func (q *Queue) Cancel(id string) (Snapshot, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	j, ok := q.jobs[id]
+	if !ok {
+		return Snapshot{}, false
+	}
+	q.cancelLocked(j)
+	return j.snapshot(), true
+}
+
+// cancelLocked marks j canceled; q.mu is held.
+func (q *Queue) cancelLocked(j *job) {
+	if j.status.Terminal() {
+		return
+	}
+	j.canceled = true
+	if j.cancel != nil {
+		j.cancel()
+		return
+	}
+	// Still buffered in the pending channel: settle it now; the worker
+	// that eventually pops it will see the terminal status and skip.
+	j.status = StatusCanceled
+	j.finished = time.Now()
+}
+
+// Stats returns current queue counters.
+func (q *Queue) Stats() Stats {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	s := Stats{Workers: q.workers, ThreadCap: q.sem.cap, ThreadsInUse: q.sem.inUse()}
+	for _, j := range q.jobs {
+		switch j.status {
+		case StatusPending:
+			s.Pending++
+		case StatusRunning:
+			s.Running++
+		case StatusDone:
+			s.Done++
+		case StatusFailed:
+			s.Failed++
+		case StatusCanceled:
+			s.Canceled++
+		}
+	}
+	return s
+}
+
+// Drain shuts the queue down gracefully: it stops accepting submissions,
+// cancels jobs that have not started, and waits for running jobs to
+// finish. If ctx expires first, the running jobs' contexts are canceled
+// and Drain still waits for the workers to return (cooperative
+// cancellation: a job that ignores its context delays shutdown) before
+// returning ctx's error. Drain is idempotent.
+func (q *Queue) Drain(ctx context.Context) error {
+	q.mu.Lock()
+	if !q.draining {
+		q.draining = true
+		close(q.pending)
+	}
+	for _, j := range q.jobs {
+		if j.status == StatusPending {
+			q.cancelLocked(j)
+		}
+	}
+	q.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		q.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		q.baseCancel()
+		<-done
+		return ctx.Err()
+	}
+}
+
+// worker executes jobs from the pending channel until it closes.
+func (q *Queue) worker() {
+	defer q.wg.Done()
+	for j := range q.pending {
+		q.run(j)
+	}
+}
+
+// run executes one job through its full lifecycle.
+func (q *Queue) run(j *job) {
+	q.mu.Lock()
+	if j.status.Terminal() { // canceled while still queued
+		q.mu.Unlock()
+		return
+	}
+	ctx, cancel := context.WithCancel(q.baseCtx)
+	j.cancel = cancel
+	timeout := j.timeout
+	q.mu.Unlock()
+	defer cancel()
+	if timeout > 0 {
+		var tcancel context.CancelFunc
+		ctx, tcancel = context.WithTimeout(ctx, timeout)
+		defer tcancel()
+	}
+
+	granted, err := q.sem.acquire(ctx, j.threads)
+	if err != nil {
+		q.finish(j, nil, err)
+		return
+	}
+	defer q.sem.release(granted)
+
+	q.mu.Lock()
+	j.status = StatusRunning
+	j.started = time.Now()
+	q.mu.Unlock()
+
+	res, err := runSafely(ctx, j.fn)
+	q.finish(j, res, err)
+}
+
+// runSafely converts a panicking job into a failed one instead of
+// crashing the worker (and with it every queued job).
+func runSafely(ctx context.Context, fn Func) (res any, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("jobs: job panicked: %v", r)
+		}
+	}()
+	return fn(ctx)
+}
+
+// finish settles a job's terminal state.
+func (q *Queue) finish(j *job, res any, err error) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	j.finished = time.Now()
+	switch {
+	case err == nil:
+		j.status = StatusDone
+		j.result = res
+	case j.canceled:
+		j.status = StatusCanceled
+		j.err = err.Error()
+	default:
+		j.status = StatusFailed
+		j.err = err.Error()
+	}
+}

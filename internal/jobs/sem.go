@@ -1,0 +1,116 @@
+package jobs
+
+import (
+	"context"
+	"sync"
+)
+
+// threadSem is a FIFO weighted semaphore over the service's thread
+// budget. Measured benchmarks are only meaningful if concurrent jobs
+// cannot oversubscribe the host's cores: a job declares how many
+// goroutine-threads its kernels will fork and must acquire that many
+// tokens before running. FIFO grant order keeps a wide job (a full-node
+// measurement) from starving behind a stream of narrow ones.
+type threadSem struct {
+	mu      sync.Mutex
+	cap     int
+	used    int
+	waiters []*semWaiter
+}
+
+type semWaiter struct {
+	n     int
+	ready chan struct{}
+}
+
+func newThreadSem(capacity int) *threadSem {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &threadSem{cap: capacity}
+}
+
+// clamp bounds a request to [1, cap] so a single job can always run,
+// just never with more threads than the budget.
+func (s *threadSem) clamp(n int) int {
+	if n < 1 {
+		return 1
+	}
+	if n > s.cap {
+		return s.cap
+	}
+	return n
+}
+
+// acquire blocks until n tokens are granted or ctx is done. It returns
+// the granted weight (the clamped n) which the caller must release.
+func (s *threadSem) acquire(ctx context.Context, n int) (int, error) {
+	n = s.clamp(n)
+	s.mu.Lock()
+	if len(s.waiters) == 0 && s.used+n <= s.cap {
+		s.used += n
+		s.mu.Unlock()
+		return n, nil
+	}
+	w := &semWaiter{n: n, ready: make(chan struct{})}
+	s.waiters = append(s.waiters, w)
+	s.mu.Unlock()
+	select {
+	case <-w.ready:
+		return n, nil
+	case <-ctx.Done():
+		s.mu.Lock()
+		select {
+		case <-w.ready:
+			// Granted concurrently with cancellation: give the tokens
+			// back (grant may unblock the next waiter) and still fail.
+			s.used -= n
+			s.grant()
+			s.mu.Unlock()
+		default:
+			for i, cand := range s.waiters {
+				if cand == w {
+					s.waiters = append(s.waiters[:i], s.waiters[i+1:]...)
+					break
+				}
+			}
+			// Removing a wide waiter from the head can unblock narrower
+			// ones behind it.
+			s.grant()
+			s.mu.Unlock()
+		}
+		return 0, ctx.Err()
+	}
+}
+
+// release returns granted tokens to the pool.
+func (s *threadSem) release(n int) {
+	s.mu.Lock()
+	s.used -= n
+	if s.used < 0 {
+		s.used = 0
+	}
+	s.grant()
+	s.mu.Unlock()
+}
+
+// grant wakes waiters in FIFO order while their requests fit. Callers
+// hold s.mu.
+func (s *threadSem) grant() {
+	for len(s.waiters) > 0 {
+		w := s.waiters[0]
+		if s.used+w.n > s.cap {
+			return
+		}
+		s.used += w.n
+		s.waiters = s.waiters[1:]
+		close(w.ready)
+	}
+}
+
+// inUse returns the granted token count.
+func (s *threadSem) inUse() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.used
+}

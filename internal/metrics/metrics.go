@@ -1,0 +1,266 @@
+// Package metrics is a dependency-free metrics registry for the service
+// layer: monotonic counters, gauges, and latency histograms, rendered in
+// the Prometheus text exposition format for a /metrics endpoint. It
+// exists because the repo is stdlib-only; the subset implemented (HELP,
+// TYPE, labels, cumulative histogram buckets) is what standard Prometheus
+// scrapers and promtool understand.
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Label is one key="value" pair attached to a metric series.
+type Label struct {
+	Key, Value string
+}
+
+// Counter is a monotonically increasing value.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Gauge is a value that can go up and down.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set replaces the value.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Add adjusts the value by d (may be negative).
+func (g *Gauge) Add(d float64) {
+	for {
+		old := g.bits.Load()
+		if g.bits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+d)) {
+			return
+		}
+	}
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// Histogram counts observations into cumulative buckets, Prometheus
+// style: counts[i] counts observations <= buckets[i], with an implicit
+// final +Inf bucket.
+type Histogram struct {
+	mu      sync.Mutex
+	buckets []float64 // ascending upper bounds
+	counts  []uint64  // len(buckets)+1; last is +Inf
+	sum     float64
+	count   uint64
+}
+
+// Observe records one observation.
+func (h *Histogram) Observe(v float64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	i := sort.SearchFloat64s(h.buckets, v)
+	h.counts[i]++
+	h.sum += v
+	h.count++
+}
+
+// ObserveSince records the seconds elapsed since start — the latency
+// idiom: defer hist.ObserveSince(time.Now()) at handler entry.
+func (h *Histogram) ObserveSince(start time.Time) {
+	h.Observe(time.Since(start).Seconds())
+}
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() uint64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.count
+}
+
+// DefBuckets returns latency buckets in seconds spanning sub-millisecond
+// handlers through multi-minute measured tuning sweeps.
+func DefBuckets() []float64 {
+	return []float64{0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1, 5, 10, 30, 60, 300}
+}
+
+// Registry holds metric families and renders them for scraping. The zero
+// value is not usable; call NewRegistry.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+	order    []string
+}
+
+type family struct {
+	name, help, typ string
+	series          map[string]any // Counter, Gauge or Histogram, by label signature
+	order           []string
+	labels          map[string][]Label
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+// Counter returns the counter series name{labels...}, creating family and
+// series on first use. It panics if name is already registered with a
+// different metric type — a programming error, like a duplicate flag.
+func (r *Registry) Counter(name, help string, labels ...Label) *Counter {
+	return getSeries(r, name, help, "counter", labels, func() *Counter { return &Counter{} })
+}
+
+// Gauge returns the gauge series name{labels...}, creating it on first
+// use.
+func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
+	return getSeries(r, name, help, "gauge", labels, func() *Gauge { return &Gauge{} })
+}
+
+// Histogram returns the histogram series name{labels...} with the given
+// bucket upper bounds (DefBuckets when nil), creating it on first use.
+// Buckets are fixed at creation; later calls reuse the first buckets.
+func (r *Registry) Histogram(name, help string, buckets []float64, labels ...Label) *Histogram {
+	return getSeries(r, name, help, "histogram", labels, func() *Histogram {
+		if buckets == nil {
+			buckets = DefBuckets()
+		}
+		b := append([]float64(nil), buckets...)
+		sort.Float64s(b)
+		return &Histogram{buckets: b, counts: make([]uint64, len(b)+1)}
+	})
+}
+
+func getSeries[T any](r *Registry, name, help, typ string, labels []Label, mk func() T) T {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.families[name]
+	if f == nil {
+		f = &family{name: name, help: help, typ: typ,
+			series: make(map[string]any), labels: make(map[string][]Label)}
+		r.families[name] = f
+		r.order = append(r.order, name)
+	}
+	if f.typ != typ {
+		panic(fmt.Sprintf("metrics: %s registered as %s, requested as %s", name, f.typ, typ))
+	}
+	sig := signature(labels)
+	if s, ok := f.series[sig]; ok {
+		return s.(T)
+	}
+	s := mk()
+	f.series[sig] = s
+	f.order = append(f.order, sig)
+	f.labels[sig] = append([]Label(nil), labels...)
+	return s
+}
+
+// signature renders labels as a stable key ({} for none).
+func signature(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	parts := make([]string, len(labels))
+	for i, l := range labels {
+		parts[i] = fmt.Sprintf("%s=%q", l.Key, escape(l.Value))
+	}
+	sort.Strings(parts)
+	return strings.Join(parts, ",")
+}
+
+func escape(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	return v
+}
+
+// WritePrometheus renders every registered family in the text exposition
+// format, families in registration order.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, name := range r.order {
+		f := r.families[name]
+		if f.help != "" {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", f.name, f.help); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", f.name, f.typ); err != nil {
+			return err
+		}
+		for _, sig := range f.order {
+			if err := writeSeries(w, f, sig); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func writeSeries(w io.Writer, f *family, sig string) error {
+	switch s := f.series[sig].(type) {
+	case *Counter:
+		_, err := fmt.Fprintf(w, "%s%s %d\n", f.name, braced(sig), s.Value())
+		return err
+	case *Gauge:
+		_, err := fmt.Fprintf(w, "%s%s %v\n", f.name, braced(sig), s.Value())
+		return err
+	case *Histogram:
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		var cum uint64
+		for i, ub := range s.buckets {
+			cum += s.counts[i]
+			if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n",
+				f.name, braced(joinSig(sig, fmt.Sprintf("le=%q", fmt.Sprintf("%v", ub)))), cum); err != nil {
+				return err
+			}
+		}
+		cum += s.counts[len(s.buckets)]
+		if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", f.name, braced(joinSig(sig, `le="+Inf"`)), cum); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s_sum%s %v\n", f.name, braced(sig), s.sum); err != nil {
+			return err
+		}
+		_, err := fmt.Fprintf(w, "%s_count%s %d\n", f.name, braced(sig), s.count)
+		return err
+	default:
+		return fmt.Errorf("metrics: unknown series type %T", s)
+	}
+}
+
+func braced(sig string) string {
+	if sig == "" {
+		return ""
+	}
+	return "{" + sig + "}"
+}
+
+func joinSig(sig, extra string) string {
+	if sig == "" {
+		return extra
+	}
+	return sig + "," + extra
+}
+
+// String renders the registry to a string (for tests and logs).
+func (r *Registry) String() string {
+	var b strings.Builder
+	_ = r.WritePrometheus(&b)
+	return b.String()
+}

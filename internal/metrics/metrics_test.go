@@ -1,0 +1,118 @@
+package metrics
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterAndGauge(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("requests_total", "requests served", Label{"route", "/v1/solve"})
+	c.Inc()
+	c.Add(2)
+	if got := c.Value(); got != 3 {
+		t.Fatalf("counter = %d, want 3", got)
+	}
+	// Same name+labels returns the same series; different labels a new one.
+	if r.Counter("requests_total", "", Label{"route", "/v1/solve"}) != c {
+		t.Fatal("counter not deduplicated by labels")
+	}
+	c2 := r.Counter("requests_total", "", Label{"route", "/metrics"})
+	if c2 == c {
+		t.Fatal("distinct labels share a series")
+	}
+	g := r.Gauge("queue_depth", "jobs waiting")
+	g.Set(4)
+	g.Add(-1.5)
+	if got := g.Value(); got != 2.5 {
+		t.Fatalf("gauge = %v, want 2.5", got)
+	}
+
+	out := r.String()
+	for _, want := range []string{
+		"# TYPE requests_total counter",
+		`requests_total{route="/v1/solve"} 3`,
+		`requests_total{route="/metrics"} 0`,
+		"# TYPE queue_depth gauge",
+		"queue_depth 2.5",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("latency_seconds", "request latency", []float64{0.1, 1, 10})
+	for _, v := range []float64{0.05, 0.5, 0.5, 5, 50} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Fatalf("count = %d, want 5", h.Count())
+	}
+	out := r.String()
+	for _, want := range []string{
+		"# TYPE latency_seconds histogram",
+		`latency_seconds_bucket{le="0.1"} 1`,
+		`latency_seconds_bucket{le="1"} 3`,
+		`latency_seconds_bucket{le="10"} 4`,
+		`latency_seconds_bucket{le="+Inf"} 5`,
+		"latency_seconds_sum 56.05",
+		"latency_seconds_count 5",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	h.ObserveSince(time.Now())
+	if h.Count() != 6 {
+		t.Fatalf("ObserveSince not recorded")
+	}
+}
+
+func TestBucketBoundaryIsInclusive(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("h", "", []float64{1, 2})
+	h.Observe(1) // le="1" is inclusive in Prometheus
+	out := r.String()
+	if !strings.Contains(out, `h_bucket{le="1"} 1`) {
+		t.Fatalf("boundary observation not in its bucket:\n%s", out)
+	}
+}
+
+func TestTypeMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x", "")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic re-registering counter as gauge")
+		}
+	}()
+	r.Gauge("x", "")
+}
+
+func TestConcurrentUse(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				r.Counter("c", "").Inc()
+				r.Gauge("g", "").Add(1)
+				r.Histogram("h", "", nil).Observe(float64(j))
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("c", "").Value(); got != 8000 {
+		t.Fatalf("counter = %d, want 8000", got)
+	}
+	if got := r.Histogram("h", "", nil).Count(); got != 8000 {
+		t.Fatalf("histogram count = %d, want 8000", got)
+	}
+}

@@ -5,6 +5,7 @@ package report
 
 import (
 	"encoding/csv"
+	"encoding/json"
 	"fmt"
 	"io"
 	"strings"
@@ -95,6 +96,33 @@ func (t *Table) CSV(w io.Writer) error {
 	}
 	cw.Flush()
 	return cw.Error()
+}
+
+// MarshalJSON serializes the table for the wire (cmd/stencilserved): an
+// object with title, note, header, and rows, the same grid the text and
+// CSV renderers show. An empty Rows slice serializes as [], not null, so
+// clients can always range over it.
+func (t *Table) MarshalJSON() ([]byte, error) {
+	rows := t.Rows
+	if rows == nil {
+		rows = [][]string{}
+	}
+	header := t.Header
+	if header == nil {
+		header = []string{}
+	}
+	return json.Marshal(struct {
+		Title  string     `json:"title"`
+		Note   string     `json:"note,omitempty"`
+		Header []string   `json:"header"`
+		Rows   [][]string `json:"rows"`
+	}{t.Title, t.Note, header, rows})
+}
+
+// JSON writes the table as JSON.
+func (t *Table) JSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	return enc.Encode(t)
 }
 
 // String renders to a string (for tests and logs).

@@ -2,6 +2,7 @@ package report
 
 import (
 	"encoding/csv"
+	"encoding/json"
 	"errors"
 	"strings"
 	"testing"
@@ -85,5 +86,36 @@ func TestEmptyTableRenders(t *testing.T) {
 	out := tab.String()
 	if !strings.Contains(out, "Empty") || !strings.Contains(out, "a") {
 		t.Fatalf("empty render:\n%s", out)
+	}
+}
+
+func TestJSON(t *testing.T) {
+	tb := &Table{
+		Title:  "Variants",
+		Header: []string{"name", "family"},
+	}
+	tb.Add("Baseline: P>=Box", "Baseline")
+	var buf strings.Builder
+	if err := tb.JSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var got struct {
+		Title  string     `json:"title"`
+		Header []string   `json:"header"`
+		Rows   [][]string `json:"rows"`
+	}
+	if err := json.Unmarshal([]byte(buf.String()), &got); err != nil {
+		t.Fatalf("invalid JSON %q: %v", buf.String(), err)
+	}
+	if got.Title != "Variants" || len(got.Rows) != 1 || got.Rows[0][0] != "Baseline: P>=Box" {
+		t.Fatalf("round trip mismatch: %+v", got)
+	}
+	empty := &Table{Title: "empty"}
+	buf.Reset()
+	if err := empty.JSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"rows":[]`) {
+		t.Fatalf("nil rows must serialize as []: %s", buf.String())
 	}
 }

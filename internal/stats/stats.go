@@ -4,6 +4,7 @@
 package stats
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"time"
@@ -23,12 +24,27 @@ type Sample struct {
 // machines); the spread is kept for error reporting. It panics for
 // non-positive reps.
 func Time(reps int, f func()) Sample {
+	s, _ := TimeContext(context.Background(), reps, f)
+	return s
+}
+
+// TimeContext is Time with cancellation: ctx is checked before every
+// repetition, so a cancel or deadline aborts the series within one
+// repetition. On interruption it returns ctx.Err() together with a Sample
+// summarizing only the repetitions that completed (Reps carries that
+// count; zero completed repetitions leave the extrema infinite, so check
+// the error before using the Sample).
+func TimeContext(ctx context.Context, reps int, f func()) (Sample, error) {
 	if reps <= 0 {
 		panic(fmt.Sprintf("stats: reps %d must be positive", reps))
 	}
-	s := Sample{Reps: reps, MinSec: math.Inf(1), MaxSec: math.Inf(-1)}
+	s := Sample{MinSec: math.Inf(1), MaxSec: math.Inf(-1)}
 	var sum, sumSq float64
 	for i := 0; i < reps; i++ {
+		if err := ctx.Err(); err != nil {
+			s.summarize(sum, sumSq)
+			return s, err
+		}
 		start := time.Now()
 		f()
 		d := time.Since(start).Seconds()
@@ -40,15 +56,26 @@ func Time(reps int, f func()) Sample {
 		}
 		sum += d
 		sumSq += d * d
+		s.Reps++
 	}
-	s.Mean = sum / float64(reps)
-	if reps > 1 {
-		v := (sumSq - sum*sum/float64(reps)) / float64(reps-1)
+	s.summarize(sum, sumSq)
+	return s, nil
+}
+
+// summarize fills Mean and StdDev from the running sums over s.Reps
+// completed repetitions.
+func (s *Sample) summarize(sum, sumSq float64) {
+	if s.Reps == 0 {
+		return
+	}
+	n := float64(s.Reps)
+	s.Mean = sum / n
+	if s.Reps > 1 {
+		v := (sumSq - sum*sum/n) / (n - 1)
 		if v > 0 {
 			s.StdDev = math.Sqrt(v)
 		}
 	}
-	return s
 }
 
 // Speedup converts a time series (indexed like threads) into speedups

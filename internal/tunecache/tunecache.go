@@ -1,0 +1,149 @@
+// Package tunecache persists autotune results across service restarts
+// and requests. Measured tuning is expensive (seconds to minutes of
+// dedicated benchmarking per request), while its result is stable for a
+// given host, problem shape, and candidate set — exactly the shape of
+// work a file-backed cache amortizes. Keys combine a host fingerprint
+// with the request parameters (see Key and Fingerprint); values are
+// opaque JSON supplied by the caller.
+//
+// The cache is deliberately forgiving: a missing, truncated, or
+// corrupted entry file is a miss, never an error, because the worst case
+// must be "re-measure", not "service down". Writes go through a
+// temporary file and rename, so readers and concurrent writers never
+// observe a half-written entry.
+package tunecache
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Cache is a directory of JSON entry files with an in-memory read-through
+// layer. It is safe for concurrent use.
+type Cache struct {
+	dir string
+	mu  sync.Mutex
+	mem map[string]json.RawMessage
+}
+
+// entry is the on-disk envelope. The full key is stored alongside the
+// value so hash collisions are detected (treated as a miss) and entries
+// are debuggable with cat.
+type entry struct {
+	Key     string          `json:"key"`
+	SavedAt time.Time       `json:"saved_at"`
+	Value   json.RawMessage `json:"value"`
+}
+
+// Open returns a cache rooted at dir, creating the directory as needed.
+func Open(dir string) (*Cache, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("tunecache: empty directory")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("tunecache: %w", err)
+	}
+	return &Cache{dir: dir, mem: make(map[string]json.RawMessage)}, nil
+}
+
+// Dir returns the cache directory.
+func (c *Cache) Dir() string { return c.dir }
+
+// Fingerprint identifies the measuring host: results from one machine
+// must never answer tuning requests on another, and a Go upgrade can
+// shift goroutine scheduling enough to reorder close candidates.
+func Fingerprint() string {
+	return fmt.Sprintf("%s/%s cpus=%d %s", runtime.GOOS, runtime.GOARCH, runtime.NumCPU(), runtime.Version())
+}
+
+// Key builds a cache key from its parts (host fingerprint, problem
+// shape, repetitions, candidate names, ...). Parts are joined with a
+// separator that cannot appear ambiguously, so distinct part lists give
+// distinct keys.
+func Key(parts ...string) string {
+	return strings.Join(parts, "\x1f")
+}
+
+// path maps a key to its entry file. Keys are hashed: they contain
+// variant names with characters that are not filesystem-safe.
+func (c *Cache) path(key string) string {
+	sum := sha256.Sum256([]byte(key))
+	return filepath.Join(c.dir, hex.EncodeToString(sum[:])+".json")
+}
+
+// Get looks key up and unmarshals the cached value into out, reporting
+// whether it hit. Unreadable or corrupted entries are misses; the only
+// errors are from unmarshalling a *valid* entry into an incompatible out.
+func (c *Cache) Get(key string, out any) (bool, error) {
+	c.mu.Lock()
+	raw, ok := c.mem[key]
+	c.mu.Unlock()
+	if !ok {
+		data, err := os.ReadFile(c.path(key))
+		if err != nil {
+			return false, nil
+		}
+		var e entry
+		if err := json.Unmarshal(data, &e); err != nil || e.Key != key {
+			return false, nil
+		}
+		raw = e.Value
+		c.mu.Lock()
+		c.mem[key] = raw
+		c.mu.Unlock()
+	}
+	if err := json.Unmarshal(raw, out); err != nil {
+		return false, fmt.Errorf("tunecache: decode cached value: %w", err)
+	}
+	return true, nil
+}
+
+// Put stores value under key, replacing any previous entry. The write is
+// atomic (temp file + rename), so a concurrent Get sees either the old
+// entry or the new one, never a torn file.
+func (c *Cache) Put(key string, value any) error {
+	raw, err := json.Marshal(value)
+	if err != nil {
+		return fmt.Errorf("tunecache: encode value: %w", err)
+	}
+	data, err := json.MarshalIndent(entry{Key: key, SavedAt: time.Now().UTC(), Value: raw}, "", "  ")
+	if err != nil {
+		return fmt.Errorf("tunecache: encode entry: %w", err)
+	}
+	tmp, err := os.CreateTemp(c.dir, "put-*.tmp")
+	if err != nil {
+		return fmt.Errorf("tunecache: %w", err)
+	}
+	_, werr := tmp.Write(data)
+	cerr := tmp.Close()
+	if werr != nil || cerr != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("tunecache: write entry: %w", fmt.Errorf("%v / %v", werr, cerr))
+	}
+	if err := os.Rename(tmp.Name(), c.path(key)); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("tunecache: %w", err)
+	}
+	c.mu.Lock()
+	c.mem[key] = raw
+	c.mu.Unlock()
+	return nil
+}
+
+// Len reports the number of entry files on disk (not the in-memory
+// layer), for tests and the health endpoint.
+func (c *Cache) Len() int {
+	names, err := filepath.Glob(filepath.Join(c.dir, "*.json"))
+	if err != nil {
+		return 0
+	}
+	return len(names)
+}

@@ -1,0 +1,164 @@
+package tunecache
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+type tuneRow struct {
+	Variant string  `json:"variant"`
+	Seconds float64 `json:"seconds"`
+}
+
+func TestRoundTrip(t *testing.T) {
+	c, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := Key(Fingerprint(), "boxn=8", "reps=2", "Baseline: P>=Box")
+	var miss []tuneRow
+	if ok, err := c.Get(key, &miss); err != nil || ok {
+		t.Fatalf("empty cache Get = (%v, %v), want miss", ok, err)
+	}
+	in := []tuneRow{{"Shift-Fuse: P>=Box", 0.012}, {"Baseline: P>=Box", 0.034}}
+	if err := c.Put(key, in); err != nil {
+		t.Fatal(err)
+	}
+	var out []tuneRow
+	if ok, err := c.Get(key, &out); err != nil || !ok {
+		t.Fatalf("Get after Put = (%v, %v), want hit", ok, err)
+	}
+	if len(out) != 2 || out[0] != in[0] || out[1] != in[1] {
+		t.Fatalf("round trip mismatch: %+v", out)
+	}
+}
+
+func TestPersistsAcrossReopen(t *testing.T) {
+	dir := t.TempDir()
+	c1, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := Key("host", "problem")
+	if err := c1.Put(key, map[string]int{"n": 7}); err != nil {
+		t.Fatal(err)
+	}
+	c2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got map[string]int
+	if ok, err := c2.Get(key, &got); err != nil || !ok || got["n"] != 7 {
+		t.Fatalf("reopened Get = (%v, %v, %+v), want hit with n=7", ok, err, got)
+	}
+	if c2.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", c2.Len())
+	}
+}
+
+func TestCorruptEntryIsMissAndRecoverable(t *testing.T) {
+	dir := t.TempDir()
+	c, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := Key("host", "corrupt")
+	if err := c.Put(key, 42); err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt the entry on disk, then reopen (drops the memory layer).
+	names, _ := filepath.Glob(filepath.Join(dir, "*.json"))
+	if len(names) != 1 {
+		t.Fatalf("want one entry file, got %v", names)
+	}
+	if err := os.WriteFile(names[0], []byte("{truncated"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	c, err = Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got int
+	if ok, err := c.Get(key, &got); err != nil || ok {
+		t.Fatalf("corrupt Get = (%v, %v), want clean miss", ok, err)
+	}
+	// Re-Put repairs the entry.
+	if err := c.Put(key, 43); err != nil {
+		t.Fatal(err)
+	}
+	if ok, err := c.Get(key, &got); err != nil || !ok || got != 43 {
+		t.Fatalf("Get after repair = (%v, %v, %d), want hit 43", ok, err, got)
+	}
+}
+
+func TestKeyMismatchOnDiskIsMiss(t *testing.T) {
+	dir := t.TempDir()
+	c, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Put(Key("a"), 1); err != nil {
+		t.Fatal(err)
+	}
+	// Rename the entry file to the hash of a different key: the stored
+	// key no longer matches, so it must read as a miss, not a wrong hit.
+	names, _ := filepath.Glob(filepath.Join(dir, "*.json"))
+	other := Open2(t, dir).path(Key("b"))
+	if err := os.Rename(names[0], other); err != nil {
+		t.Fatal(err)
+	}
+	c, err = Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got int
+	if ok, _ := c.Get(Key("b"), &got); ok {
+		t.Fatal("hash collision served the wrong entry")
+	}
+}
+
+// Open2 is a test helper returning an open cache or failing the test.
+func Open2(t *testing.T, dir string) *Cache {
+	t.Helper()
+	c, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestDistinctKeys(t *testing.T) {
+	if Key("a", "bc") == Key("ab", "c") {
+		t.Fatal("key joining is ambiguous")
+	}
+	if !strings.Contains(Fingerprint(), "cpus=") {
+		t.Fatalf("fingerprint %q missing cpu count", Fingerprint())
+	}
+}
+
+func TestConcurrentPutGet(t *testing.T) {
+	c := Open2(t, t.TempDir())
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			key := Key("shared")
+			for j := 0; j < 50; j++ {
+				if err := c.Put(key, i); err != nil {
+					t.Error(err)
+					return
+				}
+				var got int
+				if _, err := c.Get(key, &got); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+}
