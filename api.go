@@ -127,10 +127,7 @@ func RunMeasuredContext(ctx context.Context, v Variant, p Problem, reps int) (Me
 	for _, s := range states {
 		kernel.InitSmooth(s.Phi0, p.BoxN)
 	}
-	var last variants.Stats
-	timing, err := stats.TimeContext(ctx, reps, func() {
-		last = variants.ExecLevel(v, states, p.Threads)
-	})
+	last, timing, err := measureStates(ctx, v, states, p.Threads, reps)
 	if err != nil {
 		return MeasuredResult{}, err
 	}
@@ -147,9 +144,29 @@ func RunMeasuredContext(ctx context.Context, v Variant, p Problem, reps int) (Me
 	return res, nil
 }
 
+// measureStates times reps executions of variant v over states. The kernel
+// accumulates into Phi1, so each repetition must start from Phi1 = 0 or
+// later repetitions would run on the previous repetition's output — the
+// reset runs as untimed per-repetition setup, leaving the timings clean.
+// After the series, Phi1 holds exactly one application of the operator,
+// whatever reps was.
+func measureStates(ctx context.Context, v Variant, states []variants.State, threads, reps int) (variants.Stats, stats.Sample, error) {
+	var last variants.Stats
+	timing, err := stats.TimePrepContext(ctx, reps, func() {
+		for _, s := range states {
+			s.Phi1.Fill(0)
+		}
+	}, func() {
+		last = variants.ExecLevel(v, states, threads)
+	})
+	return last, timing, err
+}
+
 // Verify runs variant v on one randomly initialized BoxN^3 box with the
 // given thread count and checks bit-for-bit equality against the Figure 6
-// reference kernel.
+// reference kernel. The variant executes twice (with the output reset in
+// between), so the check covers both the cold path that grows the scratch
+// arenas and the warm path that reuses their undefined contents.
 func Verify(v Variant, boxN, threads int) error {
 	if err := v.Validate(); err != nil {
 		return err
@@ -159,10 +176,15 @@ func Verify(v Variant, boxN, threads int) error {
 	phi0.Randomize(rand.New(rand.NewSource(2014)), 0.25, 1.75)
 	kernel.Reference(phi0, want, b)
 	got := fab.New(b, kernel.NComp)
-	variants.Exec(v, phi0, got, b, threads)
-	if d, at, c := got.MaxDiff(want, b); d != 0 {
-		return fmt.Errorf("stencilsched: %s differs from reference by %g at %v component %d",
-			v.Name(), d, at, c)
+	for pass, label := range []string{"cold", "warm"} {
+		if pass > 0 {
+			got.Fill(0)
+		}
+		variants.Exec(v, phi0, got, b, threads)
+		if d, at, c := got.MaxDiff(want, b); d != 0 {
+			return fmt.Errorf("stencilsched: %s (%s scratch) differs from reference by %g at %v component %d",
+				v.Name(), label, d, at, c)
+		}
 	}
 	return nil
 }
@@ -208,6 +230,21 @@ func AutotuneContext(ctx context.Context, p Problem, reps int, candidates []Vari
 				continue
 			}
 			candidates = append(candidates, v)
+		}
+	} else {
+		// Explicit candidates go through the same feasibility screen the
+		// nil-candidates path applies implicitly: an infeasible tile shape
+		// is a bad request, not something to silently measure (the tiling
+		// layer would clamp the tile to the box and measure a different
+		// schedule than the one asked for).
+		for _, v := range candidates {
+			if err := v.Validate(); err != nil {
+				return nil, fmt.Errorf("stencilsched: autotune candidate: %w", err)
+			}
+			if v.Tiled() && v.MaxTileEdge() > p.BoxN {
+				return nil, fmt.Errorf("stencilsched: autotune candidate %s: tile edge %d exceeds box size %d",
+					v.Name(), v.MaxTileEdge(), p.BoxN)
+			}
 		}
 	}
 	if len(candidates) == 0 {

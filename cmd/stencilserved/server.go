@@ -15,6 +15,7 @@ import (
 	"stencilsched/internal/metrics"
 	"stencilsched/internal/perfmodel"
 	"stencilsched/internal/report"
+	"stencilsched/internal/scratch"
 	"stencilsched/internal/tunecache"
 )
 
@@ -333,6 +334,14 @@ func (s *server) handleAutotune(w http.ResponseWriter, r *http.Request) {
 				httpError(w, http.StatusBadRequest, "%v", err)
 				return
 			}
+			// Feasibility is a request property, so infeasible tiles 400
+			// here rather than failing the queued job (AutotuneContext
+			// rejects them too — this keeps the error out of the queue).
+			if v.Tiled() && v.MaxTileEdge() > p.BoxN {
+				httpError(w, http.StatusBadRequest,
+					"candidate %s infeasible: tile edge %d exceeds box_n %d", v.Name(), v.MaxTileEdge(), p.BoxN)
+				return
+			}
 			cands = append(cands, v)
 		}
 	}
@@ -530,6 +539,13 @@ func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	if s.cache != nil {
 		s.reg.Gauge("stencilserved_tunecache_entries", "entry files in the tunecache").Set(float64(s.cache.Len()))
 	}
+	sc := scratch.Default.Stats()
+	s.reg.Gauge("stencilserved_scratch_arenas", "scratch arenas ever created by the pool").Set(float64(sc.Arenas))
+	s.reg.Gauge("stencilserved_scratch_arenas_in_use", "scratch arenas currently checked out").Set(float64(sc.InUse))
+	s.reg.Gauge("stencilserved_scratch_bytes_retained", "bytes of temporary storage retained across executions").Set(float64(sc.BytesRetained))
+	s.reg.Gauge("stencilserved_scratch_checkout_hits", "arena checkouts served from the free list").Set(float64(sc.Hits))
+	s.reg.Gauge("stencilserved_scratch_checkout_misses", "arena checkouts that created a new arena").Set(float64(sc.Misses))
+	s.reg.Gauge("stencilserved_scratch_grows", "arena backing-store growths").Set(float64(sc.Grows))
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	_ = s.reg.WritePrometheus(w)
 }

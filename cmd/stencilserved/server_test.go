@@ -14,6 +14,7 @@ import (
 
 	"stencilsched"
 	"stencilsched/internal/jobs"
+	"stencilsched/internal/scratch"
 )
 
 func newTestServer(t *testing.T, cfg config) (*server, *httptest.Server) {
@@ -425,5 +426,61 @@ func TestTuneKeyStability(t *testing.T) {
 	other := stencilsched.Problem{BoxN: 16, NumBoxes: 1, Threads: 2}
 	if s.tuneKey(other, 1, a) == s.tuneKey(prob, 1, a) {
 		t.Fatal("problem not part of the cache key")
+	}
+}
+
+func TestAutotuneRejectsInfeasibleTileCandidate(t *testing.T) {
+	_, ts := newTestServer(t, config{})
+	var e errorResponse
+	// A 32-tile candidate on an 8^3 box must 400 at submit time rather
+	// than fail (or silently mismeasure) as a queued job.
+	code := doJSON(t, http.MethodPost, ts.URL+"/v1/autotune",
+		map[string]any{"box_n": 8, "threads": 1, "candidates": []string{"Shift-Fuse OT-32: P<Box"}}, &e)
+	if code != http.StatusBadRequest {
+		t.Fatalf("infeasible candidate: code %d, want 400", code)
+	}
+	if !strings.Contains(e.Error, "infeasible") || !strings.Contains(e.Error, "32") {
+		t.Fatalf("unhelpful error: %q", e.Error)
+	}
+}
+
+func TestMetricsExposeScratchPool(t *testing.T) {
+	_, ts := newTestServer(t, config{})
+	// Run one solve so the scratch pool has seen traffic.
+	var snap jobs.Snapshot
+	code := doJSON(t, http.MethodPost, ts.URL+"/v1/solve", map[string]any{
+		"domain_n": 8, "variant": "Shift-Fuse: P>=Box", "steps": 1, "threads": 1,
+	}, &snap)
+	if code != http.StatusAccepted {
+		t.Fatalf("solve submit: code %d", code)
+	}
+	awaitJob(t, ts.URL, snap.ID)
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	text, _ := io.ReadAll(resp.Body)
+	for _, want := range []string{
+		"stencilserved_scratch_arenas",
+		"stencilserved_scratch_arenas_in_use",
+		"stencilserved_scratch_bytes_retained",
+		"stencilserved_scratch_checkout_hits",
+		"stencilserved_scratch_checkout_misses",
+		"stencilserved_scratch_grows",
+	} {
+		if !strings.Contains(string(text), want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+	// The solve above checked arenas out and in, so the pool must report
+	// activity and no leaks.
+	st := scratch.Default.Stats()
+	if st.Hits+st.Misses == 0 {
+		t.Error("scratch pool saw no checkouts during a solve")
+	}
+	if st.InUse != 0 {
+		t.Errorf("%d arenas still checked out after the job finished", st.InUse)
 	}
 }

@@ -251,6 +251,32 @@ func (f *FAB) MaxDiff(o *FAB, r box.Box) (diff float64, at ivect.IntVect, comp i
 	return diff, at, comp
 }
 
+// Adopt re-points f at caller-provided storage over b with ncomp
+// components, with the same validation as New. buf must hold at least
+// b.NumPts()*ncomp values; its contents are kept as-is — unlike New, the
+// data is NOT zeroed, so the caller must fully define every value it
+// reads. It exists for the scratch arenas, which recycle FAB headers and
+// backing storage across executions.
+func (f *FAB) Adopt(buf []float64, b box.Box, ncomp int) {
+	if b.IsEmpty() {
+		panic("fab: empty box")
+	}
+	if ncomp <= 0 {
+		panic(fmt.Sprintf("fab: ncomp %d must be positive", ncomp))
+	}
+	sz := b.Size()
+	need := sz[0] * sz[1] * sz[2] * ncomp
+	if len(buf) < need {
+		panic(fmt.Sprintf("fab: adopt buffer holds %d values, need %d for %v x%d", len(buf), need, b, ncomp))
+	}
+	f.bx = b
+	f.ncomp = ncomp
+	f.sy = sz[0]
+	f.sz = sz[0] * sz[1]
+	f.sc = sz[0] * sz[1] * sz[2]
+	f.data = buf[:need]
+}
+
 // Clone returns a deep copy of f.
 func (f *FAB) Clone() *FAB {
 	c := New(f.bx, f.ncomp)

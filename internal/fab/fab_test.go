@@ -272,3 +272,49 @@ func TestBytes(t *testing.T) {
 		t.Fatalf("Bytes = %d", f.Bytes())
 	}
 }
+
+func TestAdopt(t *testing.T) {
+	b := box.NewSized(ivect.New(-1, 0, 2), ivect.New(2, 3, 4))
+	need := b.NumPts() * 2
+	buf := make([]float64, need+3) // extra capacity is allowed
+	for i := range buf {
+		buf[i] = float64(i)
+	}
+	var f FAB
+	f.Adopt(buf, b, 2)
+	if f.Box() != b || f.NComp() != 2 {
+		t.Fatalf("adopted box %v ncomp %d", f.Box(), f.NComp())
+	}
+	if len(f.Data()) != need {
+		t.Fatalf("data len %d, want %d", len(f.Data()), need)
+	}
+	// Contents are kept, and the data aliases buf.
+	if f.Data()[5] != 5 {
+		t.Fatal("Adopt zeroed or copied the buffer")
+	}
+	f.Set(b.Lo, 0, 42)
+	if buf[0] != 42 {
+		t.Fatal("adopted FAB does not alias the caller's buffer")
+	}
+	// Strides must match a New FAB of the same shape.
+	ny, nz, nc := New(b, 2).Strides()
+	if ay, az, ac := f.Strides(); ay != ny || az != nz || ac != nc {
+		t.Fatalf("strides (%d,%d,%d), want (%d,%d,%d)", ay, az, ac, ny, nz, nc)
+	}
+}
+
+func TestAdoptPanics(t *testing.T) {
+	expectPanic := func(name string, fn func()) {
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s: no panic", name)
+			}
+		}()
+		fn()
+	}
+	var f FAB
+	b := box.Cube(4)
+	expectPanic("short buffer", func() { f.Adopt(make([]float64, 10), b, 1) })
+	expectPanic("empty box", func() { f.Adopt(make([]float64, 64), box.Box{Lo: ivect.New(1, 1, 1), Hi: ivect.New(0, 0, 0)}, 1) })
+	expectPanic("ncomp", func() { f.Adopt(make([]float64, 64), b, 0) })
+}

@@ -1,0 +1,50 @@
+package jobs
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"stencilsched/internal/parallel"
+)
+
+// TestWorkerGoroutinePanicFailsJob exercises the failure mode that
+// motivated parallel's panic capture: a panic on one of a parallel
+// region's worker goroutines. runSafely's recover only covers the job
+// goroutine, so without the capture-and-rethrow in internal/parallel the
+// panic below would crash the whole process (and every queued job with
+// it). With it, the job fails cleanly and the queue keeps serving.
+func TestWorkerGoroutinePanicFailsJob(t *testing.T) {
+	q := New(1, 8, 8)
+	defer q.Drain(context.Background())
+
+	s, err := q.Submit("solve", 4, 0, func(ctx context.Context) (any, error) {
+		parallel.Dynamic(4, 64, 1, func(tid, i int) {
+			if i == 13 {
+				panic("solver blew up on a worker goroutine")
+			}
+		})
+		return "unreachable", nil
+	})
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	got := await(t, q, s.ID)
+	if got.Status != StatusFailed {
+		t.Fatalf("status %s, want failed", got.Status)
+	}
+	if !strings.Contains(got.Error, "solver blew up on a worker goroutine") {
+		t.Fatalf("job error lost the panic value: %q", got.Error)
+	}
+
+	// The queue must still serve the next job.
+	s2, err := q.Submit("after", 1, 0, func(ctx context.Context) (any, error) {
+		return 7, nil
+	})
+	if err != nil {
+		t.Fatalf("submit after panic: %v", err)
+	}
+	if got := await(t, q, s2.ID); got.Status != StatusDone {
+		t.Fatalf("job after panic: %+v", got)
+	}
+}

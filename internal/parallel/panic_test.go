@@ -1,0 +1,105 @@
+package parallel
+
+import (
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+// recoverWorkerPanic runs fn and returns the *WorkerPanic it panics with
+// (nil if it returns normally).
+func recoverWorkerPanic(t *testing.T, fn func()) (wp *WorkerPanic) {
+	t.Helper()
+	defer func() {
+		r := recover()
+		if r == nil {
+			return
+		}
+		var ok bool
+		wp, ok = r.(*WorkerPanic)
+		if !ok {
+			t.Fatalf("recovered %T, want *WorkerPanic", r)
+		}
+	}()
+	fn()
+	return nil
+}
+
+func TestRunWorkerPanicReraisesOnCaller(t *testing.T) {
+	var ran atomic.Int32
+	wp := recoverWorkerPanic(t, func() {
+		Run(4, func(tid int) {
+			ran.Add(1)
+			if tid == 2 {
+				panic("boom from worker")
+			}
+		})
+	})
+	if wp == nil {
+		t.Fatal("worker panic not re-raised on caller")
+	}
+	if wp.Value != "boom from worker" {
+		t.Fatalf("panic value %v, want the original", wp.Value)
+	}
+	if ran.Load() != 4 {
+		t.Fatalf("%d workers ran; rethrow must wait for all of them", ran.Load())
+	}
+	if s := wp.String(); !strings.Contains(s, "boom from worker") || !strings.Contains(s, "goroutine") {
+		t.Fatalf("String() missing value or stack:\n%s", s)
+	}
+}
+
+func TestForChunkedWorkerPanicReraisesOnCaller(t *testing.T) {
+	wp := recoverWorkerPanic(t, func() {
+		ForChunked(3, 30, func(tid, lo, hi int) {
+			if lo <= 15 && 15 < hi {
+				panic("chunk panic")
+			}
+		})
+	})
+	if wp == nil || wp.Value != "chunk panic" {
+		t.Fatalf("got %v", wp)
+	}
+}
+
+func TestDynamicWorkerPanicReraisesOnCaller(t *testing.T) {
+	wp := recoverWorkerPanic(t, func() {
+		Dynamic(4, 100, 1, func(tid, i int) {
+			if i == 37 {
+				panic(i)
+			}
+		})
+	})
+	if wp == nil || wp.Value != 37 {
+		t.Fatalf("got %v", wp)
+	}
+}
+
+func TestNestedParallelPanicKeepsInnermostWrap(t *testing.T) {
+	wp := recoverWorkerPanic(t, func() {
+		Run(2, func(tid int) {
+			Run(2, func(inner int) {
+				if tid == 1 && inner == 1 {
+					panic("deep")
+				}
+			})
+		})
+	})
+	if wp == nil || wp.Value != "deep" {
+		t.Fatalf("got %v", wp)
+	}
+	// The inner region's wrap must survive the outer region unchanged —
+	// no *WorkerPanic wrapping another *WorkerPanic.
+	if _, ok := wp.Value.(*WorkerPanic); ok {
+		t.Fatal("WorkerPanic was re-wrapped by the outer region")
+	}
+}
+
+func TestSingleThreadPanicPropagatesUnwrapped(t *testing.T) {
+	defer func() {
+		if r := recover(); r != "serial" {
+			t.Fatalf("recovered %v, want the raw value (no goroutine hop to wrap for)", r)
+		}
+	}()
+	Run(1, func(tid int) { panic("serial") })
+}

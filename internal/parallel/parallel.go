@@ -13,9 +13,51 @@ package parallel
 
 import (
 	"fmt"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 )
+
+// WorkerPanic wraps a panic that occurred on a worker goroutine of Run,
+// For, ForChunked or Dynamic. Without this wrapping a worker panic would
+// crash the whole process — recover only crosses a single goroutine's
+// stack, so a service-level recover (like the job queue's) never sees
+// it. The parallel primitives instead capture the first worker panic,
+// wait for the remaining workers, and re-raise it on the calling
+// goroutine, where ordinary recover semantics apply.
+type WorkerPanic struct {
+	// Value is the original panic value.
+	Value any
+	// Stack is the panicking worker goroutine's stack.
+	Stack []byte
+}
+
+// String formats the original value first so callers that report the
+// recovered value with %v keep a readable headline.
+func (p *WorkerPanic) String() string {
+	return fmt.Sprintf("%v [recovered from parallel worker goroutine]\n%s", p.Value, p.Stack)
+}
+
+// panicCapture collects the first panic among a group of worker
+// goroutines for re-raising on the caller.
+type panicCapture struct {
+	first atomic.Pointer[WorkerPanic]
+}
+
+// capture must be deferred inside each worker goroutine.
+func (c *panicCapture) capture() {
+	r := recover()
+	if r == nil {
+		return
+	}
+	if wp, ok := r.(*WorkerPanic); ok {
+		// A nested parallel region already wrapped it; keep the
+		// innermost stack.
+		c.first.CompareAndSwap(nil, wp)
+		return
+	}
+	c.first.CompareAndSwap(nil, &WorkerPanic{Value: r, Stack: debug.Stack()})
+}
 
 // Threads clamps a requested thread count to at least one.
 func Threads(n int) int {
@@ -25,23 +67,68 @@ func Threads(n int) int {
 	return n
 }
 
+// team carries the shared state of one fork-join region. Teams are pooled:
+// a fresh WaitGroup, panic slot and per-spawn closures would otherwise be
+// heap-allocated on every region, and the measured hot path enters a
+// region per box (P>=Box) or several per box (wavefronts). Spawning
+// `go tm.worker(t)` allocates nothing.
+type team struct {
+	wg sync.WaitGroup
+	pc panicCapture
+	// exactly one of body/chunk is set, per the spawning primitive
+	body       func(tid int)
+	chunk      func(tid, lo, hi int)
+	n, threads int
+}
+
+var teamPool = sync.Pool{New: func() any { return new(team) }}
+
+func (tm *team) worker(tid int) {
+	defer tm.wg.Done()
+	defer tm.pc.capture()
+	tm.body(tid)
+}
+
+func (tm *team) chunkWorker(tid int) {
+	defer tm.wg.Done()
+	defer tm.pc.capture()
+	lo, hi := Chunk(tm.n, tm.threads, tid)
+	if lo < hi {
+		tm.chunk(tid, lo, hi)
+	}
+}
+
+// finish waits for the team, returns it to the pool (clearing the body
+// references so retired teams do not pin caller closures), and re-raises
+// a captured worker panic on the calling goroutine.
+func (tm *team) finish() {
+	tm.wg.Wait()
+	wp := tm.pc.first.Load()
+	tm.pc.first.Store(nil)
+	tm.body, tm.chunk = nil, nil
+	teamPool.Put(tm)
+	if wp != nil {
+		panic(wp)
+	}
+}
+
 // Run invokes body(tid) on threads goroutines with tid in [0, threads) and
 // waits for all of them — the equivalent of an OpenMP parallel region.
+// A panic in a worker is re-raised on the calling goroutine as a
+// *WorkerPanic after every worker has finished.
 func Run(threads int, body func(tid int)) {
 	threads = Threads(threads)
 	if threads == 1 {
 		body(0)
 		return
 	}
-	var wg sync.WaitGroup
-	wg.Add(threads)
+	tm := teamPool.Get().(*team)
+	tm.body = body
+	tm.wg.Add(threads)
 	for t := 0; t < threads; t++ {
-		go func(tid int) {
-			defer wg.Done()
-			body(tid)
-		}(t)
+		go tm.worker(t)
 	}
-	wg.Wait()
+	tm.finish()
 }
 
 // For executes body(tid, i) for every i in [0, n) using a static block
@@ -58,7 +145,8 @@ func For(threads, n int, body func(tid, i int)) {
 
 // ForChunked is For with the per-thread contiguous range [lo, hi) handed to
 // the body directly, so the body can hoist per-range setup (temporary
-// allocation, pointer offsets) out of the iteration loop.
+// allocation, pointer offsets) out of the iteration loop. Worker panics
+// re-raise on the caller as *WorkerPanic, like Run.
 func ForChunked(threads, n int, body func(tid, lo, hi int)) {
 	threads = Threads(threads)
 	if n <= 0 {
@@ -71,18 +159,14 @@ func ForChunked(threads, n int, body func(tid, lo, hi int)) {
 	if threads > n {
 		threads = n
 	}
-	var wg sync.WaitGroup
-	wg.Add(threads)
+	tm := teamPool.Get().(*team)
+	tm.chunk = body
+	tm.n, tm.threads = n, threads
+	tm.wg.Add(threads)
 	for t := 0; t < threads; t++ {
-		go func(tid int) {
-			defer wg.Done()
-			lo, hi := Chunk(n, threads, tid)
-			if lo < hi {
-				body(tid, lo, hi)
-			}
-		}(t)
+		go tm.chunkWorker(t)
 	}
-	wg.Wait()
+	tm.finish()
 }
 
 // Chunk returns the half-open range [lo, hi) of the tid-th of threads
@@ -101,10 +185,36 @@ func Chunk(n, threads, tid int) (lo, hi int) {
 	return lo, hi
 }
 
+// dynRun carries one Dynamic call's shared counter and parameters, pooled
+// (with the worker function bound once) so steady-state calls allocate
+// nothing beyond the caller's own body closure.
+type dynRun struct {
+	next     atomic.Int64
+	n, grain int
+	body     func(tid, i int)
+	runFn    func(tid int)
+}
+
+var dynPool = sync.Pool{New: func() any { return new(dynRun) }}
+
+func (d *dynRun) run(tid int) {
+	for {
+		start := int(d.next.Add(int64(d.grain))) - d.grain
+		if start >= d.n {
+			return
+		}
+		end := min(start+d.grain, d.n)
+		for i := start; i < end; i++ {
+			d.body(tid, i)
+		}
+	}
+}
+
 // Dynamic executes body(tid, i) for every i in [0, n), distributing indices
 // to threads in blocks of grain via an atomic counter — OpenMP's
 // schedule(dynamic, grain). It balances the ragged wavefront widths of the
-// tiled-wavefront variants better than a static split.
+// tiled-wavefront variants better than a static split. Worker panics
+// re-raise on the caller as *WorkerPanic (via Run).
 func Dynamic(threads, n, grain int, body func(tid, i int)) {
 	threads = Threads(threads)
 	if n <= 0 {
@@ -119,19 +229,17 @@ func Dynamic(threads, n, grain int, body func(tid, i int)) {
 		}
 		return
 	}
-	var next atomic.Int64
-	Run(threads, func(tid int) {
-		for {
-			start := int(next.Add(int64(grain))) - grain
-			if start >= n {
-				return
-			}
-			end := min(start+grain, n)
-			for i := start; i < end; i++ {
-				body(tid, i)
-			}
-		}
-	})
+	d := dynPool.Get().(*dynRun)
+	d.next.Store(0)
+	d.n, d.grain, d.body = n, grain, body
+	if d.runFn == nil {
+		d.runFn = d.run
+	}
+	defer func() {
+		d.body = nil
+		dynPool.Put(d)
+	}()
+	Run(threads, d.runFn)
 }
 
 // Scratch is a per-thread arena of values of type T, constructed lazily by

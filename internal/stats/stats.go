@@ -35,6 +35,16 @@ func Time(reps int, f func()) Sample {
 // count; zero completed repetitions leave the extrema infinite, so check
 // the error before using the Sample).
 func TimeContext(ctx context.Context, reps int, f func()) (Sample, error) {
+	return TimePrepContext(ctx, reps, nil, f)
+}
+
+// TimePrepContext is TimeContext with an untimed per-repetition setup hook:
+// prep (if non-nil) runs before every repetition, outside the measured
+// window. It exists for measurements whose workload mutates its own input —
+// resetting the state back to the starting conditions is part of running
+// the experiment, not part of the experiment, so its cost must not pollute
+// the sample.
+func TimePrepContext(ctx context.Context, reps int, prep, f func()) (Sample, error) {
 	if reps <= 0 {
 		panic(fmt.Sprintf("stats: reps %d must be positive", reps))
 	}
@@ -44,6 +54,9 @@ func TimeContext(ctx context.Context, reps int, f func()) (Sample, error) {
 		if err := ctx.Err(); err != nil {
 			s.summarize(sum, sumSq)
 			return s, err
+		}
+		if prep != nil {
+			prep()
 		}
 		start := time.Now()
 		f()

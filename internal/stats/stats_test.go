@@ -1,6 +1,7 @@
 package stats
 
 import (
+	"context"
 	"math"
 	"testing"
 	"time"
@@ -77,5 +78,54 @@ func TestStdDevKnownValues(t *testing.T) {
 	s := Time(10, func() {})
 	if s.StdDev < 0 || math.IsNaN(s.StdDev) || math.IsInf(s.StdDev, 0) {
 		t.Fatalf("stddev = %v", s.StdDev)
+	}
+}
+
+func TestTimePrepRunsBeforeEveryRepUntimed(t *testing.T) {
+	var preps, runs int
+	s, err := TimePrepContext(context.Background(), 4, func() {
+		if preps != runs {
+			t.Fatalf("prep %d ran with %d reps done; must run exactly once before each rep", preps, runs)
+		}
+		preps++
+		time.Sleep(20 * time.Millisecond) // must not show up in the timings
+	}, func() {
+		runs++
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if preps != 4 || runs != 4 {
+		t.Fatalf("prep ran %d times, f %d times, want 4/4", preps, runs)
+	}
+	if s.Reps != 4 {
+		t.Fatalf("Reps = %d", s.Reps)
+	}
+	if s.MinSec >= 0.020 {
+		t.Fatalf("min %v sec includes the untimed prep", s.MinSec)
+	}
+}
+
+func TestTimePrepNilPrep(t *testing.T) {
+	n := 0
+	s, err := TimePrepContext(context.Background(), 3, nil, func() { n++ })
+	if err != nil || n != 3 || s.Reps != 3 {
+		t.Fatalf("err %v, n %d, reps %d", err, n, s.Reps)
+	}
+}
+
+func TestTimePrepContextCancelSkipsPrep(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	preps := 0
+	_, err := TimePrepContext(ctx, 5, func() { preps++ }, func() {
+		if preps == 2 {
+			cancel()
+		}
+	})
+	if err != context.Canceled {
+		t.Fatalf("err = %v", err)
+	}
+	if preps != 2 {
+		t.Fatalf("prep ran %d times after cancel at 2", preps)
 	}
 }

@@ -6,6 +6,7 @@ import (
 	"stencilsched/internal/ivect"
 	"stencilsched/internal/kernel"
 	"stencilsched/internal/sched"
+	"stencilsched/internal/scratch"
 	"stencilsched/internal/tiling"
 	"stencilsched/internal/wavefront"
 )
@@ -22,33 +23,40 @@ import (
 // share a column in any direction (tiles sharing an (y,z) column differ
 // only in the x tile index and therefore sit on different anti-diagonals),
 // so the wavefront barrier is the only synchronization required.
-func execBlockedWF(s *state, comp sched.CompLoop, shape ivect.IntVect, threads int) Stats {
+func execBlockedWF(s *state, comp sched.CompLoop, shape ivect.IntVect, threads int, ar *scratch.Arena) Stats {
 	stats := Stats{UniqueFaces: s.uniqueFaces()}
 	stats.FacesEvaluated = stats.UniqueFaces
-	vel := velocityField(s, s.valid, threads)
+	vel := velocityField(s, s.valid, threads, ar)
 	stats.TempVelBytes = velBytes(vel)
 
 	dec := tiling.DecomposeVect(s.valid, shape)
 	sz := s.valid.Size()
 	nx, ny, nz := sz[0], sz[1], sz[2]
 
-	runs := [][2]int{{0, kernel.NComp}}
+	var runsArr [kernel.NComp][2]int
+	runsArr[0] = [2]int{0, kernel.NComp}
+	runs := runsArr[:1]
 	if comp == sched.CLO {
-		runs = runs[:0]
+		runs = runsArr[:0]
 		for c := 0; c < kernel.NComp; c++ {
 			runs = append(runs, [2]int{c, c + 1})
 		}
 	}
 	nc := runs[0][1] - runs[0][0]
-	gfx := make([]float64, nc*ny*nz)
-	gfy := make([]float64, nc*nx*nz)
-	gfz := make([]float64, nc*nx*ny)
+	gfx := ar.Floats(nc * ny * nz)
+	gfy := ar.Floats(nc * nx * nz)
+	gfz := ar.Floats(nc * nx * ny)
 	stats.TempFluxBytes = int64(len(gfx)+len(gfy)+len(gfz)) * 8
 
+	// One closure serves every component run (mutable capture of the
+	// component range) instead of allocating one per run.
+	var r0, r1 int
+	body := func(_ int, tv ivect.IntVect) {
+		fusedTileBody(s, vel, dec.TileAt(tv).Cells, r0, r1, gfx, gfy, gfz)
+	}
 	for _, r := range runs {
-		stats.Wavefront = wavefront.Run(dec.Grid.Size(), threads, func(_ int, tv ivect.IntVect) {
-			fusedTileBody(s, vel, dec.TileAt(tv).Cells, r[0], r[1], gfx, gfy, gfz)
-		})
+		r0, r1 = r[0], r[1]
+		stats.Wavefront = wavefront.Run(dec.Grid.Size(), threads, body)
 	}
 	return stats
 }
@@ -68,12 +76,10 @@ func fusedTileBody(s *state, vel [3]*fab.FAB, tile box.Box, cLo, cHi int, gfx, g
 	nx, ny := sz[0], sz[1]
 	nc := cHi - cLo
 	vx, vy, vz := newVelAcc(vel[0]), newVelAcc(vel[1]), newVelAcc(vel[2])
-	phs := make([][]float64, nc)
-	dst := make([][]float64, nc)
-	for ci := 0; ci < nc; ci++ {
-		phs[ci] = s.comp0(cLo + ci)
-		dst[ci] = s.comp1(cLo + ci)
-	}
+	// Sliced from the state's component cache: fusedTileBody runs once
+	// per tile inside wavefront workers, so it must not allocate.
+	phs := s.comps0[cLo:cHi]
+	dst := s.comps1[cLo:cHi]
 	for z := tile.Lo[2]; z <= tile.Hi[2]; z++ {
 		zi := z - valid.Lo[2]
 		for y := tile.Lo[1]; y <= tile.Hi[1]; y++ {

@@ -8,6 +8,7 @@ import (
 	"stencilsched/internal/ivect"
 	"stencilsched/internal/kernel"
 	"stencilsched/internal/parallel"
+	"stencilsched/internal/scratch"
 	"stencilsched/internal/tiling"
 )
 
@@ -35,20 +36,19 @@ func ExecHierarchicalOT(phi0, phi1 *fab.FAB, valid box.Box, outer, inner ivect.I
 			panic(fmt.Sprintf("variants: inner tile %v exceeds outer %v", inner, outer))
 		}
 	}
-	s := newState(phi0, phi1, valid)
+	s := statePool.Get().(*state)
+	s.init(phi0, phi1, valid)
+	defer func() {
+		*s = state{}
+		statePool.Put(s)
+	}()
 	stats := Stats{UniqueFaces: s.uniqueFaces()}
 
 	outerDec := tiling.DecomposeVect(valid, outer)
-	type scratch struct {
-		fx, fy, fz []float64
-	}
-	pool := parallel.NewScratch(threads, func() *scratch {
-		return &scratch{
-			fx: make([]float64, 1),
-			fy: make([]float64, inner[0]),
-			fz: make([]float64, inner[0]*inner[1]),
-		}
-	})
+	threads = parallel.Threads(threads)
+	ars := checkoutWorkerArenas(threads, scratch.Default.Checkout())
+	defer scratch.Default.Checkin(ars[0])
+	defer checkinWorkerArenas(ars)
 
 	var evaluated int64
 	evals := make([]int64, len(outerDec.Tiles))
@@ -56,11 +56,17 @@ func ExecHierarchicalOT(phi0, phi1 *fab.FAB, valid box.Box, outer, inner ivect.I
 		ot := outerDec.Tiles[i].Cells
 		innerDec := tiling.DecomposeVect(ot, inner)
 		evals[i] = innerDec.OverlapStats().EvaluatedFaces
-		sc := pool.Get(tid)
+		tar := ars[tid]
 		for _, it := range innerDec.Tiles {
-			vel := velocityField(s, it.Cells, 1)
+			// Inner tiles are independent: reset the arena so the retained
+			// peak is one inner tile's velocity field plus carried caches.
+			tar.Reset()
+			vel := velocityField(s, it.Cells, 1, tar)
+			fx := tar.Floats(1)
+			fy := tar.Floats(inner[0])
+			fz := tar.Floats(inner[0] * inner[1])
 			for c := 0; c < kernel.NComp; c++ {
-				fusedSweepSerial(s, vel, it.Cells, c, c+1, sc.fx, sc.fy, sc.fz)
+				fusedSweepSerial(s, vel, it.Cells, c, c+1, fx, fy, fz)
 			}
 		}
 	})
@@ -68,7 +74,7 @@ func ExecHierarchicalOT(phi0, phi1 *fab.FAB, valid box.Box, outer, inner ivect.I
 		evaluated += e
 	}
 	stats.FacesEvaluated = evaluated
-	p := int64(parallel.Threads(threads))
+	p := int64(threads)
 	stats.TempFluxBytes = int64(1+inner[0]+inner[0]*inner[1]) * 8 * p
 	var tface int64
 	for d := 0; d < 3; d++ {

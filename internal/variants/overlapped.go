@@ -5,6 +5,7 @@ import (
 	"stencilsched/internal/kernel"
 	"stencilsched/internal/parallel"
 	"stencilsched/internal/sched"
+	"stencilsched/internal/scratch"
 	"stencilsched/internal/tiling"
 )
 
@@ -22,29 +23,22 @@ import (
 // direct recomputation at the tile surface (Table I's per-thread
 // 2 + 2T + 2T^2 flux and 3(T+1)^3 velocity temporaries).
 //
-// Tiles are distributed to threads dynamically; each thread reuses
-// per-thread scratch, so temporary storage scales with P, the paper's
-// Table I factor.
-func execOverlapped(s *state, intra sched.IntraTile, shape ivect.IntVect, threads int) Stats {
+// Tiles are distributed to threads dynamically; each thread holds one
+// scratch arena, reset per tile, so temporary storage scales with P (the
+// paper's Table I factor) and is retained for the next execution. threads
+// must already be clamped (Exec does), and ar — reused as worker 0's
+// arena — must hold no live allocations.
+func execOverlapped(s *state, intra sched.IntraTile, shape ivect.IntVect, threads int, ar *scratch.Arena) Stats {
 	stats := Stats{UniqueFaces: s.uniqueFaces()}
 	dec := tiling.DecomposeVect(s.valid, shape)
 	stats.FacesEvaluated = dec.OverlapStats().EvaluatedFaces
 
-	type scratch struct {
-		fx, fy, fz []float64
-		tempBytes  int64
-	}
-	pool := parallel.NewScratch(threads, func() *scratch {
-		return &scratch{
-			fx: make([]float64, kernel.NComp),
-			fy: make([]float64, kernel.NComp*shape[0]),
-			fz: make([]float64, kernel.NComp*shape[0]*shape[1]),
-		}
-	})
+	ars := checkoutWorkerArenas(threads, ar)
+	defer checkinWorkerArenas(ars)
 
 	// Per-thread temporary sizes, computed analytically from the largest
 	// tile (measuring inside the parallel loop would race).
-	p := int64(parallel.Threads(threads))
+	p := int64(threads)
 	var tileFaceMax, tileFaceSum int64
 	t0 := dec.Tiles[0].Cells
 	for d := 0; d < 3; d++ {
@@ -58,12 +52,27 @@ func execOverlapped(s *state, intra sched.IntraTile, shape ivect.IntVect, thread
 	if intra == sched.BasicSched {
 		// Run the original series-of-loops schedule on each tile. The tile
 		// plays the role of the box: all of its surrounding faces are
-		// evaluated locally into tile-sized temporaries.
-		parallel.Dynamic(threads, dec.NumTiles(), 1, func(_, i int) {
-			sub := *s
+		// evaluated locally into tile-sized temporaries. Each worker
+		// reuses one pooled sub-state across its tiles.
+		subs := make([]*state, threads)
+		parallel.Dynamic(threads, dec.NumTiles(), 1, func(tid, i int) {
+			tar := ars[tid]
+			tar.Reset()
+			sub := subs[tid]
+			if sub == nil {
+				sub = statePool.Get().(*state)
+				subs[tid] = sub
+			}
+			*sub = *s
 			sub.valid = dec.Tiles[i].Cells
-			execSeries(&sub, sched.CLO, 1)
+			execSeries(sub, sched.CLO, 1, tar)
 		})
+		for _, sub := range subs {
+			if sub != nil {
+				*sub = state{}
+				statePool.Put(sub)
+			}
+		}
 		stats.TempFluxBytes = tileFaceMax * kernel.NComp * 8 * p
 		stats.TempVelBytes = tileFaceMax * 8 * p
 		return stats
@@ -71,16 +80,22 @@ func execOverlapped(s *state, intra sched.IntraTile, shape ivect.IntVect, thread
 
 	// Fused intra-tile schedule: per-tile velocity recomputation plus the
 	// fused sweep with carried scalar/row/plane caches seeded at the tile
-	// surface.
+	// surface. The caches carry nothing across tiles or components (every
+	// pass seeds them at the tile boundary), so the arena reset per tile
+	// is safe.
 	parallel.Dynamic(threads, dec.NumTiles(), 1, func(tid, i int) {
+		tar := ars[tid]
+		tar.Reset()
 		tile := dec.Tiles[i].Cells
-		vel := velocityField(s, tile, 1)
-		sc := pool.Get(tid)
+		vel := velocityField(s, tile, 1, tar)
+		fx := tar.Floats(1)
+		fy := tar.Floats(shape[0])
+		fz := tar.Floats(shape[0] * shape[1])
 		for c := 0; c < kernel.NComp; c++ {
 			// Component loop outside (the studied OT variants are CLO: the
 			// paper dropped CLI inside tiles after untiled CLI proved
 			// uniformly slower).
-			fusedSweepSerial(s, vel, tile, c, c+1, sc.fx[:1], sc.fy, sc.fz)
+			fusedSweepSerial(s, vel, tile, c, c+1, fx, fy, fz)
 		}
 	})
 	stats.TempFluxBytes = int64(1+shape[0]+shape[0]*shape[1]) * 8 * p

@@ -6,6 +6,7 @@ import (
 	"stencilsched/internal/ivect"
 	"stencilsched/internal/kernel"
 	"stencilsched/internal/sched"
+	"stencilsched/internal/scratch"
 	"stencilsched/internal/wavefront"
 )
 
@@ -21,15 +22,17 @@ import (
 // withinBox selects P<Box: a per-iteration wavefront over cells (the
 // variant the paper notes "ruins spatial locality in the X-direction").
 // Otherwise the sweep is serial within the box.
-func execShiftFuse(s *state, comp sched.CompLoop, withinBox bool, threads int) Stats {
+func execShiftFuse(s *state, comp sched.CompLoop, withinBox bool, threads int, ar *scratch.Arena) Stats {
 	stats := Stats{UniqueFaces: s.uniqueFaces()}
 	stats.FacesEvaluated = stats.UniqueFaces
-	vel := velocityField(s, s.valid, threads)
+	vel := velocityField(s, s.valid, threads, ar)
 	stats.TempVelBytes = velBytes(vel)
 
-	runs := [][2]int{{0, kernel.NComp}} // CLI: all components per sweep
+	var runsArr [kernel.NComp][2]int
+	runsArr[0] = [2]int{0, kernel.NComp} // CLI: all components per sweep
+	runs := runsArr[:1]
 	if comp == sched.CLO {
-		runs = runs[:0]
+		runs = runsArr[:0]
 		for c := 0; c < kernel.NComp; c++ {
 			runs = append(runs, [2]int{c, c + 1})
 		}
@@ -38,11 +41,13 @@ func execShiftFuse(s *state, comp sched.CompLoop, withinBox bool, threads int) S
 	sz := s.valid.Size()
 	if withinBox {
 		// Per-iteration wavefront: 2-D co-dimension caches, one slot per
-		// lattice column in each direction.
+		// lattice column in each direction. Carried values are seeded at
+		// the low boundary before any read, so the undefined arena
+		// contents are never observed.
 		nc := runs[0][1] - runs[0][0]
-		cfx := make([]float64, nc*sz[1]*sz[2])
-		cfy := make([]float64, nc*sz[0]*sz[2])
-		cfz := make([]float64, nc*sz[0]*sz[1])
+		cfx := ar.Floats(nc * sz[1] * sz[2])
+		cfy := ar.Floats(nc * sz[0] * sz[2])
+		cfz := ar.Floats(nc * sz[0] * sz[1])
 		stats.TempFluxBytes = int64(len(cfx)+len(cfy)+len(cfz)) * 8
 		for _, r := range runs {
 			stats.Wavefront = fusedCellWavefront(s, vel, r[0], r[1], threads, cfx, cfy, cfz)
@@ -53,9 +58,9 @@ func execShiftFuse(s *state, comp sched.CompLoop, withinBox bool, threads int) S
 	// Serial fused sweep: scalar/row/plane carried caches (Table I's
 	// 2 + 2N + 2N^2 flux temporaries per in-flight component).
 	nc := runs[0][1] - runs[0][0]
-	fx := make([]float64, nc)
-	fy := make([]float64, nc*sz[0])
-	fz := make([]float64, nc*sz[0]*sz[1])
+	fx := ar.Floats(nc)
+	fy := ar.Floats(nc * sz[0])
+	fz := ar.Floats(nc * sz[0] * sz[1])
 	stats.TempFluxBytes = int64(len(fx)+len(fy)+len(fz)) * 8
 	for _, r := range runs {
 		fusedSweepSerial(s, vel, s.valid, r[0], r[1], fx, fy, fz)
@@ -85,13 +90,11 @@ func fusedSweepSerial(s *state, vel [3]*fab.FAB, region box.Box, cLo, cHi int, f
 	nx := region.Hi[0] - region.Lo[0] + 1
 	nc := cHi - cLo
 	vx, vy, vz := newVelAcc(vel[0]), newVelAcc(vel[1]), newVelAcc(vel[2])
-	// Per-component slices hoisted out of the spatial loops.
-	phs := make([][]float64, nc)
-	dst := make([][]float64, nc)
-	for ci := 0; ci < nc; ci++ {
-		phs[ci] = s.comp0(cLo + ci)
-		dst[ci] = s.comp1(cLo + ci)
-	}
+	// Per-component slice tables hoisted out of the spatial loops,
+	// sliced from the state's cache (no allocation — this runs once per
+	// tile in the overlapped schedules).
+	phs := s.comps0[cLo:cHi]
+	dst := s.comps1[cLo:cHi]
 	for z := region.Lo[2]; z <= region.Hi[2]; z++ {
 		for y := region.Lo[1]; y <= region.Hi[1]; y++ {
 			for x := region.Lo[0]; x <= region.Hi[0]; x++ {
@@ -154,12 +157,8 @@ func fusedCellWavefront(s *state, vel [3]*fab.FAB, cLo, cHi, threads int, cfx, c
 	nx, ny := sz[0], sz[1]
 	nc := cHi - cLo
 	vx, vy, vz := newVelAcc(vel[0]), newVelAcc(vel[1]), newVelAcc(vel[2])
-	phs := make([][]float64, nc)
-	dst := make([][]float64, nc)
-	for ci := 0; ci < nc; ci++ {
-		phs[ci] = s.comp0(cLo + ci)
-		dst[ci] = s.comp1(cLo + ci)
-	}
+	phs := s.comps0[cLo:cHi]
+	dst := s.comps1[cLo:cHi]
 	return wavefront.Run(sz, threads, func(_ int, rel ivect.IntVect) {
 		p := region.Lo.Add(rel)
 		o0 := s.off0(p)

@@ -16,6 +16,7 @@ package variants
 
 import (
 	"fmt"
+	"sync"
 
 	"stencilsched/internal/box"
 	"stencilsched/internal/fab"
@@ -23,6 +24,7 @@ import (
 	"stencilsched/internal/kernel"
 	"stencilsched/internal/parallel"
 	"stencilsched/internal/sched"
+	"stencilsched/internal/scratch"
 	"stencilsched/internal/wavefront"
 )
 
@@ -53,17 +55,34 @@ func (s Stats) RecomputeFactor() float64 {
 	return float64(s.FacesEvaluated) / float64(s.UniqueFaces)
 }
 
+// statePool recycles the per-execution state headers so the steady-state
+// hot path does not allocate them. States are cleared before return to
+// the pool so retired executions do not pin solution FABs.
+var statePool = sync.Pool{New: func() any { return new(state) }}
+
 // Exec runs variant v on one box. phi0 must cover kernel.GrownBox(valid)
 // and phi1 must cover valid; results accumulate into phi1, exactly like
 // kernel.Reference. threads is the within-box thread count and is honored
 // only by P<Box variants; P>=Box variants run the box serially (their
 // parallelism is across boxes — see ExecLevel).
+//
+// Temporary storage (flux and velocity arrays, carried caches) comes
+// from arenas checked out of scratch.Default around the box execution,
+// so repeated executions of same-shaped work reach a steady state that
+// allocates nothing from the Go heap.
 func Exec(v sched.Variant, phi0, phi1 *fab.FAB, valid box.Box, threads int) Stats {
 	if err := v.Validate(); err != nil {
 		panic(fmt.Sprintf("variants: %v", err))
 	}
 	kernel.CheckState(phi0, phi1, valid)
-	st := newState(phi0, phi1, valid)
+	st := statePool.Get().(*state)
+	st.init(phi0, phi1, valid)
+	defer func() {
+		*st = state{}
+		statePool.Put(st)
+	}()
+	ar := scratch.Default.Checkout()
+	defer scratch.Default.Checkin(ar)
 	if v.Par == sched.OverBoxes {
 		threads = 1
 	}
@@ -71,13 +90,13 @@ func Exec(v sched.Variant, phi0, phi1 *fab.FAB, valid box.Box, threads int) Stat
 	var stats Stats
 	switch v.Family {
 	case sched.Series:
-		stats = execSeries(st, v.Comp, threads)
+		stats = execSeries(st, v.Comp, threads, ar)
 	case sched.ShiftFuse:
-		stats = execShiftFuse(st, v.Comp, v.Par == sched.WithinBox, threads)
+		stats = execShiftFuse(st, v.Comp, v.Par == sched.WithinBox, threads, ar)
 	case sched.BlockedWavefront:
-		stats = execBlockedWF(st, v.Comp, ivect.IntVect(v.TileShape()), threads)
+		stats = execBlockedWF(st, v.Comp, ivect.IntVect(v.TileShape()), threads, ar)
 	case sched.OverlappedTile:
-		stats = execOverlapped(st, v.Intra, ivect.IntVect(v.TileShape()), threads)
+		stats = execOverlapped(st, v.Intra, ivect.IntVect(v.TileShape()), threads, ar)
 	}
 	stats.Variant = v
 	return stats
@@ -112,20 +131,44 @@ func NewLevelState(boxes []box.Box) []State {
 func ExecLevel(v sched.Variant, states []State, threads int) Stats {
 	var last Stats
 	if v.Par == sched.OverBoxes {
-		results := make([]Stats, len(states))
-		parallel.Dynamic(threads, len(states), 1, func(_, i int) {
-			s := states[i]
-			results[i] = Exec(v, s.Phi0, s.Phi1, s.Valid, 1)
-		})
-		if len(results) > 0 {
-			last = results[len(results)-1]
+		// Only the last box's Stats are reported (identically shaped
+		// boxes); exactly one worker executes that index, and Dynamic's
+		// join orders its write before the read here. The per-call
+		// parameters live in a pooled carrier with a pre-bound body so the
+		// measured hot path does not allocate a closure per level sweep.
+		lr := levelPool.Get().(*levelRun)
+		lr.v, lr.states = v, states
+		if lr.bodyFn == nil {
+			lr.bodyFn = lr.body
 		}
+		parallel.Dynamic(threads, len(states), 1, lr.bodyFn)
+		last = lr.last
+		lr.states = nil
+		levelPool.Put(lr)
 		return last
 	}
 	for _, s := range states {
 		last = Exec(v, s.Phi0, s.Phi1, s.Valid, threads)
 	}
 	return last
+}
+
+// levelRun carries one ExecLevel P>=Box sweep's parameters and result.
+type levelRun struct {
+	v      sched.Variant
+	states []State
+	last   Stats
+	bodyFn func(tid, i int)
+}
+
+var levelPool = sync.Pool{New: func() any { return new(levelRun) }}
+
+func (lr *levelRun) body(_, i int) {
+	s := lr.states[i]
+	st := Exec(lr.v, s.Phi0, s.Phi1, s.Valid, 1)
+	if i == len(lr.states)-1 {
+		lr.last = st
+	}
 }
 
 // state caches the raw-slice view of the exemplar data that the executors'
@@ -140,20 +183,35 @@ type state struct {
 	sc0  int // component stride of phi0
 	str1 [3]int
 	sc1  int
+	// comps0 and comps1 cache the single-component slices of phi0 and
+	// phi1, so the fused executors can take per-component slice tables
+	// (comps0[cLo:cHi]) without allocating inside tile loops.
+	comps0 [kernel.NComp][]float64
+	comps1 [kernel.NComp][]float64
+}
+
+// init fills s for one box execution; states are pooled and re-initialized
+// rather than re-allocated.
+func (s *state) init(phi0, phi1 *fab.FAB, valid box.Box) {
+	s0y, s0z, s0c := phi0.Strides()
+	s1y, s1z, s1c := phi1.Strides()
+	s.valid = valid
+	s.phi0 = phi0
+	s.phi1 = phi1
+	s.str0 = [3]int{1, s0y, s0z}
+	s.sc0 = s0c
+	s.str1 = [3]int{1, s1y, s1z}
+	s.sc1 = s1c
+	for c := 0; c < kernel.NComp; c++ {
+		s.comps0[c] = phi0.Comp(c)
+		s.comps1[c] = phi1.Comp(c)
+	}
 }
 
 func newState(phi0, phi1 *fab.FAB, valid box.Box) *state {
-	s0y, s0z, s0c := phi0.Strides()
-	s1y, s1z, s1c := phi1.Strides()
-	return &state{
-		valid: valid,
-		phi0:  phi0,
-		phi1:  phi1,
-		str0:  [3]int{1, s0y, s0z},
-		sc0:   s0c,
-		str1:  [3]int{1, s1y, s1z},
-		sc1:   s1c,
-	}
+	s := new(state)
+	s.init(phi0, phi1, valid)
+	return s
 }
 
 // off0 returns the flat offset of point p in one component slice of phi0.
@@ -169,8 +227,8 @@ func (s *state) off1(p ivect.IntVect) int {
 }
 
 // comp0 and comp1 return single-component slices.
-func (s *state) comp0(c int) []float64 { return s.phi0.Comp(c) }
-func (s *state) comp1(c int) []float64 { return s.phi1.Comp(c) }
+func (s *state) comp0(c int) []float64 { return s.comps0[c] }
+func (s *state) comp1(c int) []float64 { return s.comps1[c] }
 
 // uniqueFaces returns the number of distinct faces of the valid box summed
 // over directions.
@@ -187,33 +245,47 @@ func (s *state) uniqueFaces() int64 {
 // box), in parallel over z slabs. It is the precomputation pass of the
 // fused schedules; Table I charges it 3(N+1)^3 temporary values.
 //
-// The returned FABs are defined on region.SurroundingFaces(d).
-func velocityField(s *state, region box.Box, threads int) [3]*fab.FAB {
+// The returned FABs are defined on region.SurroundingFaces(d), with
+// storage drawn from ar (undefined contents, fully overwritten here); a
+// nil arena falls back to heap allocation.
+func velocityField(s *state, region box.Box, threads int, ar *scratch.Arena) [3]*fab.FAB {
 	var vel [3]*fab.FAB
 	for d := 0; d < 3; d++ {
 		faces := region.SurroundingFaces(d)
-		v := fab.New(faces, 1)
+		v := ar.FAB(faces, 1)
 		out := v.Comp(0)
 		vy, vz, _ := v.Strides()
 		ph := s.comp0(kernel.VelComp(d))
 		sd := s.str0[d]
 		nz := faces.Size()[2]
-		parallel.ForChunked(threads, nz, func(_, zlo, zhi int) {
-			for zi := zlo; zi < zhi; zi++ {
-				z := faces.Lo[2] + zi
-				for y := faces.Lo[1]; y <= faces.Hi[1]; y++ {
-					src := s.off0(ivect.New(faces.Lo[0], y, z))
-					dst := (y - faces.Lo[1]) * vy
-					dst += zi * vz
-					for x := 0; x <= faces.Hi[0]-faces.Lo[0]; x++ {
-						out[dst+x] = kernel.FaceAvg(ph, src+x, sd)
-					}
-				}
-			}
-		})
+		if threads <= 1 {
+			// Serial callers (P>=Box boxes, per-tile recomputation) run the
+			// slab body directly: a closure here would heap-allocate on
+			// every tile of the overlapped schedules.
+			velSlabs(s, out, ph, faces, vy, vz, sd, 0, nz)
+		} else {
+			parallel.ForChunked(threads, nz, func(_, zlo, zhi int) {
+				velSlabs(s, out, ph, faces, vy, vz, sd, zlo, zhi)
+			})
+		}
 		vel[d] = v
 	}
 	return vel
+}
+
+// velSlabs fills the velocity face averages for z slabs [zlo, zhi) of faces.
+func velSlabs(s *state, out, ph []float64, faces box.Box, vy, vz, sd, zlo, zhi int) {
+	for zi := zlo; zi < zhi; zi++ {
+		z := faces.Lo[2] + zi
+		for y := faces.Lo[1]; y <= faces.Hi[1]; y++ {
+			src := s.off0(ivect.New(faces.Lo[0], y, z))
+			dst := (y - faces.Lo[1]) * vy
+			dst += zi * vz
+			for x := 0; x <= faces.Hi[0]-faces.Lo[0]; x++ {
+				out[dst+x] = kernel.FaceAvg(ph, src+x, sd)
+			}
+		}
+	}
 }
 
 // velAcc is a raw-slice accessor for a single-component face FAB, used in
@@ -232,6 +304,28 @@ func newVelAcc(f *fab.FAB) velAcc {
 // at returns the velocity at face p.
 func (v velAcc) at(p ivect.IntVect) float64 {
 	return v.data[(p[0]-v.lo[0])+v.sy*(p[1]-v.lo[1])+v.sz*(p[2]-v.lo[2])]
+}
+
+// checkoutWorkerArenas returns one arena per worker thread for the
+// tile-parallel executors, reusing the caller's execution arena for
+// worker 0 (it holds no live allocations when these executors start).
+// Arenas beyond the first come from the default pool; checkinWorkerArenas
+// returns them. This is Table I's factor P made literal: temporary
+// storage scales with the threads actually used, and is retained for the
+// next execution rather than re-allocated.
+func checkoutWorkerArenas(threads int, ar *scratch.Arena) []*scratch.Arena {
+	ars := make([]*scratch.Arena, threads)
+	ars[0] = ar
+	for i := 1; i < threads; i++ {
+		ars[i] = scratch.Default.Checkout()
+	}
+	return ars
+}
+
+func checkinWorkerArenas(ars []*scratch.Arena) {
+	for _, a := range ars[1:] {
+		scratch.Default.Checkin(a)
+	}
 }
 
 // velBytes sums the storage of a velocity field.

@@ -71,7 +71,7 @@ func TestAblationSeriesNoVelTempBitwise(t *testing.T) {
 	phi0, want := makeState(b, 9)
 	kernel.Reference(phi0, want, b)
 	phi1 := fab.New(b, kernel.NComp)
-	st := execSeriesNoVelTemp(newState(phi0, phi1, b), 2)
+	st := execSeriesNoVelTemp(newState(phi0, phi1, b), 2, nil)
 	if d, at, c := phi1.MaxDiff(want, b); d != 0 {
 		t.Fatalf("no-vel-temp ablation differs: %g at %v comp %d", d, at, c)
 	}
@@ -202,7 +202,7 @@ func TestVelocityFieldMatchesKernel(t *testing.T) {
 	b := box.Cube(6)
 	phi0, phi1 := makeState(b, 55)
 	s := newState(phi0, phi1, b)
-	vel := velocityField(s, b, 2)
+	vel := velocityField(s, b, 2, nil)
 	for d := 0; d < 3; d++ {
 		faces := b.SurroundingFaces(d)
 		d := d
@@ -210,6 +210,33 @@ func TestVelocityFieldMatchesKernel(t *testing.T) {
 			want := kernel.FaceAvg(phi0.Comp(kernel.VelComp(d)), s.off0(p), s.str0[d])
 			if got := vel[d].Get(p, 0); got != want {
 				t.Fatalf("vel[%d] at %v = %v, want %v", d, p, got, want)
+			}
+		})
+	}
+}
+
+// TestRepeatedExecWarmArenasBitwise is the pooled-path property behind
+// repeated measurement: executing a variant a second time on the same
+// state — now drawing warm, dirty arenas from the pool — must produce the
+// same bits as a fresh single execution. Every variant's temporaries are
+// fully defined before being read, so the garbage left by the first
+// execution must never be observable.
+func TestRepeatedExecWarmArenasBitwise(t *testing.T) {
+	b := box.Cube(12) // ragged tiles for T=8
+	phi0, want := makeState(b, 321)
+	kernel.Reference(phi0, want, b)
+	for _, v := range sched.Studied() {
+		v := v
+		t.Run(v.Name(), func(t *testing.T) {
+			phi1 := fab.New(b, kernel.NComp)
+			for rep := 0; rep < 2; rep++ {
+				if rep > 0 {
+					phi1.Fill(0)
+				}
+				Exec(v, phi0, phi1, b, 3)
+				if d, at, c := phi1.MaxDiff(want, b); d != 0 {
+					t.Fatalf("rep %d: diff %g at %v comp %d", rep, d, at, c)
+				}
 			}
 		})
 	}

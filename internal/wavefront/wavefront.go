@@ -14,6 +14,8 @@ package wavefront
 
 import (
 	"fmt"
+	"sync"
+	"sync/atomic"
 
 	"stencilsched/internal/ivect"
 	"stencilsched/internal/parallel"
@@ -95,34 +97,178 @@ func diagonalCount(grid ivect.IntVect, w int) int {
 	return count
 }
 
+// enumerate appends every item of anti-diagonal w of the grid to dst, in
+// (k, j) lexicographic order, and returns the extended slice.
+func enumerate(dst []ivect.IntVect, grid ivect.IntVect, w int) []ivect.IntVect {
+	for k := max(0, w-grid[0]-grid[1]+2); k < grid[2] && k <= w; k++ {
+		for j := max(0, w-k-grid[0]+1); j < grid[1] && j+k <= w; j++ {
+			i := w - j - k
+			if i >= 0 && i < grid[0] {
+				dst = append(dst, ivect.New(i, j, k))
+			}
+		}
+	}
+	return dst
+}
+
+// barrier is a reusable counting barrier for a fixed party size. Unlike a
+// per-wavefront WaitGroup it allocates once per execution, and it can be
+// broken: when one party panics, the others must not wait forever for it.
+type barrier struct {
+	mu     sync.Mutex
+	cond   sync.Cond
+	n      int
+	count  int
+	gen    int
+	broken bool
+}
+
+// reset prepares the barrier for a fresh execution with n parties. It must
+// only be called once every party of the previous execution has returned
+// (parallel.Run's join guarantees that for runScratch's use).
+func (b *barrier) reset(n int) {
+	if b.cond.L == nil {
+		b.cond.L = &b.mu
+	}
+	b.n = n
+	b.count = 0
+	b.gen = 0
+	b.broken = false
+}
+
+// wait blocks until all n parties have arrived (or the barrier breaks)
+// and reports whether execution should continue.
+func (b *barrier) wait() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.broken {
+		return false
+	}
+	b.count++
+	if b.count == b.n {
+		b.count = 0
+		b.gen++
+		b.cond.Broadcast()
+		return true
+	}
+	gen := b.gen
+	for gen == b.gen && !b.broken {
+		b.cond.Wait()
+	}
+	return !b.broken
+}
+
+// brk breaks the barrier, releasing every waiter.
+func (b *barrier) brk() {
+	b.mu.Lock()
+	b.broken = true
+	b.cond.Broadcast()
+	b.mu.Unlock()
+}
+
+// runScratch holds the per-execution state of the parallel path — the
+// enumerated items, the claim counters, the inter-wavefront barrier and
+// the worker function — pooled so steady-state wavefront executions
+// allocate nothing.
+type runScratch struct {
+	items    []ivect.IntVect
+	starts   []int
+	counters []atomic.Int64
+	nw       int
+	body     func(tid int, idx ivect.IntVect)
+	bar      barrier
+	// workerFn is the bound method value of worker, created once per
+	// runScratch (binding it per execution would allocate).
+	workerFn func(tid int)
+}
+
+var scratchPool = sync.Pool{New: func() any { return new(runScratch) }}
+
+// worker is one member of the persistent team: claim items of the current
+// wavefront dynamically, then meet the others at the barrier.
+func (rs *runScratch) worker(tid int) {
+	defer func() {
+		if r := recover(); r != nil {
+			rs.bar.brk()
+			panic(r)
+		}
+	}()
+	for w := 0; w < rs.nw; w++ {
+		lo, hi := rs.starts[w], rs.starts[w+1]
+		for {
+			n := lo + int(rs.counters[w].Add(1)) - 1
+			if n >= hi {
+				break
+			}
+			rs.body(tid, rs.items[n])
+		}
+		if !rs.bar.wait() {
+			return
+		}
+	}
+}
+
 // Run executes body(tid, idx) for every index of the grid, honoring the
 // (i-1,j,k),(i,j-1,k),(i,j,k-1) dependences by anti-diagonal wavefronts,
 // with up to threads concurrent items per wavefront and a barrier between
 // wavefronts. Items within a wavefront are distributed dynamically, since
 // wavefront widths are ragged. It returns the concurrency Stats.
+//
+// The worker team persists across wavefronts — the paper's OpenMP loops
+// re-enter a parallel region (and its implicit barrier) per wavefront, and
+// spawning goroutines at that rate both dominates narrow wavefronts and
+// allocates on the measurement hot path. A worker panic breaks the
+// barrier, so the team drains and the panic re-raises on the caller as a
+// *parallel.WorkerPanic.
 func Run(grid ivect.IntVect, threads int, body func(tid int, idx ivect.IntVect)) Stats {
 	if grid[0] <= 0 || grid[1] <= 0 || grid[2] <= 0 {
 		panic(fmt.Sprintf("wavefront: bad grid %v", grid))
 	}
 	threads = parallel.Threads(threads)
 	nw := grid.Sum() - 2
-	// Pre-enumerate each diagonal once; the enumeration cost is trivial
-	// next to the stencil work per item.
-	items := make([]ivect.IntVect, 0, 64)
+	stats := Stats{Items: grid.Prod(), Wavefronts: nw}
+
+	// Pre-enumerate every diagonal once (the enumeration cost is trivial
+	// next to the stencil work per item); the widths fall out of the same
+	// pass, so the Stats need no separate Profile allocation.
+	rs := scratchPool.Get().(*runScratch)
+	defer func() {
+		rs.body = nil
+		scratchPool.Put(rs)
+	}()
+	rs.items = rs.items[:0]
+	rs.starts = rs.starts[:0]
+	rs.starts = append(rs.starts, 0)
 	for w := 0; w < nw; w++ {
-		items = items[:0]
-		for k := max(0, w-grid[0]-grid[1]+2); k < grid[2] && k <= w; k++ {
-			for j := max(0, w-k-grid[0]+1); j < grid[1] && j+k <= w; j++ {
-				i := w - j - k
-				if i >= 0 && i < grid[0] {
-					items = append(items, ivect.New(i, j, k))
-				}
-			}
+		rs.items = enumerate(rs.items, grid, w)
+		rs.starts = append(rs.starts, len(rs.items))
+		width := rs.starts[w+1] - rs.starts[w]
+		if width > stats.MaxWidth {
+			stats.MaxWidth = width
 		}
-		snapshot := items
-		parallel.Dynamic(threads, len(snapshot), 1, func(tid, n int) {
-			body(tid, snapshot[n])
-		})
+		stats.Steps += (width + threads - 1) / threads
 	}
-	return Profile(grid, threads)
+
+	if threads == 1 {
+		// Serial fast path: wavefront order without synchronization.
+		for _, it := range rs.items {
+			body(0, it)
+		}
+		return stats
+	}
+
+	if cap(rs.counters) < nw {
+		rs.counters = make([]atomic.Int64, nw)
+	}
+	rs.nw = nw
+	rs.body = body
+	for i := range rs.counters[:nw] {
+		rs.counters[i].Store(0)
+	}
+	rs.bar.reset(threads)
+	if rs.workerFn == nil {
+		rs.workerFn = rs.worker
+	}
+	parallel.Run(threads, rs.workerFn)
+	return stats
 }

@@ -4,8 +4,10 @@ import (
 	"math/rand"
 	"sync"
 	"testing"
+	"time"
 
 	"stencilsched/internal/ivect"
+	"stencilsched/internal/parallel"
 )
 
 func TestRunVisitsEveryIndexOnce(t *testing.T) {
@@ -154,4 +156,28 @@ func TestRunPanicsOnBadGrid(t *testing.T) {
 		}
 	}()
 	Run(ivect.New(0, 1, 1), 2, func(int, ivect.IntVect) {})
+}
+
+// TestRunWorkerPanicDoesNotDeadlock: a panicking worker must break the
+// inter-wavefront barrier (the other workers would otherwise wait for it
+// forever) and the panic must re-raise on the caller.
+func TestRunWorkerPanicDoesNotDeadlock(t *testing.T) {
+	done := make(chan any, 1)
+	go func() {
+		defer func() { done <- recover() }()
+		Run(ivect.New(6, 6, 6), 4, func(tid int, idx ivect.IntVect) {
+			if idx == ivect.New(3, 2, 1) {
+				panic("item blew up")
+			}
+		})
+	}()
+	select {
+	case r := <-done:
+		wp, ok := r.(*parallel.WorkerPanic)
+		if !ok || wp.Value != "item blew up" {
+			t.Fatalf("recovered %v, want *parallel.WorkerPanic(item blew up)", r)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("wavefront Run deadlocked after a worker panic")
+	}
 }
