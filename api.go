@@ -7,6 +7,7 @@ import (
 	"sort"
 
 	"stencilsched/internal/box"
+	"stencilsched/internal/conform"
 	"stencilsched/internal/fab"
 	"stencilsched/internal/kernel"
 	"stencilsched/internal/machine"
@@ -197,6 +198,27 @@ func VerifyAll(boxN, threads int) error {
 		}
 	}
 	return nil
+}
+
+// ConformanceConfig parameterizes a conformance sweep (see
+// internal/conform): randomized single-box and multi-box geometries per
+// registered schedule, differential against the reference plus the
+// metamorphic determinism/linearity/translation invariants.
+type ConformanceConfig = conform.SweepConfig
+
+// ConformanceReport summarizes a conformance sweep; Divergences carry
+// minimized repro lines naming the runner, geometry, and seed.
+type ConformanceReport = conform.Report
+
+// Conformance runs the deterministic differential + metamorphic
+// conformance sweep over every registered schedule — the 32 studied
+// variants and the codegen-interpreted exemplar schedules — and reports
+// any divergence from the Figure 6 reference. The zero config runs the
+// defaults (the same sweep tier-1 tests run); ctx cancels mid-sweep. A
+// deployed stencilserved node exposes this as POST /v1/conformance for
+// post-autotune self-checks.
+func Conformance(ctx context.Context, cfg ConformanceConfig) (*ConformanceReport, error) {
+	return conform.Sweep(ctx, cfg)
 }
 
 // TuneResult is one autotuning measurement.

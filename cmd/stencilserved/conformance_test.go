@@ -1,0 +1,102 @@
+package main
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+
+	"stencilsched"
+	"stencilsched/internal/conform"
+)
+
+func TestConformanceEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, config{maxThreads: conform.MaxThreads})
+	var snap struct {
+		ID string `json:"id"`
+	}
+	body := map[string]any{"seed": 42, "box_cases": 1, "level_cases": -1}
+	if code := doJSON(t, http.MethodPost, ts.URL+"/v1/conformance", body, &snap); code != http.StatusAccepted {
+		t.Fatalf("POST /v1/conformance: status %d, want 202", code)
+	}
+	done := awaitJob(t, ts.URL, snap.ID)
+	if done.Status != "done" {
+		t.Fatalf("conformance job ended %s: %s", done.Status, done.Error)
+	}
+	// The job result travels as generic JSON; round-trip it into the
+	// typed report.
+	raw, err := json.Marshal(done.Result)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep stencilsched.ConformanceReport
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		t.Fatalf("conformance result %q: %v", raw, err)
+	}
+	wantRunners := len(conform.Registry())
+	if rep.Runners != wantRunners || rep.Checks != wantRunners {
+		t.Fatalf("report covered %d runners / %d checks, want %d / %d: %+v",
+			rep.Runners, rep.Checks, wantRunners, wantRunners, rep)
+	}
+	if len(rep.Divergences) != 0 {
+		t.Fatalf("self-check found divergences: %+v", rep.Divergences)
+	}
+	if rep.Seed != 42 {
+		t.Fatalf("report seed = %d, want 42", rep.Seed)
+	}
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	text, _ := io.ReadAll(resp.Body)
+	metrics := string(text)
+	for _, want := range []string{
+		"stencilserved_conform_sweeps_total 1",
+		"stencilserved_conform_divergences_total 0",
+		"stencilserved_conform_last_divergences 0",
+	} {
+		if !strings.Contains(metrics, want) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+}
+
+func TestConformanceValidation(t *testing.T) {
+	_, ts := newTestServer(t, config{})
+	for _, body := range []map[string]any{
+		{"box_cases": maxConformCases + 1},
+		{"box_cases": -1},
+		{"level_cases": -2},
+		{"level_cases": maxConformCases + 1},
+		{"seeed": 1}, // misspelled field
+	} {
+		var e errorResponse
+		if code := doJSON(t, http.MethodPost, ts.URL+"/v1/conformance", body, &e); code != http.StatusBadRequest {
+			t.Errorf("%v: status %d, want 400", body, code)
+		} else if e.Error == "" {
+			t.Errorf("%v: empty error message", body)
+		}
+	}
+}
+
+// TestOversizedBodyRejected locks in the MaxBytesReader bound: a body
+// past the limit is a 400, not an unbounded read.
+func TestOversizedBodyRejected(t *testing.T) {
+	_, ts := newTestServer(t, config{})
+	huge := `{"variant":"` + strings.Repeat("x", maxRequestBytes+1024) + `"}`
+	resp, err := http.Post(ts.URL+"/v1/solve", "application/json", strings.NewReader(huge))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("oversized body: status %d, want 400", resp.StatusCode)
+	}
+	var e errorResponse
+	if err := json.NewDecoder(resp.Body).Decode(&e); err != nil || !strings.Contains(e.Error, "exceeds") {
+		t.Fatalf("oversized body error = %+v (%v)", e, err)
+	}
+}

@@ -10,6 +10,9 @@
 //	POST   /v1/solve      queue an advection solve (async; 202 + job)
 //	POST   /v1/autotune   queue a measured tuning sweep; identical repeats
 //	                      are answered from the cache (200, source=cache)
+//	POST   /v1/conformance queue a differential + metamorphic self-check of
+//	                      every registered schedule against the reference
+//	                      (results also on stencilserved_conform_* metrics)
 //	POST   /v1/model      modeled execution time on a paper machine (sync)
 //	GET    /v1/variants   the studied scheduling variants (JSON or ?format=text)
 //	GET    /v1/jobs       list jobs;  GET /v1/jobs/{id} one job

@@ -3,6 +3,7 @@ package main
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"math"
 	"net/http"
@@ -11,6 +12,7 @@ import (
 	"time"
 
 	"stencilsched"
+	"stencilsched/internal/conform"
 	"stencilsched/internal/jobs"
 	"stencilsched/internal/metrics"
 	"stencilsched/internal/perfmodel"
@@ -40,6 +42,11 @@ type server struct {
 
 	cacheHits   *metrics.Counter
 	cacheMisses *metrics.Counter
+
+	conformSweeps      *metrics.Counter
+	conformChecks      *metrics.Counter
+	conformDivergences *metrics.Counter
+	conformLastDiverg  *metrics.Gauge
 }
 
 func newServer(cfg config) (*server, error) {
@@ -72,9 +79,20 @@ func newServer(cfg config) (*server, error) {
 		"autotune requests answered from the cache without re-measuring")
 	s.cacheMisses = s.reg.Counter("stencilserved_tunecache_misses_total",
 		"autotune requests that had to measure")
+	// Conformance counters, also registered up front: a scrape must show
+	// at zero that this node has never self-checked.
+	s.conformSweeps = s.reg.Counter("stencilserved_conform_sweeps_total",
+		"completed conformance sweeps")
+	s.conformChecks = s.reg.Counter("stencilserved_conform_checks_total",
+		"(runner, case) conformance checks executed")
+	s.conformDivergences = s.reg.Counter("stencilserved_conform_divergences_total",
+		"conformance divergences found across all sweeps")
+	s.conformLastDiverg = s.reg.Gauge("stencilserved_conform_last_divergences",
+		"divergences in the most recent completed sweep")
 
 	s.handle("POST /v1/solve", s.handleSolve)
 	s.handle("POST /v1/autotune", s.handleAutotune)
+	s.handle("POST /v1/conformance", s.handleConformance)
 	s.handle("POST /v1/model", s.handleModel)
 	s.handle("GET /v1/variants", s.handleVariants)
 	s.handle("GET /v1/jobs", s.handleJobList)
@@ -130,13 +148,28 @@ func httpError(w http.ResponseWriter, code int, format string, args ...any) {
 	writeJSON(w, code, errorResponse{Error: fmt.Sprintf(format, args...)})
 }
 
-// decodeJSON decodes a request body strictly: unknown fields are an
-// error, because a misspelled tuning parameter silently falling back to
-// a default is exactly the failure mode this service exists to avoid.
-func decodeJSON(r *http.Request, v any) error {
+// maxRequestBytes bounds request bodies: every legitimate request to
+// this API is well under a kilobyte of JSON, so a megabyte is generous,
+// and an unbounded body would let one client exhaust server memory.
+const maxRequestBytes = 1 << 20
+
+// decodeJSON decodes a request body strictly: the body is capped at
+// maxRequestBytes (an oversized body is a 400, reported by the caller)
+// and unknown fields are an error, because a misspelled tuning
+// parameter silently falling back to a default is exactly the failure
+// mode this service exists to avoid.
+func decodeJSON(w http.ResponseWriter, r *http.Request, v any) error {
+	r.Body = http.MaxBytesReader(w, r.Body, maxRequestBytes)
 	dec := json.NewDecoder(r.Body)
 	dec.DisallowUnknownFields()
-	return dec.Decode(v)
+	if err := dec.Decode(v); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			return fmt.Errorf("request body exceeds %d bytes", tooBig.Limit)
+		}
+		return err
+	}
+	return nil
 }
 
 // submit queues fn and answers 202 with the job snapshot, mapping queue
@@ -204,7 +237,7 @@ func (s *server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		Steps:      1,
 		Integrator: "rk4",
 	}
-	if err := decodeJSON(r, &req); err != nil {
+	if err := decodeJSON(w, r, &req); err != nil {
 		httpError(w, http.StatusBadRequest, "bad request: %v", err)
 		return
 	}
@@ -304,7 +337,7 @@ type autotuneResult struct {
 
 func (s *server) handleAutotune(w http.ResponseWriter, r *http.Request) {
 	req := autotuneRequest{NumBoxes: 1, Reps: 3}
-	if err := decodeJSON(r, &req); err != nil {
+	if err := decodeJSON(w, r, &req); err != nil {
 		httpError(w, http.StatusBadRequest, "bad request: %v", err)
 		return
 	}
@@ -401,6 +434,56 @@ func (s *server) tuneKey(p stencilsched.Problem, reps int, cands []stencilsched.
 	return tunecache.Key(parts...)
 }
 
+// ---- POST /v1/conformance ----------------------------------------------
+
+type conformanceRequest struct {
+	Seed       int64  `json:"seed"`
+	BoxCases   int    `json:"box_cases"`   // per runner; 0 = default
+	LevelCases int    `json:"level_cases"` // per runner; 0 = default, -1 = skip
+	MaxULP     uint64 `json:"max_ulp"`
+}
+
+// maxConformCases bounds a requested sweep so one request cannot park a
+// worker for hours; repeated sweeps with different seeds cover more.
+const maxConformCases = 100
+
+// handleConformance queues a differential + metamorphic conformance
+// sweep over every registered schedule (see internal/conform) — the
+// deployed node's self-check after autotune or an upgrade. Results
+// surface on the job and as stencilserved_conform_* metrics.
+func (s *server) handleConformance(w http.ResponseWriter, r *http.Request) {
+	var req conformanceRequest
+	if err := decodeJSON(w, r, &req); err != nil {
+		httpError(w, http.StatusBadRequest, "bad request: %v", err)
+		return
+	}
+	if req.BoxCases < 0 || req.BoxCases > maxConformCases {
+		httpError(w, http.StatusBadRequest, "box_cases %d out of range (0..%d)", req.BoxCases, maxConformCases)
+		return
+	}
+	if req.LevelCases < -1 || req.LevelCases > maxConformCases {
+		httpError(w, http.StatusBadRequest, "level_cases %d out of range (-1..%d)", req.LevelCases, maxConformCases)
+		return
+	}
+	req2 := req
+	s.submit(w, "conformance", conform.MaxThreads, func(ctx context.Context) (any, error) {
+		rep, err := stencilsched.Conformance(ctx, stencilsched.ConformanceConfig{
+			Seed:       req2.Seed,
+			BoxCases:   req2.BoxCases,
+			LevelCases: req2.LevelCases,
+			MaxULP:     req2.MaxULP,
+		})
+		if err != nil {
+			return nil, err
+		}
+		s.conformSweeps.Inc()
+		s.conformChecks.Add(uint64(rep.Checks))
+		s.conformDivergences.Add(uint64(len(rep.Divergences)))
+		s.conformLastDiverg.Set(float64(len(rep.Divergences)))
+		return rep, nil
+	})
+}
+
 // ---- POST /v1/model ----------------------------------------------------
 
 type modelRequest struct {
@@ -429,7 +512,7 @@ type modelResult struct {
 
 func (s *server) handleModel(w http.ResponseWriter, r *http.Request) {
 	var req modelRequest
-	if err := decodeJSON(r, &req); err != nil {
+	if err := decodeJSON(w, r, &req); err != nil {
 		httpError(w, http.StatusBadRequest, "bad request: %v", err)
 		return
 	}

@@ -69,7 +69,71 @@ func Write(w io.Writer, ld *layout.LevelData, meta Meta) error {
 	return bw.Flush()
 }
 
-// Read restores a level (and its restart metadata) from r.
+// Header bounds: far beyond anything this repository writes, yet tight
+// enough that a corrupt or hostile header cannot overflow the
+// allocation arithmetic (grown box volume × NComp) or drive
+// NewLevelData into an absurd make. Read rejects headers outside them
+// before allocating anything sized by header contents.
+const (
+	maxComps  = 64
+	maxGhosts = 16
+	maxBoxes  = 1 << 20
+	// maxEdge bounds one grown box edge in cells; maxValues bounds the
+	// float64 count of one restored box (2^27 values ≈ 1 GiB — the
+	// paper's largest boxes are 128^3 × 5 comps ≈ 11.5M values). With
+	// these in force every intermediate product below stays well inside
+	// int64, and a tiny crafted header cannot demand a huge allocation.
+	maxEdge   = int64(1) << 20
+	maxValues = int64(1) << 27
+)
+
+// grownValues returns the number of float64 values in box b grown by
+// nghost with ncomp components, or an error if any extent or the total
+// is out of bounds. All arithmetic is int64 and bounded after every
+// multiply, so crafted corner values cannot overflow into a small or
+// negative allocation size.
+func grownValues(b box.Box, nghost, ncomp int) (int64, error) {
+	vol := int64(1)
+	for d := 0; d < 3; d++ {
+		ext := int64(b.Hi[d]) - int64(b.Lo[d]) + 1 + 2*int64(nghost)
+		if ext <= 0 || ext > maxEdge {
+			return 0, fmt.Errorf("grown extent %d in direction %d out of range (1..%d)", ext, d, maxEdge)
+		}
+		vol *= ext
+		if vol > maxValues {
+			return 0, fmt.Errorf("grown volume exceeds %d cells", maxValues)
+		}
+	}
+	values := vol * int64(ncomp)
+	if values > maxValues {
+		return 0, fmt.Errorf("%d values exceed the %d limit", values, maxValues)
+	}
+	return values, nil
+}
+
+// validate bounds every header quantity that sizes an allocation.
+func (h *header) validate() error {
+	if h.NComp <= 0 || h.NComp > maxComps || h.NGhost < 0 || h.NGhost > maxGhosts {
+		return fmt.Errorf("checkpoint: corrupt config (%d comps, %d ghosts)", h.NComp, h.NGhost)
+	}
+	if len(h.Boxes) == 0 || len(h.Boxes) > maxBoxes {
+		return fmt.Errorf("checkpoint: corrupt box count %d", len(h.Boxes))
+	}
+	if _, err := grownValues(h.Domain, 0, 1); err != nil {
+		return fmt.Errorf("checkpoint: corrupt domain %v: %w", h.Domain, err)
+	}
+	for i, b := range h.Boxes {
+		if _, err := grownValues(b, h.NGhost, h.NComp); err != nil {
+			return fmt.Errorf("checkpoint: corrupt box %d (%v): %w", i, b, err)
+		}
+	}
+	return nil
+}
+
+// Read restores a level (and its restart metadata) from r. The header
+// is fully validated — version, box count, and every allocation size —
+// before any header-sized allocation, so a truncated or corrupt file
+// returns an error instead of panicking.
 func Read(r io.Reader) (*layout.LevelData, Meta, error) {
 	dec := gob.NewDecoder(bufio.NewReader(r))
 	var h header
@@ -82,12 +146,12 @@ func Read(r io.Reader) (*layout.LevelData, Meta, error) {
 	if h.Version != version {
 		return nil, Meta{}, fmt.Errorf("checkpoint: version %d, want %d", h.Version, version)
 	}
+	if err := h.validate(); err != nil {
+		return nil, Meta{}, err
+	}
 	l := &layout.Layout{Domain: h.Domain, Periodic: h.Periodic, Boxes: h.Boxes}
 	if err := l.Verify(); err != nil {
 		return nil, Meta{}, fmt.Errorf("checkpoint: corrupt layout: %w", err)
-	}
-	if h.NComp <= 0 || h.NGhost < 0 {
-		return nil, Meta{}, fmt.Errorf("checkpoint: corrupt config (%d comps, %d ghosts)", h.NComp, h.NGhost)
 	}
 	ld := layout.NewLevelData(l, h.NComp, h.NGhost)
 	for i := range ld.Fabs {

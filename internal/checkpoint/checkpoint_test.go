@@ -15,7 +15,7 @@ import (
 	"stencilsched/internal/solver"
 )
 
-func randomLevel(t *testing.T, seed int64) *layout.LevelData {
+func randomLevel(t testing.TB, seed int64) *layout.LevelData {
 	t.Helper()
 	l, err := layout.Decompose(box.Cube(8), 4, [3]bool{true, false, true})
 	if err != nil {

@@ -1,0 +1,164 @@
+package checkpoint
+
+import (
+	"bytes"
+	"encoding/gob"
+	"testing"
+
+	"stencilsched/internal/box"
+	"stencilsched/internal/ivect"
+)
+
+// encodeRaw gob-encodes a header followed by raw per-box payloads,
+// bypassing Write's invariants — the crafted-corruption path.
+func encodeRaw(t *testing.T, h header, payloads ...[]float64) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	enc := gob.NewEncoder(&buf)
+	if err := enc.Encode(h); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range payloads {
+		if err := enc.Encode(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return buf.Bytes()
+}
+
+func validHeader() header {
+	b := box.Cube(4)
+	return header{
+		Magic: magic, Version: version,
+		Domain: b, Boxes: []box.Box{b},
+		NComp: 2, NGhost: 1,
+	}
+}
+
+// TestReadRejectsCorruptHeaders feeds Read crafted headers that used to
+// reach allocation (and panic or OOM on make) and demands a clean error
+// for each.
+func TestReadRejectsCorruptHeaders(t *testing.T) {
+	huge := ivect.New(1<<30, 1<<30, 1<<30)
+	cases := []struct {
+		name   string
+		mutate func(*header)
+	}{
+		{"wrong magic", func(h *header) { h.Magic = "not-a-checkpoint" }},
+		{"future version", func(h *header) { h.Version = version + 1 }},
+		{"zero comps", func(h *header) { h.NComp = 0 }},
+		{"negative comps", func(h *header) { h.NComp = -3 }},
+		{"huge comps", func(h *header) { h.NComp = 1 << 40 }},
+		{"negative ghosts", func(h *header) { h.NGhost = -1 }},
+		{"huge ghosts", func(h *header) { h.NGhost = 1 << 30 }},
+		{"no boxes", func(h *header) { h.Boxes = nil }},
+		{"huge box corner", func(h *header) {
+			h.Boxes[0].Hi = huge
+			h.Domain.Hi = huge
+		}},
+		{"overflowing volume", func(h *header) {
+			// Each extent fits the edge bound but the product overflows
+			// what a make() could represent without the int64 guards.
+			e := ivect.New(1<<19, 1<<19, 1<<19)
+			h.Boxes[0].Hi = e
+			h.Domain.Hi = e
+		}},
+		{"inverted box", func(h *header) {
+			h.Boxes[0].Hi = ivect.New(-10, 3, 3)
+		}},
+		{"box escapes domain", func(h *header) {
+			h.Boxes[0].Hi = h.Boxes[0].Hi.Shift(0, 1)
+		}},
+		{"boxes do not tile domain", func(h *header) {
+			h.Boxes = []box.Box{box.NewSized(ivect.Zero, ivect.New(2, 4, 4))}
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			h := validHeader()
+			tc.mutate(&h)
+			_, _, err := Read(bytes.NewReader(encodeRaw(t, h)))
+			if err == nil {
+				t.Fatalf("Read accepted a corrupt header: %+v", h)
+			}
+		})
+	}
+}
+
+func TestReadRejectsBadPayloads(t *testing.T) {
+	h := validHeader() // one 4^3 box, ghost 1 -> 6^3 cells, 2 comps = 432 values
+	t.Run("missing box data", func(t *testing.T) {
+		if _, _, err := Read(bytes.NewReader(encodeRaw(t, h))); err == nil {
+			t.Fatal("Read accepted a file with no box payloads")
+		}
+	})
+	t.Run("short box data", func(t *testing.T) {
+		if _, _, err := Read(bytes.NewReader(encodeRaw(t, h, make([]float64, 17)))); err == nil {
+			t.Fatal("Read accepted a short payload")
+		}
+	})
+	t.Run("oversized box data", func(t *testing.T) {
+		if _, _, err := Read(bytes.NewReader(encodeRaw(t, h, make([]float64, 5000)))); err == nil {
+			t.Fatal("Read accepted an oversized payload")
+		}
+	})
+}
+
+// TestReadTruncated restores from every prefix of a valid checkpoint:
+// all must error (none may panic), and only the full file succeeds.
+func TestReadTruncated(t *testing.T) {
+	ld := randomLevel(t, 5)
+	var buf bytes.Buffer
+	if err := Write(&buf, ld, Meta{Time: 1, Step: 1}); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	for n := 0; n < len(data); n += 13 {
+		if _, _, err := Read(bytes.NewReader(data[:n])); err == nil {
+			t.Fatalf("Read accepted a %d/%d-byte truncation", n, len(data))
+		}
+	}
+	if _, _, err := Read(bytes.NewReader(data)); err != nil {
+		t.Fatalf("full file rejected: %v", err)
+	}
+}
+
+// FuzzCheckpointRead drives Read with arbitrary bytes: it must never
+// panic, and anything it accepts must round-trip bitwise.
+func FuzzCheckpointRead(f *testing.F) {
+	ld := randomLevel(f, 9)
+	var buf bytes.Buffer
+	if err := Write(&buf, ld, Meta{Time: 2.5, Step: 40}); err != nil {
+		f.Fatal(err)
+	}
+	valid := buf.Bytes()
+	f.Add(valid)
+	f.Add(valid[:len(valid)/2])
+	f.Add(valid[:40])
+	f.Add([]byte{})
+	hdr := header{Magic: magic, Version: version, Domain: box.Cube(4),
+		Boxes: []box.Box{box.Cube(4)}, NComp: 1 << 40, NGhost: 1 << 30}
+	var crafted bytes.Buffer
+	if err := gob.NewEncoder(&crafted).Encode(hdr); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(crafted.Bytes())
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		got, meta, err := Read(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		var out bytes.Buffer
+		if err := Write(&out, got, meta); err != nil {
+			t.Fatalf("rewrite of accepted checkpoint failed: %v", err)
+		}
+		again, meta2, err := Read(&out)
+		if err != nil {
+			t.Fatalf("reread of accepted checkpoint failed: %v", err)
+		}
+		if !Equal(got, again) || meta != meta2 {
+			t.Fatal("accepted checkpoint does not round-trip bitwise")
+		}
+	})
+}

@@ -1,0 +1,56 @@
+package cluster
+
+import "testing"
+
+// TestAssignRanksEqualBoxes pins the degenerate chunk size: with as
+// many ranks as boxes every rank gets exactly its own box, in order.
+func TestAssignRanksEqualBoxes(t *testing.T) {
+	l := mustLayout(t, 16, 8) // 8 boxes
+	a, err := Assign(l, l.NumBoxes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range a.Of {
+		if r != i {
+			t.Fatalf("box %d on rank %d, want %d", i, r, i)
+		}
+	}
+}
+
+// TestAssignNonDivisibleChunks covers rank counts that do not divide
+// the box count: chunks must stay contiguous, cover every rank, and
+// differ in size by at most one box.
+func TestAssignNonDivisibleChunks(t *testing.T) {
+	l := mustLayout(t, 24, 8) // 27 boxes
+	n := l.NumBoxes()
+	if n != 27 {
+		t.Fatalf("layout has %d boxes, want 27", n)
+	}
+	for ranks := 1; ranks <= n; ranks++ {
+		a, err := Assign(l, ranks)
+		if err != nil {
+			t.Fatalf("ranks=%d: %v", ranks, err)
+		}
+		counts := make([]int, ranks)
+		prev := 0
+		for i, r := range a.Of {
+			if r < 0 || r >= ranks {
+				t.Fatalf("ranks=%d: box %d on out-of-range rank %d", ranks, i, r)
+			}
+			if r < prev {
+				t.Fatalf("ranks=%d: assignment not contiguous at box %d", ranks, i)
+			}
+			prev = r
+			counts[r]++
+		}
+		lo, hi := n/ranks, (n+ranks-1)/ranks
+		for r, c := range counts {
+			if c < 1 {
+				t.Fatalf("ranks=%d: rank %d starved", ranks, r)
+			}
+			if c < lo || c > hi {
+				t.Fatalf("ranks=%d: rank %d has %d boxes, want %d..%d", ranks, r, c, lo, hi)
+			}
+		}
+	}
+}

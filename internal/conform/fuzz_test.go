@@ -1,0 +1,85 @@
+package conform
+
+import (
+	"testing"
+)
+
+// fuzzRunner maps a fuzzer-chosen index onto the registry.
+func fuzzRunner(idx uint8) Runner {
+	reg := Registry()
+	return reg[int(idx)%len(reg)]
+}
+
+// FuzzConformance fuzzes single-box conformance: the fuzzer picks a
+// runner and raw case fields, Normalized clamps them into a legal
+// geometry, and every conformance property must hold. On divergence the
+// failure is minimized and reported as a repro line naming the runner,
+// geometry, and seed.
+//
+// Run with: go test ./internal/conform -fuzz=FuzzConformance
+func FuzzConformance(f *testing.F) {
+	// Seed corpus: one case per axis of interest — cubic, flat/ragged,
+	// unit box, shifted corner, padded ghosts, guard ring, threads, warm —
+	// spread across the runner index space so hand-written families and
+	// interpreted schedules are all exercised before mutation starts.
+	f.Add(int64(1), uint8(0), int8(0), int8(0), int8(0), uint8(8), uint8(8), uint8(8), uint8(0), uint8(0), uint8(1), false)
+	f.Add(int64(2), uint8(7), int8(-3), int8(5), int8(0), uint8(1), uint8(14), uint8(3), uint8(1), uint8(1), uint8(4), true)
+	f.Add(int64(3), uint8(16), int8(9), int8(-9), int8(2), uint8(1), uint8(1), uint8(1), uint8(2), uint8(0), uint8(2), true)
+	f.Add(int64(4), uint8(24), int8(0), int8(0), int8(0), uint8(32), uint8(5), uint8(2), uint8(0), uint8(2), uint8(8), false)
+	f.Add(int64(5), uint8(32), int8(-8), int8(-8), int8(-8), uint8(6), uint8(6), uint8(6), uint8(3), uint8(1), uint8(3), true)
+	f.Add(int64(6), uint8(33), int8(4), int8(4), int8(4), uint8(12), uint8(7), uint8(9), uint8(0), uint8(0), uint8(1), false)
+
+	f.Fuzz(func(t *testing.T, seed int64, runner uint8,
+		lo0, lo1, lo2 int8, s0, s1, s2 uint8,
+		ghostPad, outPad, threads uint8, warm bool) {
+		r := fuzzRunner(runner)
+		c := Case{
+			Seed:     seed,
+			Lo:       [3]int{int(lo0), int(lo1), int(lo2)},
+			Size:     [3]int{int(s0), int(s1), int(s2)},
+			GhostPad: int(ghostPad),
+			OutPad:   int(outPad),
+			Threads:  int(threads),
+			Warm:     warm,
+		}.Normalized()
+		if dv := CheckBox(r, c, 0); dv != nil {
+			min, mdv := Minimize(r, c, 0)
+			if mdv == nil {
+				t.Fatalf("divergence (did not survive minimization): %v", dv)
+			}
+			t.Fatalf("divergence: %v\nminimized case: %+v", mdv, min)
+		}
+	})
+}
+
+// FuzzLevelConformance fuzzes multi-box conformance: randomized domain
+// decompositions with ragged boxes and per-direction periodic BCs, the
+// real ghost exchange, and the translation-invariance metamorphic check.
+//
+// Run with: go test ./internal/conform -fuzz=FuzzLevelConformance
+func FuzzLevelConformance(f *testing.F) {
+	f.Add(int64(1), uint8(0), uint8(8), uint8(8), uint8(8), uint8(4), true, true, true, uint8(2))
+	f.Add(int64(2), uint8(9), uint8(20), uint8(5), uint8(11), uint8(3), true, false, false, uint8(8))
+	f.Add(int64(3), uint8(17), uint8(4), uint8(4), uint8(4), uint8(12), false, false, false, uint8(1))
+	f.Add(int64(4), uint8(25), uint8(13), uint8(17), uint8(7), uint8(5), false, true, false, uint8(4))
+	f.Add(int64(5), uint8(33), uint8(16), uint8(16), uint8(16), uint8(6), true, true, false, uint8(6))
+
+	f.Fuzz(func(t *testing.T, seed int64, runner uint8,
+		d0, d1, d2, boxSize uint8, p0, p1, p2 bool, threads uint8) {
+		r := fuzzRunner(runner)
+		lc := LevelCase{
+			Seed:       seed,
+			DomainSize: [3]int{int(d0), int(d1), int(d2)},
+			BoxSize:    int(boxSize),
+			Periodic:   [3]bool{p0, p1, p2},
+			Threads:    int(threads),
+		}.Normalized()
+		if dv := CheckLevel(r, lc, 0); dv != nil {
+			min, mdv := MinimizeLevel(r, lc, 0)
+			if mdv == nil {
+				t.Fatalf("divergence (did not survive minimization): %v", dv)
+			}
+			t.Fatalf("divergence: %v\nminimized level case: %+v", mdv, min)
+		}
+	})
+}

@@ -1,0 +1,144 @@
+package conform
+
+// Minimize greedily shrinks a failing single-box case to a small
+// reproducer: it repeatedly tries cheaper candidate cases (smaller
+// boxes, origin corners, no padding, one thread, cold arenas) and keeps
+// any candidate on which the runner still diverges. The returned
+// divergence is the one observed on the minimized case, so its Error()
+// line is the minimized repro. If c does not actually fail, Minimize
+// returns (c.Normalized(), nil).
+//
+// Shrinking keeps the seed fixed — the initial data changes shape with
+// the geometry but stays deterministic, so the repro line replays.
+func Minimize(r Runner, c Case, maxULP uint64) (Case, *Divergence) {
+	c = c.Normalized()
+	dv := CheckBox(r, c, maxULP)
+	if dv == nil {
+		return c, nil
+	}
+	for improved := true; improved; {
+		improved = false
+		for _, cand := range shrinkCase(c) {
+			if cdv := CheckBox(r, cand, maxULP); cdv != nil {
+				c, dv = cand.Normalized(), cdv
+				improved = true
+				break
+			}
+		}
+	}
+	return c, dv
+}
+
+// shrinkCase proposes strictly simpler variants of c, cheapest-looking
+// reductions first. Every candidate differs from c (after normalization
+// both are in range, so the loop in Minimize terminates: each accepted
+// step reduces a bounded non-negative measure).
+func shrinkCase(c Case) []Case {
+	var out []Case
+	add := func(n Case) {
+		if n != c {
+			out = append(out, n)
+		}
+	}
+	for d := 0; d < 3; d++ {
+		if c.Size[d] > 1 {
+			n := c
+			n.Size[d] = c.Size[d] / 2
+			add(n)
+			n = c
+			n.Size[d]--
+			add(n)
+		}
+		if c.Lo[d] != 0 {
+			n := c
+			n.Lo[d] = 0
+			add(n)
+			n = c
+			n.Lo[d] = c.Lo[d] / 2
+			add(n)
+		}
+	}
+	if c.GhostPad > 0 {
+		n := c
+		n.GhostPad = 0
+		add(n)
+	}
+	if c.OutPad > 0 {
+		n := c
+		n.OutPad = 0
+		add(n)
+	}
+	if c.Threads > 1 {
+		n := c
+		n.Threads = 1
+		add(n)
+	}
+	if c.Warm {
+		n := c
+		n.Warm = false
+		add(n)
+	}
+	return out
+}
+
+// MinimizeLevel is Minimize for multi-box level cases: it shrinks the
+// domain, grows boxes toward a single-box layout, drops threads and
+// periodic directions, keeping any candidate that still diverges.
+func MinimizeLevel(r Runner, lc LevelCase, maxULP uint64) (LevelCase, *Divergence) {
+	lc = lc.Normalized()
+	dv := CheckLevel(r, lc, maxULP)
+	if dv == nil {
+		return lc, nil
+	}
+	for improved := true; improved; {
+		improved = false
+		for _, cand := range shrinkLevelCase(lc) {
+			if cdv := CheckLevel(r, cand, maxULP); cdv != nil {
+				lc, dv = cand.Normalized(), cdv
+				improved = true
+				break
+			}
+		}
+	}
+	return lc, dv
+}
+
+func shrinkLevelCase(lc LevelCase) []LevelCase {
+	var out []LevelCase
+	add := func(n LevelCase) {
+		if n != lc {
+			out = append(out, n)
+		}
+	}
+	for d := 0; d < 3; d++ {
+		if lc.DomainSize[d] > minDomainEdge {
+			n := lc
+			n.DomainSize[d] = max(minDomainEdge, lc.DomainSize[d]/2)
+			add(n)
+			n = lc
+			n.DomainSize[d]--
+			add(n)
+		}
+		if lc.Periodic[d] {
+			n := lc
+			n.Periodic[d] = false
+			add(n)
+		}
+	}
+	if lc.BoxSize < maxLevelBox {
+		// Larger boxes only — fewer boxes is the simpler repro, and a
+		// monotone direction keeps the greedy loop terminating.
+		n := lc
+		n.BoxSize = maxLevelBox
+		add(n)
+		n = lc
+		n.BoxSize++
+		add(n)
+	}
+	if lc.Threads > 1 {
+		n := lc
+		n.Threads = 1
+		add(n)
+	}
+	return out
+}

@@ -1,0 +1,78 @@
+package conform
+
+import (
+	"stencilsched/internal/box"
+	"stencilsched/internal/codegen"
+	"stencilsched/internal/fab"
+	"stencilsched/internal/sched"
+	"stencilsched/internal/variants"
+)
+
+// Runner is one registered schedule execution: a name, a way to run the
+// exemplar on a box, and (for the hand-written families) the variant it
+// executes. The conformance checks treat runners uniformly — the
+// contract is identical whether the schedule is compiled Go or an
+// interpreted What/When/Where program.
+type Runner struct {
+	// Name identifies the runner in divergence repros. For variant
+	// runners it is the paper-legend variant name.
+	Name string
+	// Variant is the scheduling variant of a hand-written runner; the
+	// zero value for interpreted runners (see Interpreted).
+	Variant sched.Variant
+	// Interpreted marks the codegen-interpreted exemplar schedules,
+	// which execute serially regardless of the thread argument.
+	Interpreted bool
+	// Run executes the exemplar: phi0 must cover the ghosted valid box,
+	// and the flux divergence accumulates into phi1 over valid.
+	Run func(phi0, phi1 *fab.FAB, valid box.Box, threads int) error
+}
+
+// variantRunner wraps one hand-written scheduling variant.
+func variantRunner(v sched.Variant) Runner {
+	return Runner{
+		Name:    v.Name(),
+		Variant: v,
+		Run: func(phi0, phi1 *fab.FAB, valid box.Box, threads int) error {
+			variants.Exec(v, phi0, phi1, valid, threads)
+			return nil
+		},
+	}
+}
+
+// interpretedRunner wraps one codegen-interpreted exemplar schedule.
+func interpretedRunner(name string, fused bool) Runner {
+	return Runner{
+		Name:        name,
+		Interpreted: true,
+		Run: func(phi0, phi1 *fab.FAB, valid box.Box, threads int) error {
+			return codegen.RunExemplar(phi0, phi1, valid, fused)
+		},
+	}
+}
+
+// Registry returns every registered schedule the harness conforms: the
+// 32 studied hand-written variants and the two codegen-interpreted
+// exemplar schedules (series and row-fused). The sweep's acceptance
+// criterion is that every entry here is covered.
+func Registry() []Runner {
+	var rs []Runner
+	for _, v := range sched.Studied() {
+		rs = append(rs, variantRunner(v))
+	}
+	rs = append(rs,
+		interpretedRunner("CodeGen series (interpreted)", false),
+		interpretedRunner("CodeGen row-fused (interpreted)", true),
+	)
+	return rs
+}
+
+// RunnerByName resolves a registry entry, for replaying repro lines.
+func RunnerByName(name string) (Runner, bool) {
+	for _, r := range Registry() {
+		if r.Name == name {
+			return r, true
+		}
+	}
+	return Runner{}, false
+}

@@ -1,0 +1,164 @@
+package jobs
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestSemAcquirePreCanceled locks in the fast-path fix: a context that
+// is already done must never be granted tokens, even when the semaphore
+// has free capacity.
+func TestSemAcquirePreCanceled(t *testing.T) {
+	s := newThreadSem(4)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if n, err := s.acquire(ctx, 2); err != context.Canceled || n != 0 {
+		t.Fatalf("acquire on canceled ctx = (%d, %v), want (0, context.Canceled)", n, err)
+	}
+	if got := s.inUse(); got != 0 {
+		t.Fatalf("canceled acquire leaked %d tokens", got)
+	}
+	// The semaphore must still work for live contexts afterwards.
+	n, err := s.acquire(context.Background(), 2)
+	if err != nil || n != 2 {
+		t.Fatalf("live acquire = (%d, %v)", n, err)
+	}
+	s.release(n)
+}
+
+// TestCancelWhileWaitingForTokens pins the queued-but-undispatched
+// scenario deterministically: worker 2 picks the job up and blocks
+// waiting for thread tokens held by a running job; a cancel arriving in
+// that state must settle the job as canceled without ever acquiring
+// tokens or running its function.
+func TestCancelWhileWaitingForTokens(t *testing.T) {
+	q := New(2, 8, 1) // two workers share a one-token budget
+	defer q.Drain(context.Background())
+
+	release := make(chan struct{})
+	blocker, err := q.Submit("block", 1, 0, func(ctx context.Context) (any, error) {
+		<-release
+		return nil, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Wait until the blocker holds the only token.
+	deadline := time.Now().Add(10 * time.Second)
+	for q.Stats().Running != 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("blocker never started")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	var ran atomic.Bool
+	victim, err := q.Submit("victim", 1, 0, func(ctx context.Context) (any, error) {
+		ran.Store(true)
+		return nil, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Wait until worker 2 has picked the victim up and parked in the
+	// semaphore's waiter list — the exact pre-dispatch window.
+	for {
+		q.sem.mu.Lock()
+		waiting := len(q.sem.waiters)
+		q.sem.mu.Unlock()
+		if waiting == 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("victim never reached the token wait")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	if _, ok := q.Cancel(victim.ID); !ok {
+		t.Fatal("cancel failed")
+	}
+	got := await(t, q, victim.ID)
+	if got.Status != StatusCanceled {
+		t.Fatalf("victim status = %s, want canceled", got.Status)
+	}
+	close(release)
+	if s := await(t, q, blocker.ID); s.Status != StatusDone {
+		t.Fatalf("blocker status = %s", s.Status)
+	}
+	if ran.Load() {
+		t.Fatal("canceled job ran despite never being dispatched")
+	}
+	if got.Started != nil {
+		t.Fatalf("canceled job has a start time: %+v", got)
+	}
+	if q.Stats().ThreadsInUse != 0 {
+		t.Fatalf("thread tokens leaked: %+v", q.Stats())
+	}
+}
+
+// TestCancelSubmitStress races Submit against immediate Cancel across
+// every dispatch window (run with -race). The pinned invariant: when
+// Cancel observes the job before dispatch — snapshot still pending, or
+// canceled without a start time — the job's function must never run.
+// Before the sem/run fixes, acquire's fast path could grant tokens to an
+// already-canceled job and run it anyway.
+func TestCancelSubmitStress(t *testing.T) {
+	q := New(4, 256, 2)
+	defer q.Drain(context.Background())
+
+	const n = 200
+	ran := make([]atomic.Bool, n)
+	preDispatch := make([]atomic.Bool, n)
+	ids := make([]string, n)
+
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		i := i
+		snap, err := q.Submit(fmt.Sprintf("stress%d", i), 1+i%3, 0, func(ctx context.Context) (any, error) {
+			ran[i].Store(true)
+			return nil, ctx.Err()
+		})
+		if err == ErrQueueFull {
+			ids[i] = ""
+			continue
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids[i] = snap.ID
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			cs, ok := q.Cancel(snap.ID)
+			if ok && (cs.Status == StatusPending ||
+				(cs.Status == StatusCanceled && cs.Started == nil)) {
+				preDispatch[i].Store(true)
+			}
+		}()
+	}
+	wg.Wait()
+
+	for i, id := range ids {
+		if id == "" {
+			continue
+		}
+		got := await(t, q, id)
+		if got.Status != StatusCanceled && got.Status != StatusDone {
+			t.Fatalf("job %s ended %s (%s)", id, got.Status, got.Error)
+		}
+		if preDispatch[i].Load() && ran[i].Load() {
+			t.Fatalf("job %s was canceled before dispatch but its function ran", id)
+		}
+		if got.Started == nil && ran[i].Load() {
+			t.Fatalf("job %s ran without ever being marked running", id)
+		}
+	}
+	if q.Stats().ThreadsInUse != 0 {
+		t.Fatalf("thread tokens leaked: %+v", q.Stats())
+	}
+}

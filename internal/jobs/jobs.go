@@ -327,6 +327,16 @@ func (q *Queue) run(j *job) {
 	defer q.sem.release(granted)
 
 	q.mu.Lock()
+	if j.canceled {
+		// Canceled between the token grant and dispatch: the job must not
+		// run. Cancel sets j.canceled under q.mu before its context
+		// cancellation is observable, so this check closes the race where
+		// acquire's fast path wins against ctx.Done. The deferred release
+		// returns the tokens.
+		q.mu.Unlock()
+		q.finish(j, nil, context.Canceled)
+		return
+	}
 	j.status = StatusRunning
 	j.started = time.Now()
 	q.mu.Unlock()

@@ -46,6 +46,13 @@ func (s *threadSem) clamp(n int) int {
 // the granted weight (the clamped n) which the caller must release.
 func (s *threadSem) acquire(ctx context.Context, n int) (int, error) {
 	n = s.clamp(n)
+	// A done context must never be granted tokens: without this check the
+	// fast path below would hand the budget to a job that was canceled
+	// while queued, and it would run. (A cancel landing between this check
+	// and the grant is caught by the caller's post-acquire re-check.)
+	if err := ctx.Err(); err != nil {
+		return 0, err
+	}
 	s.mu.Lock()
 	if len(s.waiters) == 0 && s.used+n <= s.cap {
 		s.used += n
