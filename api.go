@@ -4,12 +4,19 @@ import (
 	"context"
 	"fmt"
 	"math/rand"
+	"net"
 	"sort"
+	"time"
 
 	"stencilsched/internal/box"
+	"stencilsched/internal/cluster"
 	"stencilsched/internal/conform"
+	"stencilsched/internal/dist"
 	"stencilsched/internal/fab"
+	"stencilsched/internal/ghost"
+	"stencilsched/internal/ivect"
 	"stencilsched/internal/kernel"
+	"stencilsched/internal/layout"
 	"stencilsched/internal/machine"
 	"stencilsched/internal/perfmodel"
 	"stencilsched/internal/sched"
@@ -285,6 +292,298 @@ func AutotuneContext(ctx context.Context, p Problem, reps int, candidates []Vari
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Seconds < out[j].Seconds })
 	return out, nil
+}
+
+// Interconnect describes the network between the nodes of a modeled or
+// predicted distributed run.
+type Interconnect = cluster.Interconnect
+
+// CrayGemini returns the Cray Gemini interconnect model.
+func CrayGemini() Interconnect { return cluster.CrayGemini() }
+
+// QDRInfiniBand returns the QDR InfiniBand interconnect model.
+func QDRInfiniBand() Interconnect { return cluster.QDRInfiniBand() }
+
+// DistProblem sizes one distributed multi-rank solve: a cubic DomainN^3
+// domain decomposed into BoxN^3 boxes (ragged at the high ends when BoxN
+// does not divide DomainN), dealt to Ranks peers, advanced Steps explicit
+// Euler steps of the exemplar operator. Ghosts HaloK*2 layers deep are
+// exchanged once per HaloK steps; the intermediate steps recompute
+// shrinking shells instead of communicating (the distributed analogue of
+// the overlapped-tile schedules). HaloK never changes results — the runs
+// are bitwise identical for every HaloK and rank count, which the
+// conformance suite enforces.
+type DistProblem struct {
+	DomainN, BoxN int
+	// Periodic selects per-direction periodic boundaries; non-periodic
+	// boundary ghosts are held at zero.
+	Periodic [3]bool
+	// Ranks is the peer count; every rank must own at least one box.
+	Ranks int
+	// HaloK is the deep-halo superstep factor (0 means 1: exchange every
+	// step).
+	HaloK int
+	// Steps is the number of time steps.
+	Steps int
+	// Threads is the per-rank thread count.
+	Threads int
+	// Dt is the explicit update scale (0 means 1/64, exact in binary
+	// floating point).
+	Dt float64
+	// Init is the initial condition at cell centers (cells are
+	// unit-sized); nil means the standard smooth field of the benchmarks
+	// with period DomainN.
+	Init func(x, y, z float64, comp int) float64
+}
+
+func (p DistProblem) haloK() int {
+	if p.HaloK == 0 {
+		return 1
+	}
+	return p.HaloK
+}
+
+func (p DistProblem) dt() float64 {
+	if p.Dt == 0 {
+		return 1.0 / 64
+	}
+	return p.Dt
+}
+
+// Validate reports whether the distributed problem is runnable. Deeper
+// feasibility (a periodic halo must fit the domain, every rank must get
+// a box) is checked when the exchange plan is built.
+func (p DistProblem) Validate() error {
+	if p.DomainN < 4 || p.BoxN < 1 || p.BoxN > p.DomainN {
+		return fmt.Errorf("stencilsched: bad distributed problem %+v (need DomainN >= 4 and 1 <= BoxN <= DomainN)", p)
+	}
+	if p.Ranks < 1 || p.Steps < 1 || p.Threads < 1 {
+		return fmt.Errorf("stencilsched: bad distributed problem %+v (need Ranks, Steps, Threads >= 1)", p)
+	}
+	if p.HaloK < 0 {
+		return fmt.Errorf("stencilsched: bad distributed problem %+v (HaloK must be >= 0)", p)
+	}
+	return nil
+}
+
+func (p DistProblem) distConfig(v Variant) (dist.Config, error) {
+	if err := v.Validate(); err != nil {
+		return dist.Config{}, err
+	}
+	if err := p.Validate(); err != nil {
+		return dist.Config{}, err
+	}
+	l, err := layout.Decompose(box.Cube(p.DomainN), p.BoxN, p.Periodic)
+	if err != nil {
+		return dist.Config{}, err
+	}
+	init := p.Init
+	if init == nil {
+		period := p.DomainN
+		init = func(x, y, z float64, comp int) float64 {
+			return kernel.SmoothAt(period, ivect.New(int(x), int(y), int(z)), comp)
+		}
+	}
+	return dist.Config{
+		Layout:  l,
+		Ranks:   p.Ranks,
+		Variant: v,
+		HaloK:   p.haloK(),
+		Steps:   p.Steps,
+		Dt:      p.dt(),
+		Threads: p.Threads,
+		Init: func(pt ivect.IntVect, c int) float64 {
+			return init(float64(pt[0])+0.5, float64(pt[1])+0.5, float64(pt[2])+0.5, c)
+		},
+	}, nil
+}
+
+// DistResult reports one distributed solve.
+type DistResult struct {
+	Problem DistProblem
+	Variant Variant
+	// Seconds is the wall time of the whole solve; MeasuredStepSec the
+	// per-step average.
+	Seconds         float64
+	MeasuredStepSec float64
+	// MCellsPerSec counts owned-cell updates (recomputed ghost shells
+	// excluded — they are overhead, not progress).
+	MCellsPerSec float64
+	// Messages and Bytes count remote frames sent across all ranks and
+	// supersteps; Retries the transient-backpressure resends.
+	Messages, Bytes, Retries int64
+	// RecomputedCells counts ghost-shell cell-updates beyond the owned
+	// cells — the deep-halo recomputation price actually paid.
+	RecomputedCells int64
+	// OverlapRatio is the fraction of exchange time hidden behind
+	// interior compute.
+	OverlapRatio float64
+	// Supersteps is the number of exchange rounds executed per rank,
+	// summed over ranks.
+	Supersteps int64
+}
+
+// ValidateDistributed reports whether (v, p) is fully runnable: the
+// quick shape checks plus the exchange-plan feasibility (halo fits the
+// periodic domain, every rank owns a box). Services use it to reject a
+// bad request up front instead of failing a queued job.
+func ValidateDistributed(v Variant, p DistProblem) error {
+	cfg, err := p.distConfig(v)
+	if err != nil {
+		return err
+	}
+	_, err = cfg.Plan()
+	return err
+}
+
+// SolveDistributed executes variant v on problem p across p.Ranks
+// in-process peers connected by the loopback transport (every ghost
+// frame still passes through the wire codec). The result is bitwise
+// identical to a single-rank run — rank count, box placement, and halo
+// depth are pure schedule.
+func SolveDistributed(v Variant, p DistProblem) (DistResult, error) {
+	return SolveDistributedContext(context.Background(), v, p)
+}
+
+// SolveDistributedContext is SolveDistributed with cancellation: a
+// cancel or deadline aborts all ranks promptly and returns the root
+// cause.
+func SolveDistributedContext(ctx context.Context, v Variant, p DistProblem) (DistResult, error) {
+	cfg, err := p.distConfig(v)
+	if err != nil {
+		return DistResult{}, err
+	}
+	res, err := dist.RunLoopback(ctx, cfg)
+	if err != nil {
+		return DistResult{}, err
+	}
+	out := DistResult{
+		Problem:         p,
+		Variant:         v,
+		Seconds:         res.WallSec,
+		Messages:        res.Stats.MessagesSent,
+		Bytes:           res.Stats.BytesSent,
+		Retries:         res.Stats.Retries,
+		RecomputedCells: res.Stats.RecomputedCells,
+		OverlapRatio:    res.Stats.OverlapRatio(),
+		Supersteps:      res.Stats.Supersteps,
+	}
+	if p.Steps > 0 {
+		out.MeasuredStepSec = res.WallSec / float64(p.Steps)
+	}
+	if res.WallSec > 0 {
+		cells := float64(p.DomainN) * float64(p.DomainN) * float64(p.DomainN)
+		out.MCellsPerSec = cells * float64(p.Steps) / res.WallSec / 1e6
+	}
+	return out, nil
+}
+
+// DistRankResult reports one rank's share of a multi-process TCP solve.
+type DistRankResult struct {
+	Rank  int
+	Boxes int
+	// Seconds is this rank's wall time including the mesh handshake.
+	Seconds                  float64
+	Messages, Bytes, Retries int64
+	RecomputedCells          int64
+	OverlapRatio             float64
+}
+
+// SolveDistributedRankTCP joins a real TCP mesh as one rank of problem
+// p and runs that rank's share: addrs lists every rank's host:port in
+// rank order (this process listens on addrs[rank]). Every process must
+// be launched with an identical (v, p); the hello handshake cross-checks
+// the mesh size. A dead or unreachable peer surfaces as a typed error
+// within the exchange timeout — never a hang.
+func SolveDistributedRankTCP(ctx context.Context, v Variant, p DistProblem, rank int, addrs []string) (DistRankResult, error) {
+	cfg, err := p.distConfig(v)
+	if err != nil {
+		return DistRankResult{}, err
+	}
+	if rank < 0 || rank >= p.Ranks {
+		return DistRankResult{}, fmt.Errorf("stencilsched: rank %d outside [0, %d)", rank, p.Ranks)
+	}
+	if len(addrs) != p.Ranks {
+		return DistRankResult{}, fmt.Errorf("stencilsched: %d addresses for %d ranks", len(addrs), p.Ranks)
+	}
+	ln, err := net.Listen("tcp", addrs[rank])
+	if err != nil {
+		return DistRankResult{}, fmt.Errorf("stencilsched: rank %d listen: %w", rank, err)
+	}
+	defer ln.Close()
+	start := time.Now()
+	rr, err := dist.RunTCP(ctx, cfg, rank, ln, addrs, dist.TCPOptions{})
+	if err != nil {
+		return DistRankResult{}, err
+	}
+	return DistRankResult{
+		Rank:            rr.Rank,
+		Boxes:           len(rr.Boxes),
+		Seconds:         time.Since(start).Seconds(),
+		Messages:        rr.Stats.MessagesSent,
+		Bytes:           rr.Stats.BytesSent,
+		Retries:         rr.Stats.Retries,
+		RecomputedCells: rr.Stats.RecomputedCells,
+		OverlapRatio:    rr.Stats.OverlapRatio(),
+	}, nil
+}
+
+// DistPrediction is the cluster model's per-step forecast for a
+// distributed problem — the number to put next to
+// DistResult.MeasuredStepSec.
+type DistPrediction struct {
+	// ComputeSec includes the deep-halo recompute factor; ExchangeSec is
+	// the per-step share of the every-HaloK-steps exchange.
+	ComputeSec, ExchangeSec, StepSec float64
+	// Messages and RemoteBytes describe one full exchange (not
+	// per-step).
+	Messages    int
+	RemoteBytes int64
+	// RecomputeFactor is the modeled cell-update multiplier of the deep
+	// halo (1 at HaloK = 1).
+	RecomputeFactor float64
+}
+
+// PredictDistributedStep models the per-step time of p's decomposition
+// under variant v on machine m connected by net, using the same layout
+// and chunked assignment SolveDistributed executes — the prediction the
+// paper's cluster model gives for the run the dist runtime performs.
+func PredictDistributedStep(v Variant, p DistProblem, m Machine, net Interconnect) (DistPrediction, error) {
+	cfg, err := p.distConfig(v)
+	if err != nil {
+		return DistPrediction{}, err
+	}
+	plan, err := cfg.Plan()
+	if err != nil {
+		return DistPrediction{}, err
+	}
+	l := cfg.Layout
+	a, err := cluster.Assign(l, p.Ranks)
+	if err != nil {
+		return DistPrediction{}, err
+	}
+	sm, err := cluster.StepFor(cluster.Config{
+		Machine: m,
+		Net:     net,
+		Variant: v,
+		BoxN:    p.BoxN,
+		NComp:   kernel.NComp,
+		NGhost:  plan.Depth,
+	}, l, a)
+	if err != nil {
+		return DistPrediction{}, err
+	}
+	k := p.haloK()
+	dh := ghost.DeepHaloStats(p.BoxN, 3, kernel.NGhost, k)
+	pred := DistPrediction{
+		ComputeSec:      sm.ComputeSec * dh.RecomputePerStep,
+		ExchangeSec:     sm.ExchangeSec / float64(k),
+		Messages:        sm.Stats.Messages,
+		RemoteBytes:     sm.Stats.RemoteBytes,
+		RecomputeFactor: dh.RecomputePerStep,
+	}
+	pred.StepSec = pred.ComputeSec + pred.ExchangeSec
+	return pred, nil
 }
 
 // ModelConfig configures a modeled experiment point.

@@ -1,53 +1,233 @@
 package main
 
-import "testing"
+import (
+	"bytes"
+	"encoding/json"
+	"net"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// testOpts returns options with the shared defaults of the tests:
+// discarded output and the small geometry the suite runs everywhere.
+func testOpts() options {
+	return options{
+		mode: "measured", n: 8, boxes: 1, threads: 1, reps: 1,
+		domain: 8, ranks: 1, haloK: 1, steps: 2, distRank: -1,
+		out: &bytes.Buffer{},
+	}
+}
 
 func TestRunList(t *testing.T) {
-	if err := run(true, false, "", "measured", "", 8, 1, 1, 1); err != nil {
+	o := testOpts()
+	o.list = true
+	buf := &bytes.Buffer{}
+	o.out = buf
+	if err := run(o); err != nil {
 		t.Fatal(err)
+	}
+	if n := len(strings.Split(strings.TrimSpace(buf.String()), "\n")); n != 32 {
+		t.Fatalf("listed %d variants, want 32", n)
 	}
 }
 
 func TestRunVerify(t *testing.T) {
-	if err := run(false, true, "", "measured", "", 8, 1, 2, 1); err != nil {
+	o := testOpts()
+	o.verify = true
+	o.threads = 2
+	if err := run(o); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunMeasured(t *testing.T) {
-	if err := run(false, false, "Shift-Fuse OT-4: P<Box", "measured", "", 8, 1, 2, 1); err != nil {
+	o := testOpts()
+	o.name = "Shift-Fuse OT-4: P<Box"
+	o.threads = 2
+	if err := run(o); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunModeledAndSweep(t *testing.T) {
-	if err := run(false, false, "Baseline: P>=Box", "modeled", "Magny", 32, 1, 4, 1); err != nil {
+	o := testOpts()
+	o.name = "Baseline: P>=Box"
+	o.mode = "modeled"
+	o.mach = "Magny"
+	o.n = 32
+	o.threads = 4
+	if err := run(o); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(false, false, "Baseline: P>=Box", "sweep", "Sandy", 32, 1, 4, 1); err != nil {
+	o.mode = "sweep"
+	o.mach = "Sandy"
+	if err := run(o); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunErrors(t *testing.T) {
+	mod := func(f func(*options)) options {
+		o := testOpts()
+		f(&o)
+		return o
+	}
 	cases := []struct {
 		name string
-		f    func() error
+		o    options
 	}{
-		{"no variant", func() error { return run(false, false, "", "measured", "", 8, 1, 1, 1) }},
-		{"bad variant", func() error { return run(false, false, "Nope: P<Box", "measured", "", 8, 1, 1, 1) }},
-		{"bad mode", func() error { return run(false, false, "Baseline: P>=Box", "teleport", "", 8, 1, 1, 1) }},
-		{"bad machine", func() error { return run(false, false, "Baseline: P>=Box", "modeled", "PDP-11", 8, 1, 1, 1) }},
+		{"no variant", mod(func(o *options) {})},
+		{"bad variant", mod(func(o *options) { o.name = "Nope: P<Box" })},
+		{"bad mode", mod(func(o *options) { o.name = "Baseline: P>=Box"; o.mode = "teleport" })},
+		{"bad machine", mod(func(o *options) { o.name = "Baseline: P>=Box"; o.mode = "modeled"; o.mach = "PDP-11" })},
+		{"dist bad ranks", mod(func(o *options) {
+			o.name = "Baseline-CLO: P>=Box"
+			o.mode = "dist"
+			o.n = 4
+			o.ranks = 99 // 8 boxes cannot feed 99 ranks
+		})},
+		{"dist rank without addrs", mod(func(o *options) {
+			o.name = "Baseline-CLO: P>=Box"
+			o.mode = "dist"
+			o.distRank = 0
+		})},
+		{"dist rank out of range", mod(func(o *options) {
+			o.name = "Baseline-CLO: P>=Box"
+			o.mode = "dist"
+			o.n = 4
+			o.ranks = 2
+			o.distRank = 5
+			o.distAddrs = "a:1,b:2"
+		})},
 	}
 	for _, c := range cases {
-		if err := c.f(); err == nil {
+		if err := run(c.o); err == nil {
 			t.Errorf("%s: no error", c.name)
 		}
 	}
 }
 
 func TestRunMeasuredRectVariant(t *testing.T) {
-	if err := run(false, false, "Shift-Fuse OT-8x4x4: P<Box", "measured", "", 8, 1, 2, 1); err != nil {
+	o := testOpts()
+	o.name = "Shift-Fuse OT-8x4x4: P<Box"
+	o.threads = 2
+	if err := run(o); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestRunDistLoopback(t *testing.T) {
+	o := testOpts()
+	o.name = "Baseline-CLO: P>=Box"
+	o.mode = "dist"
+	o.n = 4
+	o.ranks = 4
+	o.haloK = 2
+	o.steps = 3
+	buf := &bytes.Buffer{}
+	o.out = buf
+	if err := run(o); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"loopback, 4 ranks", "exchange:", "recompute:", "predicted"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Fatalf("output missing %q:\n%s", want, buf.String())
+		}
+	}
+}
+
+func TestRunDistJSONRecord(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_dist.json")
+	o := testOpts()
+	o.name = "Shift-Fuse-CLO: P>=Box"
+	o.mode = "dist"
+	o.n = 4
+	o.ranks = 2
+	o.haloK = 2
+	o.steps = 2
+	o.jsonPath = path
+	if err := run(o); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rec benchRecord
+	if err := json.Unmarshal(data, &rec); err != nil {
+		t.Fatalf("record is not valid JSON: %v\n%s", err, data)
+	}
+	if rec.Variant != o.name || rec.Mode != "dist" || rec.Ranks != 2 || rec.HaloK != 2 {
+		t.Fatalf("record misdescribes the run: %+v", rec)
+	}
+	if rec.Seconds <= 0 || rec.NsPerCell <= 0 || rec.MCellsPerSec <= 0 {
+		t.Fatalf("record missing perf figures: %+v", rec)
+	}
+	if rec.Messages == 0 || rec.PredictedStepSec <= 0 {
+		t.Fatalf("record missing distributed figures: %+v", rec)
+	}
+}
+
+func TestRunMeasuredJSONRecord(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_measured.json")
+	o := testOpts()
+	o.name = "Baseline-CLO: P>=Box"
+	o.jsonPath = path
+	if err := run(o); err != nil {
+		t.Fatal(err)
+	}
+	var rec benchRecord
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(data, &rec); err != nil {
+		t.Fatal(err)
+	}
+	if rec.Mode != "measured" || rec.NsPerCell <= 0 {
+		t.Fatalf("bad measured record: %+v", rec)
+	}
+}
+
+// TestRunDistTCPPair runs a real 2-rank TCP mesh through the CLI path:
+// two run() invocations with -dist-rank on pre-bound localhost ports.
+func TestRunDistTCPPair(t *testing.T) {
+	// Reserve two ports, then release them for the ranks to bind.
+	addrs := make([]string, 2)
+	for i := range addrs {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		addrs[i] = ln.Addr().String()
+		ln.Close()
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, 2)
+	for r := 0; r < 2; r++ {
+		r := r
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			o := testOpts()
+			o.name = "Baseline-CLO: P>=Box"
+			o.mode = "dist"
+			o.n = 4
+			o.ranks = 2
+			o.haloK = 1
+			o.steps = 2
+			o.distRank = r
+			o.distAddrs = strings.Join(addrs, ",")
+			errs[r] = run(o)
+		}()
+	}
+	wg.Wait()
+	for r, err := range errs {
+		if err != nil {
+			t.Fatalf("rank %d: %v", r, err)
+		}
 	}
 }

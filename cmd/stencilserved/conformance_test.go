@@ -16,7 +16,7 @@ func TestConformanceEndpoint(t *testing.T) {
 	var snap struct {
 		ID string `json:"id"`
 	}
-	body := map[string]any{"seed": 42, "box_cases": 1, "level_cases": -1}
+	body := map[string]any{"seed": 42, "box_cases": 1, "level_cases": -1, "dist_cases": -1}
 	if code := doJSON(t, http.MethodPost, ts.URL+"/v1/conformance", body, &snap); code != http.StatusAccepted {
 		t.Fatalf("POST /v1/conformance: status %d, want 202", code)
 	}
@@ -71,6 +71,8 @@ func TestConformanceValidation(t *testing.T) {
 		{"box_cases": -1},
 		{"level_cases": -2},
 		{"level_cases": maxConformCases + 1},
+		{"dist_cases": -2},
+		{"dist_cases": maxConformCases + 1},
 		{"seeed": 1}, // misspelled field
 	} {
 		var e errorResponse

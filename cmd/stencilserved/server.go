@@ -47,6 +47,15 @@ type server struct {
 	conformChecks      *metrics.Counter
 	conformDivergences *metrics.Counter
 	conformLastDiverg  *metrics.Gauge
+
+	distSolves        *metrics.Counter
+	distMessages      *metrics.Counter
+	distBytes         *metrics.Counter
+	distRetries       *metrics.Counter
+	distOverlap       *metrics.Gauge
+	distMeasuredStep  *metrics.Gauge
+	distPredictedStep *metrics.Gauge
+	distStepHist      *metrics.Histogram
 }
 
 func newServer(cfg config) (*server, error) {
@@ -89,6 +98,24 @@ func newServer(cfg config) (*server, error) {
 		"conformance divergences found across all sweeps")
 	s.conformLastDiverg = s.reg.Gauge("stencilserved_conform_last_divergences",
 		"divergences in the most recent completed sweep")
+	// Distributed-solve metrics, registered up front like the rest.
+	s.distSolves = s.reg.Counter("stencilserved_dist_solves_total",
+		"completed distributed (multi-rank) solve jobs")
+	s.distMessages = s.reg.Counter("stencilserved_dist_messages_total",
+		"ghost frames sent across ranks by distributed solves")
+	s.distBytes = s.reg.Counter("stencilserved_dist_bytes_total",
+		"ghost bytes sent across ranks by distributed solves")
+	s.distRetries = s.reg.Counter("stencilserved_dist_retries_total",
+		"transient exchange retries across distributed solves")
+	s.distOverlap = s.reg.Gauge("stencilserved_dist_overlap_ratio",
+		"fraction of exchange time hidden behind interior compute, last solve")
+	s.distMeasuredStep = s.reg.Gauge("stencilserved_dist_measured_step_seconds",
+		"measured per-step wall time of the last distributed solve")
+	s.distPredictedStep = s.reg.Gauge("stencilserved_dist_predicted_step_seconds",
+		"cluster-model per-step prediction for the last distributed solve")
+	s.distStepHist = s.reg.Histogram("stencilserved_dist_step_seconds",
+		"per-step wall time of distributed solves",
+		metrics.ExpBuckets(1e-5, 4, 12))
 
 	s.handle("POST /v1/solve", s.handleSolve)
 	s.handle("POST /v1/autotune", s.handleAutotune)
@@ -203,6 +230,13 @@ type solveRequest struct {
 	Steps      int        `json:"steps"`
 	Integrator string     `json:"integrator"`
 	Threads    int        `json:"threads"`
+	// Ranks > 0 switches the job to the distributed multi-rank runtime
+	// (in-process loopback peers; every ghost frame passes through the
+	// wire codec). HaloK is its deep-halo superstep factor: exchange
+	// HaloK-deep ghosts once, then run HaloK sub-steps (0 means 1).
+	// Distributed solves integrate with explicit euler only.
+	Ranks int `json:"ranks"`
+	HaloK int `json:"halo_k"`
 }
 
 type solveResult struct {
@@ -216,6 +250,27 @@ type solveResult struct {
 	DensityLinf float64    `json:"density_linf"`
 	DensityL1   float64    `json:"density_l1"`
 	ElapsedSec  float64    `json:"elapsed_sec"`
+}
+
+// distSolveResult is what a distributed solve job reports: the measured
+// run next to the cluster model's per-step prediction for the same
+// decomposition, so the predicted/measured gap is visible per job.
+type distSolveResult struct {
+	Variant          string  `json:"variant"`
+	DomainN          int     `json:"domain_n"`
+	BoxN             int     `json:"box_n"`
+	Ranks            int     `json:"ranks"`
+	HaloK            int     `json:"halo_k"`
+	Steps            int     `json:"steps"`
+	ElapsedSec       float64 `json:"elapsed_sec"`
+	MeasuredStepSec  float64 `json:"measured_step_sec"`
+	PredictedStepSec float64 `json:"predicted_step_sec"`
+	MCellsPerSec     float64 `json:"mcells_per_sec"`
+	Messages         int64   `json:"messages"`
+	Bytes            int64   `json:"bytes"`
+	Retries          int64   `json:"retries"`
+	RecomputedCells  int64   `json:"recomputed_cells"`
+	OverlapRatio     float64 `json:"overlap_ratio"`
 }
 
 // solveRho is the initial density served solves use: a smooth periodic
@@ -274,6 +329,13 @@ func (s *server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	case req.Dt <= 0:
 		httpError(w, http.StatusBadRequest, "dt %g invalid: must be > 0", req.Dt)
 		return
+	case req.Ranks < 0:
+		httpError(w, http.StatusBadRequest, "ranks %d invalid: must be >= 0 (0 = local solve)", req.Ranks)
+		return
+	}
+	if req.Ranks > 0 {
+		s.handleSolveDist(w, req, v)
+		return
 	}
 	req2 := req // capture by value for the job closure
 	s.submit(w, "solve", req.Threads, func(ctx context.Context) (any, error) {
@@ -306,6 +368,63 @@ func (s *server) handleSolve(w http.ResponseWriter, r *http.Request) {
 			NumBoxes: adv.NumBoxes(), Steps: req2.Steps, SimTime: adv.Time(),
 			Totals: adv.Totals(), DensityLinf: linf, DensityL1: l1,
 			ElapsedSec: time.Since(start).Seconds(),
+		}, nil
+	})
+}
+
+// handleSolveDist queues a multi-rank solve on the in-process loopback
+// transport. All decomposition validation happens here: too many ranks
+// for the box count or a halo deeper than the periodic domain must 400,
+// not fail a queued job.
+func (s *server) handleSolveDist(w http.ResponseWriter, req solveRequest, v stencilsched.Variant) {
+	if strings.ToLower(req.Integrator) != "euler" {
+		httpError(w, http.StatusBadRequest,
+			"distributed solves integrate with explicit euler only; got integrator %q", req.Integrator)
+		return
+	}
+	p := stencilsched.DistProblem{
+		DomainN: req.DomainN, BoxN: req.BoxN,
+		// The served problem is the periodic benchmark domain, matching
+		// the local solve path.
+		Periodic: [3]bool{true, true, true},
+		Ranks:    req.Ranks, HaloK: req.HaloK,
+		Steps: req.Steps, Threads: req.Threads, Dt: req.Dt,
+	}
+	if err := stencilsched.ValidateDistributed(v, p); err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	// The prediction is pure model, so compute it up front against a
+	// fixed reference point (first studied machine on the Gemini torus):
+	// the gauge stays comparable across jobs and across deployments.
+	pred, err := stencilsched.PredictDistributedStep(v, p,
+		stencilsched.Machines()[0], stencilsched.CrayGemini())
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	// Every rank runs its own executor, so the thread grant scales with
+	// the rank count (the queue clamps it to the server budget).
+	s.submit(w, "solve-dist", req.Ranks*req.Threads, func(ctx context.Context) (any, error) {
+		res, err := stencilsched.SolveDistributedContext(ctx, v, p)
+		if err != nil {
+			return nil, err
+		}
+		s.distSolves.Inc()
+		s.distMessages.Add(uint64(res.Messages))
+		s.distBytes.Add(uint64(res.Bytes))
+		s.distRetries.Add(uint64(res.Retries))
+		s.distOverlap.Set(res.OverlapRatio)
+		s.distMeasuredStep.Set(res.MeasuredStepSec)
+		s.distPredictedStep.Set(pred.StepSec)
+		s.distStepHist.Observe(res.MeasuredStepSec)
+		return distSolveResult{
+			Variant: v.Name(), DomainN: req.DomainN, BoxN: req.BoxN,
+			Ranks: req.Ranks, HaloK: req.HaloK, Steps: req.Steps,
+			ElapsedSec: res.Seconds, MeasuredStepSec: res.MeasuredStepSec,
+			PredictedStepSec: pred.StepSec, MCellsPerSec: res.MCellsPerSec,
+			Messages: res.Messages, Bytes: res.Bytes, Retries: res.Retries,
+			RecomputedCells: res.RecomputedCells, OverlapRatio: res.OverlapRatio,
 		}, nil
 	})
 }
@@ -440,6 +559,7 @@ type conformanceRequest struct {
 	Seed       int64  `json:"seed"`
 	BoxCases   int    `json:"box_cases"`   // per runner; 0 = default
 	LevelCases int    `json:"level_cases"` // per runner; 0 = default, -1 = skip
+	DistCases  int    `json:"dist_cases"`  // multi-rank cases per runner; 0 = default, -1 = skip
 	MaxULP     uint64 `json:"max_ulp"`
 }
 
@@ -465,12 +585,17 @@ func (s *server) handleConformance(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "level_cases %d out of range (-1..%d)", req.LevelCases, maxConformCases)
 		return
 	}
+	if req.DistCases < -1 || req.DistCases > maxConformCases {
+		httpError(w, http.StatusBadRequest, "dist_cases %d out of range (-1..%d)", req.DistCases, maxConformCases)
+		return
+	}
 	req2 := req
 	s.submit(w, "conformance", conform.MaxThreads, func(ctx context.Context) (any, error) {
 		rep, err := stencilsched.Conformance(ctx, stencilsched.ConformanceConfig{
 			Seed:       req2.Seed,
 			BoxCases:   req2.BoxCases,
 			LevelCases: req2.LevelCases,
+			DistCases:  req2.DistCases,
 			MaxULP:     req2.MaxULP,
 		})
 		if err != nil {

@@ -142,7 +142,9 @@ type Config struct {
 	NComp, NGhost        int
 }
 
-// Step models one distributed time step.
+// Step models one distributed time step of the paper's standard
+// decomposition: a periodic cube dealt to ranks by the chunked Assign
+// policy. It builds the layout and assignment and delegates to StepFor.
 func Step(cfg Config) (StepModel, error) {
 	l, err := layout.Decompose(box.Cube(cfg.DomainN), cfg.BoxN, [3]bool{true, true, true})
 	if err != nil {
@@ -152,20 +154,53 @@ func Step(cfg Config) (StepModel, error) {
 	if err != nil {
 		return StepModel{}, err
 	}
+	return StepFor(cfg, l, a)
+}
+
+// StepFor models one distributed time step of an existing decomposition
+// — the prediction a real multi-rank run (internal/dist) is compared
+// against, sharing the layout and assignment that run executes instead
+// of rebuilding the standard cube. cfg.DomainN is ignored; cfg.BoxN is
+// used for the on-node model (the heaviest rank's box count at that box
+// size) and defaults to the layout's largest box edge when zero.
+func StepFor(cfg Config, l *layout.Layout, a *Assignment) (StepModel, error) {
+	if a == nil || a.Layout != l {
+		return StepModel{}, fmt.Errorf("cluster: assignment does not belong to the layout")
+	}
 	cop := layout.NewCopier(l, cfg.NGhost)
 	st := Analyze(cop, a, cfg.NComp)
 
-	boxesPerRank := (l.NumBoxes() + cfg.Ranks - 1) / cfg.Ranks
+	// On-node model: the heaviest rank is the critical path.
+	perRank := make([]int, a.Ranks)
+	for _, r := range a.Of {
+		perRank[r]++
+	}
+	maxBoxes := 0
+	for _, n := range perRank {
+		if n > maxBoxes {
+			maxBoxes = n
+		}
+	}
+	boxN := cfg.BoxN
+	if boxN == 0 {
+		for _, b := range l.Boxes {
+			for d := 0; d < 3; d++ {
+				if e := b.Size()[d]; e > boxN {
+					boxN = e
+				}
+			}
+		}
+	}
 	onNode := perfmodel.Time(perfmodel.Config{
 		Machine:  cfg.Machine,
 		Variant:  cfg.Variant,
-		BoxN:     cfg.BoxN,
-		NumBoxes: boxesPerRank,
+		BoxN:     boxN,
+		NumBoxes: maxBoxes,
 		Threads:  cfg.Machine.Cores(),
 	})
 
 	m := StepModel{ComputeSec: onNode.TotalSec, Stats: st}
-	pairMsgs := float64(st.RankPairs) / float64(cfg.Ranks) // messages per rank
+	pairMsgs := float64(st.RankPairs) / float64(a.Ranks) // messages per rank
 	m.ExchangeSec = pairMsgs*cfg.Net.LatencySec +
 		float64(st.MaxRankRemoteBytes)/(cfg.Net.BandwidthGBs*1e9)
 	m.TotalSec = m.ComputeSec + m.ExchangeSec

@@ -159,3 +159,65 @@ func TestInterconnects(t *testing.T) {
 		}
 	}
 }
+
+func TestStepForMatchesStepOnStandardCube(t *testing.T) {
+	cfg := Config{
+		Machine: machine.All()[0],
+		Net:     CrayGemini(),
+		Variant: sched.Studied()[0],
+		DomainN: 32, BoxN: 16, Ranks: 4,
+		NComp: 5, NGhost: 2,
+	}
+	want, err := Step(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := layout.Decompose(box.Cube(cfg.DomainN), cfg.BoxN, [3]bool{true, true, true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := Assign(l, cfg.Ranks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := StepFor(cfg, l, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("StepFor %+v != Step %+v", got, want)
+	}
+
+	// Zero BoxN infers the largest box edge from the layout.
+	inferred := cfg
+	inferred.BoxN = 0
+	got2, err := StepFor(inferred, l, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got2 != want {
+		t.Fatalf("inferred-BoxN StepFor %+v != Step %+v", got2, want)
+	}
+}
+
+func TestStepForRejectsForeignAssignment(t *testing.T) {
+	l, err := layout.Decompose(box.Cube(16), 8, [3]bool{true, true, true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l2, err := layout.Decompose(box.Cube(16), 8, [3]bool{true, true, true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := Assign(l2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{Machine: machine.All()[0], Net: CrayGemini(), Variant: sched.Studied()[0], NComp: 5, NGhost: 2}
+	if _, err := StepFor(cfg, l, a); err == nil {
+		t.Fatal("assignment of a different layout accepted")
+	}
+	if _, err := StepFor(cfg, l, nil); err == nil {
+		t.Fatal("nil assignment accepted")
+	}
+}

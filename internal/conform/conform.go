@@ -163,6 +163,9 @@ type Divergence struct {
 	Case   Case   `json:"case"`
 	// Level is set when the failure came from a level (multi-box) case.
 	Level *LevelCase `json:"level,omitempty"`
+	// Dist is set when the failure came from a distributed (multi-rank)
+	// case.
+	Dist *DistCase `json:"dist,omitempty"`
 	// Detail localizes the failure: worst point, component, values, ULP
 	// distance.
 	Detail string `json:"detail"`
@@ -171,6 +174,10 @@ type Divergence struct {
 // Error renders the minimized-repro line: check, runner (variant),
 // geometry, and seed are all present so the failure can be replayed.
 func (d *Divergence) Error() string {
+	if d.Dist != nil {
+		return fmt.Sprintf("conform: %s check failed for %q on dist case {%s}: %s",
+			d.Check, d.Runner, d.Dist, d.Detail)
+	}
 	if d.Level != nil {
 		return fmt.Sprintf("conform: %s check failed for %q on level case {%s}: %s",
 			d.Check, d.Runner, d.Level, d.Detail)

@@ -54,7 +54,13 @@ func TestSweep(t *testing.T) {
 	if rep.Runners != len(Registry()) {
 		t.Errorf("sweep covered %d runners, want %d", rep.Runners, len(Registry()))
 	}
-	wantChecks := rep.Runners * (DefaultBoxCases + DefaultLevelCases)
+	distRunners := 0
+	for _, r := range Registry() {
+		if _, ok := studiedIndex(r); ok {
+			distRunners++
+		}
+	}
+	wantChecks := rep.Runners*(DefaultBoxCases+DefaultLevelCases) + distRunners*DefaultDistCases
 	if rep.Checks != wantChecks {
 		t.Errorf("sweep ran %d checks, want %d", rep.Checks, wantChecks)
 	}

@@ -67,6 +67,21 @@ func Registry() []Runner {
 	return rs
 }
 
+// studiedIndex locates a variant runner's position in sched.Studied()
+// — the VariantIdx a distributed case needs to execute that runner's
+// schedule. Interpreted runners report false.
+func studiedIndex(r Runner) (int, bool) {
+	if r.Interpreted {
+		return 0, false
+	}
+	for i, v := range sched.Studied() {
+		if v.Name() == r.Name {
+			return i, true
+		}
+	}
+	return 0, false
+}
+
 // RunnerByName resolves a registry entry, for replaying repro lines.
 func RunnerByName(name string) (Runner, bool) {
 	for _, r := range Registry() {

@@ -12,6 +12,11 @@ import (
 const (
 	DefaultBoxCases   = 6
 	DefaultLevelCases = 2
+	// DefaultDistCases is the per-runner distributed (multi-rank) case
+	// count; each case runs the full oracle/multi-rank/single-rank
+	// triple, so one randomized geometry per runner keeps the tier-1
+	// sweep fast while the fuzz target explores the rest of the space.
+	DefaultDistCases = 1
 	// maxReportDivergences bounds a report: a systematically broken
 	// runner should not drown the report in thousands of repro lines.
 	maxReportDivergences = 32
@@ -30,6 +35,11 @@ type SweepConfig struct {
 	// LevelCases is the number of multi-box level cases per runner
 	// (DefaultLevelCases if <= 0; set to -1 to skip level checks).
 	LevelCases int `json:"level_cases"`
+	// DistCases is the number of distributed multi-rank cases per
+	// variant runner (DefaultDistCases if 0; set to -1 to skip
+	// distributed checks). Interpreted runners are skipped — the
+	// distributed runtime executes sched variants.
+	DistCases int `json:"dist_cases"`
 	// MaxULP bounds the differential comparison; the repository
 	// guarantee is bitwise, i.e. 0.
 	MaxULP uint64 `json:"max_ulp"`
@@ -47,6 +57,12 @@ func (cfg SweepConfig) normalized() SweepConfig {
 	case cfg.LevelCases < 0:
 		cfg.LevelCases = 0
 	}
+	switch {
+	case cfg.DistCases == 0:
+		cfg.DistCases = DefaultDistCases
+	case cfg.DistCases < 0:
+		cfg.DistCases = 0
+	}
 	if cfg.Runners == nil {
 		cfg.Runners = Registry()
 	}
@@ -60,6 +76,7 @@ type Report struct {
 	Runners    int   `json:"runners"`
 	BoxCases   int   `json:"box_cases_per_runner"`
 	LevelCases int   `json:"level_cases_per_runner"`
+	DistCases  int   `json:"dist_cases_per_runner"`
 	// Checks is the number of (runner, case) checks executed.
 	Checks int `json:"checks"`
 	// Divergences holds the minimized failures, capped at
@@ -86,6 +103,7 @@ func Sweep(ctx context.Context, cfg SweepConfig) (*Report, error) {
 		Runners:    len(cfg.Runners),
 		BoxCases:   cfg.BoxCases,
 		LevelCases: cfg.LevelCases,
+		DistCases:  cfg.DistCases,
 	}
 	record := func(dv *Divergence) {
 		if len(rep.Divergences) < maxReportDivergences {
@@ -121,6 +139,29 @@ func Sweep(ctx context.Context, cfg SweepConfig) (*Report, error) {
 					mdv = dv
 				}
 				record(mdv)
+			}
+		}
+		// Distributed multi-rank checks: variant runners only (the
+		// distributed runtime executes sched variants; the interpreted
+		// schedules have no level executor). Each runner draws a
+		// different geometry (seed offset by its registry position) so
+		// the sweep covers rank counts, halo depths, and shuffled
+		// assignments across the registry.
+		if vi, ok := studiedIndex(r); ok {
+			for i := 0; i < cfg.DistCases; i++ {
+				if err := ctx.Err(); err != nil {
+					return nil, err
+				}
+				dc := RandomDistCase(cfg.Seed + int64(1000*vi+i))
+				dc.VariantIdx = vi
+				rep.Checks++
+				if dv := CheckDist(dc, cfg.MaxULP); dv != nil {
+					_, mdv := MinimizeDist(dc, cfg.MaxULP)
+					if mdv == nil {
+						mdv = dv
+					}
+					record(mdv)
+				}
 			}
 		}
 	}

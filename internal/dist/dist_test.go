@@ -1,0 +1,367 @@
+package dist
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"sync"
+	"testing"
+
+	"stencilsched/internal/box"
+	"stencilsched/internal/cluster"
+	"stencilsched/internal/fab"
+	"stencilsched/internal/ivect"
+	"stencilsched/internal/kernel"
+	"stencilsched/internal/layout"
+	"stencilsched/internal/sched"
+)
+
+const testDt = 1.0 / 64
+
+// testField is a deterministic splitmix-style point hash in [0.25, 1.75].
+func testField(seed int64) func(p ivect.IntVect, c int) float64 {
+	return func(p ivect.IntVect, c int) float64 {
+		h := uint64(seed) ^ 0x9e3779b97f4a7c15
+		for _, v := range [4]int{p[0], p[1], p[2], c} {
+			h ^= uint64(int64(v))
+			h *= 0xbf58476d1ce4e5b9
+			h ^= h >> 27
+		}
+		h *= 0x94d049bb133111eb
+		h ^= h >> 31
+		return 0.25 + 1.5*float64(h>>11)/float64(1<<53)
+	}
+}
+
+func testLayout(t *testing.T, edge, boxN int, periodic [3]bool) *layout.Layout {
+	t.Helper()
+	l, err := layout.Decompose(box.Cube(edge), boxN, periodic)
+	if err != nil {
+		t.Fatalf("decompose: %v", err)
+	}
+	return l
+}
+
+// oracleAdvance advances the level with the standard single-process
+// per-step exchange and the reference kernel — the ground truth every
+// distributed run must match bitwise.
+func oracleAdvance(l *layout.Layout, field func(ivect.IntVect, int) float64, steps int) *layout.LevelData {
+	ld := layout.NewLevelData(l, kernel.NComp, kernel.NGhost)
+	ld.FillFromFunction(1, field)
+	acc := make([]*fab.FAB, len(l.Boxes))
+	for i, b := range l.Boxes {
+		acc[i] = fab.New(b, kernel.NComp)
+	}
+	for s := 0; s < steps; s++ {
+		ld.Exchange(1)
+		for i, b := range l.Boxes {
+			acc[i].Fill(0)
+			kernel.Reference(ld.Fabs[i], acc[i], b)
+			ld.Fabs[i].Plus(acc[i], b, -testDt)
+		}
+	}
+	return ld
+}
+
+func mustVariant(t *testing.T, name string) sched.Variant {
+	t.Helper()
+	v, err := sched.ByName(name)
+	if err != nil {
+		t.Fatalf("variant %q: %v", name, err)
+	}
+	return v
+}
+
+func assertMatchesOracle(t *testing.T, res *Result, ld *layout.LevelData, label string) {
+	t.Helper()
+	for i, b := range ld.Layout.Boxes {
+		if d, at, c := res.Fabs[i].MaxDiff(ld.Fabs[i], b); d != 0 {
+			t.Fatalf("%s: box %d differs from oracle by %g at %v comp %d", label, i, d, at, c)
+		}
+	}
+}
+
+func TestPlanPairsSendsAndRecvs(t *testing.T) {
+	l := testLayout(t, 12, 4, [3]bool{true, true, false})
+	a, err := cluster.Assign(l, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := NewPlan(l, a, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Depth != 2*kernel.NGhost {
+		t.Fatalf("depth %d", p.Depth)
+	}
+	sends := map[uint32]Send{}
+	nsend := 0
+	for _, rp := range p.Ranks {
+		for _, s := range rp.Sends {
+			if _, dup := sends[s.Motion]; dup {
+				t.Fatalf("motion %d sent twice", s.Motion)
+			}
+			sends[s.Motion] = s
+			nsend++
+		}
+	}
+	nrecv := 0
+	for _, rp := range p.Ranks {
+		for _, rc := range rp.Recvs {
+			s, ok := sends[rc.Motion]
+			if !ok {
+				t.Fatalf("recv motion %d has no send", rc.Motion)
+			}
+			if s.To != rp.Rank {
+				t.Fatalf("motion %d sent to rank %d but expected by rank %d", rc.Motion, s.To, rp.Rank)
+			}
+			if a.Of[s.SrcBox] != rc.From {
+				t.Fatalf("motion %d: src box owner %d, recv expects %d", rc.Motion, a.Of[s.SrcBox], rc.From)
+			}
+			if !s.Region.Equal(rc.Region) {
+				t.Fatalf("motion %d: send region %v != recv region %v", rc.Motion, s.Region, rc.Region)
+			}
+			if n := rc.Region.NumPts() * kernel.NComp; n > p.MaxFrameValues {
+				t.Fatalf("region %v larger than MaxFrameValues %d", rc.Region, p.MaxFrameValues)
+			}
+			nrecv++
+		}
+	}
+	if nsend != nrecv || nsend == 0 {
+		t.Fatalf("%d sends vs %d recvs", nsend, nrecv)
+	}
+	// The remote split must agree with the cluster model's accounting.
+	st := cluster.Analyze(layout.NewCopier(l, p.Depth), a, kernel.NComp)
+	if st.Messages != nsend {
+		t.Fatalf("plan has %d remote motions, cluster.Analyze says %d", nsend, st.Messages)
+	}
+}
+
+func TestPlanRejectsInfeasibleHalo(t *testing.T) {
+	l := testLayout(t, 8, 4, [3]bool{true, true, true})
+	a, err := cluster.Assign(l, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Depth 5*2 = 10 > periodic extent 8: the copier's single-shift
+	// periodic images cannot fill that halo.
+	if _, err := NewPlan(l, a, 5); err == nil {
+		t.Fatal("expected halo-depth validation error")
+	}
+	if _, err := NewPlan(l, a, 0); err == nil {
+		t.Fatal("expected K >= 1 validation error")
+	}
+}
+
+func TestShellPiecesPartition(t *testing.T) {
+	outer := box.New(ivect.New(-2, -1, 0), ivect.New(9, 8, 7))
+	inner := box.New(ivect.New(1, 1, 2), ivect.New(5, 6, 5))
+	pieces := shellPieces(outer, inner, 0)
+	count := map[ivect.IntVect]int{}
+	for _, pc := range pieces {
+		if !outer.ContainsBox(pc.region) {
+			t.Fatalf("piece %v escapes outer %v", pc.region, outer)
+		}
+		pc.region.ForEach(func(p ivect.IntVect) { count[p]++ })
+	}
+	outer.ForEach(func(p ivect.IntVect) {
+		want := 1
+		if inner.Contains(p) {
+			want = 0
+		}
+		if count[p] != want {
+			t.Fatalf("point %v covered %d times, want %d", p, count[p], want)
+		}
+	})
+}
+
+// TestDistMatrix is the acceptance matrix: for one variant of each
+// schedule family, every rank count in {1,2,4,8} and halo depth in
+// {1,2,4}, the distributed run must match the single-level reference
+// oracle bit for bit (which also makes all rank counts match each
+// other).
+func TestDistMatrix(t *testing.T) {
+	families := []string{
+		"Baseline-CLO: P>=Box",
+		"Shift-Fuse-CLI: P<Box",
+		"Blocked WF-CLO-8: P<Box",
+		"Shift-Fuse OT-8: P>=Box",
+	}
+	l := testLayout(t, 8, 4, [3]bool{true, true, true})
+	field := testField(42)
+	const steps = 5
+	ld := oracleAdvance(l, field, steps)
+	for _, name := range families {
+		v := mustVariant(t, name)
+		for _, ranks := range []int{1, 2, 4, 8} {
+			for _, haloK := range []int{1, 2, 4} {
+				label := fmt.Sprintf("%s ranks=%d K=%d", name, ranks, haloK)
+				res, err := RunLoopback(context.Background(), Config{
+					Layout: l, Ranks: ranks, Variant: v, HaloK: haloK,
+					Steps: steps, Dt: testDt, Threads: 2, Init: field,
+				})
+				if err != nil {
+					t.Fatalf("%s: %v", label, err)
+				}
+				assertMatchesOracle(t, res, ld, label)
+				if res.Stats.Supersteps == 0 {
+					t.Fatalf("%s: no supersteps accounted", label)
+				}
+				if ranks > 1 && res.Stats.MessagesSent == 0 {
+					t.Fatalf("%s: no remote messages on a multi-rank periodic layout", label)
+				}
+				if res.Stats.MessagesSent != res.Stats.MessagesRecv {
+					t.Fatalf("%s: %d sent vs %d received", label, res.Stats.MessagesSent, res.Stats.MessagesRecv)
+				}
+			}
+		}
+	}
+}
+
+// TestDistNonPeriodic exercises the domain clipping: regions are
+// clipped at physical boundaries only, and untouched boundary ghosts
+// stay zero exactly like the oracle's.
+func TestDistNonPeriodic(t *testing.T) {
+	for _, periodic := range [][3]bool{
+		{false, false, false},
+		{true, false, true},
+	} {
+		l := testLayout(t, 8, 4, periodic)
+		field := testField(7)
+		const steps = 3
+		ld := oracleAdvance(l, field, steps)
+		for _, haloK := range []int{1, 2} {
+			res, err := RunLoopback(context.Background(), Config{
+				Layout: l, Ranks: 2, Variant: mustVariant(t, "Shift-Fuse-CLO: P>=Box"),
+				HaloK: haloK, Steps: steps, Dt: testDt, Threads: 1, Init: field,
+			})
+			if err != nil {
+				t.Fatalf("periodic=%v K=%d: %v", periodic, haloK, err)
+			}
+			assertMatchesOracle(t, res, ld, fmt.Sprintf("periodic=%v K=%d", periodic, haloK))
+		}
+	}
+}
+
+// TestDistInteriorOverlap runs boxes large enough for a non-empty
+// interior, so the overlapped receive path (interior computed while
+// frames land) is exercised, and cross-checks NoOverlap produces the
+// same bits.
+func TestDistInteriorOverlap(t *testing.T) {
+	l := testLayout(t, 12, 6, [3]bool{true, true, true})
+	field := testField(99)
+	const steps = 4
+	ld := oracleAdvance(l, field, steps)
+	base := Config{
+		Layout: l, Ranks: 4, Variant: mustVariant(t, "Basic-Sched OT-4: P<Box"),
+		HaloK: 2, Steps: steps, Dt: testDt, Threads: 2, Init: field,
+	}
+	res, err := RunLoopback(context.Background(), base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertMatchesOracle(t, res, ld, "overlapped")
+	noOv := base
+	noOv.NoOverlap = true
+	res2, err := RunLoopback(context.Background(), noOv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertMatchesOracle(t, res2, ld, "no-overlap")
+	if res.Stats.RecomputedCells != res2.Stats.RecomputedCells {
+		t.Fatalf("recompute accounting differs: %d vs %d",
+			res.Stats.RecomputedCells, res2.Stats.RecomputedCells)
+	}
+	if res.Stats.RecomputedCells == 0 {
+		t.Fatal("K=2 run recomputed nothing")
+	}
+}
+
+// TestRunTCP runs a real 3-rank mesh over 127.0.0.1 sockets and checks
+// every rank's boxes against the loopback run bit for bit.
+func TestRunTCP(t *testing.T) {
+	l := testLayout(t, 8, 4, [3]bool{true, true, true})
+	field := testField(5)
+	cfg := Config{
+		Layout: l, Ranks: 3, Variant: mustVariant(t, "Shift-Fuse OT-4: P>=Box"),
+		HaloK: 2, Steps: 4, Dt: testDt, Threads: 1, Init: field,
+	}
+	want, err := RunLoopback(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	lns := make([]net.Listener, cfg.Ranks)
+	addrs := make([]string, cfg.Ranks)
+	for r := range lns {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer ln.Close()
+		lns[r] = ln
+		addrs[r] = ln.Addr().String()
+	}
+	results := make([]*RankResult, cfg.Ranks)
+	errs := make([]error, cfg.Ranks)
+	var wg sync.WaitGroup
+	for r := 0; r < cfg.Ranks; r++ {
+		r := r
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			results[r], errs[r] = RunTCP(context.Background(), cfg, r, lns[r], addrs, TCPOptions{})
+		}()
+	}
+	wg.Wait()
+	for r, err := range errs {
+		if err != nil {
+			t.Fatalf("rank %d: %v", r, err)
+		}
+	}
+	for _, rr := range results {
+		for i, bi := range rr.Boxes {
+			b := l.Boxes[bi]
+			if d, at, c := rr.Fabs[i].MaxDiff(want.Fabs[bi], b); d != 0 {
+				t.Fatalf("tcp rank %d box %d differs from loopback by %g at %v comp %d",
+					rr.Rank, bi, d, at, c)
+			}
+		}
+		if rr.Stats.MessagesSent == 0 {
+			t.Fatalf("tcp rank %d sent nothing", rr.Rank)
+		}
+	}
+}
+
+// TestTCPMeshSizeMismatch: a dialer with a different rank count must be
+// rejected by the hello cross-check.
+func TestTCPMeshSizeMismatch(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	addr := ln.Addr().String()
+
+	acceptErr := make(chan error, 1)
+	go func() {
+		// Rank 0 of a 2-mesh accepts rank 1.
+		tr, err := ConnectTCP(context.Background(), 0, ln, []string{addr, "ignored"}, 1024, TCPOptions{})
+		if tr != nil {
+			tr.Close()
+		}
+		acceptErr <- err
+	}()
+	c, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	// Hello claiming a 3-rank mesh.
+	if _, err := WriteFrame(c, &Frame{Type: TypeHello, Rank: 1, Step: 3}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-acceptErr; err == nil {
+		t.Fatal("expected mesh-size mismatch error")
+	}
+}

@@ -1,0 +1,191 @@
+package dist
+
+import (
+	"fmt"
+
+	"stencilsched/internal/box"
+	"stencilsched/internal/cluster"
+	"stencilsched/internal/fab"
+	"stencilsched/internal/ivect"
+	"stencilsched/internal/kernel"
+	"stencilsched/internal/layout"
+)
+
+// Send is one outgoing remote motion: pack SrcBox's FAB over
+// Region+Shift and deliver it to rank To, which applies it at Region.
+type Send struct {
+	Motion uint32
+	To     int
+	SrcBox int
+	Region box.Box
+	Shift  ivect.IntVect
+}
+
+// Recv is one expected incoming remote motion: apply the payload into
+// DstBox's FAB at Region.
+type Recv struct {
+	Motion uint32
+	From   int
+	DstBox int
+	Region box.Box
+}
+
+// LocalCopy is a same-rank ghost motion executed as a shared-memory
+// copy (dst at Region reads src at Region+Shift, the layout.Motion
+// convention).
+type LocalCopy struct {
+	SrcBox, DstBox int
+	Region         box.Box
+	Shift          ivect.IntVect
+}
+
+// RankPlan is one rank's share of the exchange plan.
+type RankPlan struct {
+	Rank  int
+	Boxes []int // owned box indices, layout order
+	Local []LocalCopy
+	Sends []Send
+	Recvs []Recv
+	// recvIndex maps a motion ID to its Recvs position.
+	recvIndex map[uint32]int
+}
+
+// Plan is the precomputed distributed exchange schedule: the layout's
+// ghost motions at depth HaloK*kernel.NGhost, split per rank into local
+// copies, sends, and expected receives, with globally unique motion IDs
+// (deterministic layout order) so a frame names exactly one region.
+type Plan struct {
+	Layout *layout.Layout
+	Assign *cluster.Assignment
+	// HaloK is the halo depth in kernel applications; Depth the
+	// resulting ghost-layer count HaloK*kernel.NGhost.
+	HaloK, Depth int
+	Ranks        []RankPlan
+	// MaxFrameValues is the largest single message's float64 count —
+	// the wire-decode bound transports use.
+	MaxFrameValues int
+}
+
+// NewPlan builds the exchange plan for layout l under assignment a with
+// halo depth haloK kernel applications. Periodic directions constrain
+// the depth: the copier's periodic images are single-domain shifts, so
+// HaloK*NGhost ghost layers must not exceed the domain extent in any
+// periodic direction (deeper halos would need double wrapping).
+func NewPlan(l *layout.Layout, a *cluster.Assignment, haloK int) (*Plan, error) {
+	if haloK < 1 {
+		return nil, fmt.Errorf("dist: halo depth K=%d (need >= 1)", haloK)
+	}
+	if a.Layout != l {
+		return nil, fmt.Errorf("dist: assignment belongs to a different layout")
+	}
+	depth := haloK * kernel.NGhost
+	size := l.Domain.Size()
+	for d := 0; d < 3; d++ {
+		if l.Periodic[d] && depth > size[d] {
+			return nil, fmt.Errorf("dist: halo depth %d (K=%d) exceeds periodic domain extent %d in dim %d",
+				depth, haloK, size[d], d)
+		}
+	}
+	if len(a.Of) != l.NumBoxes() {
+		return nil, fmt.Errorf("dist: assignment covers %d of %d boxes", len(a.Of), l.NumBoxes())
+	}
+	owned := make([]int, a.Ranks)
+	for i, r := range a.Of {
+		if r < 0 || r >= a.Ranks {
+			return nil, fmt.Errorf("dist: box %d assigned to rank %d of %d", i, r, a.Ranks)
+		}
+		owned[r]++
+	}
+	for r, n := range owned {
+		if n == 0 {
+			return nil, fmt.Errorf("dist: rank %d owns no boxes", r)
+		}
+	}
+
+	p := &Plan{Layout: l, Assign: a, HaloK: haloK, Depth: depth, Ranks: make([]RankPlan, a.Ranks)}
+	for r := range p.Ranks {
+		p.Ranks[r] = RankPlan{Rank: r, recvIndex: map[uint32]int{}}
+	}
+	for i, r := range a.Of {
+		p.Ranks[r].Boxes = append(p.Ranks[r].Boxes, i)
+	}
+
+	// Global motion IDs follow the copier's deterministic order:
+	// destination box ascending, then plan order within the box. Both
+	// sides of a remote motion derive the same ID from the same copier.
+	cop := layout.NewCopier(l, depth)
+	var id uint32
+	for _, ms := range cop.Motions() {
+		for _, m := range ms {
+			src, dst := a.Of[m.Src], a.Of[m.Dst]
+			if src == dst {
+				p.Ranks[src].Local = append(p.Ranks[src].Local, LocalCopy{
+					SrcBox: m.Src, DstBox: m.Dst, Region: m.Region, Shift: m.Shift,
+				})
+			} else {
+				p.Ranks[src].Sends = append(p.Ranks[src].Sends, Send{
+					Motion: id, To: dst, SrcBox: m.Src, Region: m.Region, Shift: m.Shift,
+				})
+				rp := &p.Ranks[dst]
+				rp.recvIndex[id] = len(rp.Recvs)
+				rp.Recvs = append(rp.Recvs, Recv{Motion: id, From: src, DstBox: m.Dst, Region: m.Region})
+				if n := m.Region.NumPts() * kernel.NComp; n > p.MaxFrameValues {
+					p.MaxFrameValues = n
+				}
+			}
+			id++
+		}
+	}
+	return p, nil
+}
+
+// MaxRecvs returns the largest per-superstep receive count over ranks —
+// the loopback inbox sizing input.
+func (p *Plan) MaxRecvs() int {
+	m := 0
+	for _, rp := range p.Ranks {
+		if len(rp.Recvs) > m {
+			m = len(rp.Recvs)
+		}
+	}
+	return m
+}
+
+// RemoteMessages returns the total sends per exchange across ranks.
+func (p *Plan) RemoteMessages() int {
+	n := 0
+	for _, rp := range p.Ranks {
+		n += len(rp.Sends)
+	}
+	return n
+}
+
+// packRegion flattens f over r (reading at p+shift) in component-major,
+// x-fastest order — the payload layout unpackRegion reverses.
+func packRegion(f *fab.FAB, r box.Box, shift ivect.IntVect, out []float64) []float64 {
+	out = out[:0]
+	for c := 0; c < f.NComp(); c++ {
+		c := c
+		r.ForEach(func(p ivect.IntVect) {
+			out = append(out, f.Get(p.Add(shift), c))
+		})
+	}
+	return out
+}
+
+// unpackRegion applies a packed payload into f at r.
+func unpackRegion(f *fab.FAB, r box.Box, data []float64) error {
+	want := r.NumPts() * f.NComp()
+	if len(data) != want {
+		return fmt.Errorf("%w: payload has %d values, region %v needs %d", ErrProtocol, len(data), r, want)
+	}
+	i := 0
+	for c := 0; c < f.NComp(); c++ {
+		c := c
+		r.ForEach(func(p ivect.IntVect) {
+			f.Set(p, c, data[i])
+			i++
+		})
+	}
+	return nil
+}

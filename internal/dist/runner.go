@@ -1,0 +1,420 @@
+package dist
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"stencilsched/internal/box"
+	"stencilsched/internal/fab"
+	"stencilsched/internal/ivect"
+	"stencilsched/internal/kernel"
+	"stencilsched/internal/variants"
+)
+
+// runner executes one rank's share of the level.
+type runner struct {
+	cfg  Config
+	plan *Plan
+	rank int
+	rp   *RankPlan
+	tr   Transport
+
+	fabs map[int]*fab.FAB // box index -> deep-ghosted solution FAB
+	accs map[int]*fab.FAB // box index -> divergence accumulator
+
+	pending    map[pendKey]Frame
+	pendingCap int
+	packBuf    []float64
+
+	stats Stats
+}
+
+type pendKey struct {
+	step   uint32
+	motion uint32
+}
+
+// RunRank executes the whole solve for the transport's rank against an
+// already-built plan. It performs one deep ghost exchange per superstep
+// (send, local copies, receive — with the receive overlapped against
+// interior compute unless cfg.NoOverlap), then HaloK explicit update
+// sub-steps over shrinking regions. Any failure is returned as a
+// *RankError; by the time RunRank returns, no goroutine it started is
+// left running.
+func RunRank(ctx context.Context, cfg Config, plan *Plan, tr Transport) (*RankResult, error) {
+	rank := tr.Rank()
+	if rank < 0 || rank >= len(plan.Ranks) {
+		return nil, fmt.Errorf("dist: rank %d outside plan of %d ranks", rank, len(plan.Ranks))
+	}
+	r := &runner{
+		cfg:  cfg,
+		plan: plan,
+		rank: rank,
+		rp:   &plan.Ranks[rank],
+		tr:   tr,
+		fabs: map[int]*fab.FAB{},
+		accs: map[int]*fab.FAB{},
+	}
+	r.pending = map[pendKey]Frame{}
+	r.pendingCap = 2*len(r.rp.Recvs) + 16
+
+	for _, bi := range r.rp.Boxes {
+		b := plan.Layout.Boxes[bi]
+		f := fab.New(b.Grow(plan.Depth), kernel.NComp)
+		if cfg.Init != nil {
+			// Valid cells only — ghost cells start zero, exactly like
+			// layout.LevelData, so physical-boundary ghosts match the
+			// reference oracle bit for bit.
+			for c := 0; c < kernel.NComp; c++ {
+				c := c
+				b.ForEach(func(p ivect.IntVect) { f.Set(p, c, cfg.Init(p, c)) })
+			}
+		}
+		r.fabs[bi] = f
+		r.accs[bi] = fab.New(r.clipNonPeriodic(b.Grow((plan.HaloK-1)*kernel.NGhost)), kernel.NComp)
+	}
+
+	super := 0
+	for step0 := 0; step0 < cfg.Steps; step0 += plan.HaloK {
+		k := plan.HaloK
+		if rem := cfg.Steps - step0; rem < k {
+			k = rem
+		}
+		if err := ctx.Err(); err != nil {
+			return nil, &RankError{Rank: rank, Peer: -1, Step: super, Op: "step", Err: err}
+		}
+		if err := r.superstep(ctx, super, k); err != nil {
+			return nil, err
+		}
+		r.stats.Supersteps++
+		super++
+	}
+
+	res := &RankResult{Rank: rank, Boxes: r.rp.Boxes, Stats: r.stats}
+	for _, bi := range r.rp.Boxes {
+		res.Fabs = append(res.Fabs, r.fabs[bi])
+	}
+	return res, nil
+}
+
+// clipNonPeriodic clamps r to the domain in non-periodic directions
+// only: periodic directions compute in image coordinates (the image of
+// a wrapped cell gets bit-identical updates to its domain counterpart),
+// while beyond a physical boundary there is nothing to compute.
+func (r *runner) clipNonPeriodic(b box.Box) box.Box {
+	dom := r.plan.Layout.Domain
+	for d := 0; d < 3; d++ {
+		if r.plan.Layout.Periodic[d] {
+			continue
+		}
+		if b.Lo[d] < dom.Lo[d] {
+			b.Lo[d] = dom.Lo[d]
+		}
+		if b.Hi[d] > dom.Hi[d] {
+			b.Hi[d] = dom.Hi[d]
+		}
+	}
+	return b
+}
+
+// region returns the compute region of sub-step j (0-based) of a
+// k-sub-step superstep for owned box b: the valid box grown by the halo
+// budget left after the remaining sub-steps, domain-clipped only in
+// non-periodic directions.
+func (r *runner) region(b box.Box, j, k int) box.Box {
+	return r.clipNonPeriodic(b.Grow((k - 1 - j) * kernel.NGhost))
+}
+
+func (r *runner) hook(super int, phase string) error {
+	if r.cfg.Hook == nil {
+		return nil
+	}
+	if err := r.cfg.Hook(r.rank, super, phase); err != nil {
+		return &RankError{Rank: r.rank, Peer: -1, Step: super, Op: "hook(" + phase + ")", Err: err}
+	}
+	return nil
+}
+
+// superstep runs one exchange plus k update sub-steps.
+func (r *runner) superstep(ctx context.Context, super, k int) error {
+	if err := r.hook(super, "exchange"); err != nil {
+		return err
+	}
+	if err := r.sendAll(ctx, super); err != nil {
+		return err
+	}
+	for _, lc := range r.rp.Local {
+		r.fabs[lc.DstBox].CopyFromShifted(r.fabs[lc.SrcBox], lc.Region, lc.Shift, 0, 0, kernel.NComp)
+		r.stats.LocalCopies++
+	}
+
+	// Receive overlapped with interior compute: remote frames write only
+	// ghost cells (motion regions never intersect a valid box), and the
+	// interior — the valid box shrunk by one stencil radius — reads only
+	// valid cells, so the two touch disjoint memory. The boundary shell
+	// waits for the exchange to finish.
+	recvStart := time.Now()
+	recvDone := make(chan error, 1)
+	go func() { recvDone <- r.recvAll(ctx, super) }()
+
+	var interiors, shells []pieceRef
+	for _, bi := range r.rp.Boxes {
+		b := r.plan.Layout.Boxes[bi]
+		reg := r.region(b, 0, k)
+		interior := b.Grow(-kernel.NGhost)
+		if r.cfg.NoOverlap || interior.IsEmpty() {
+			shells = append(shells, pieceRef{bi, reg})
+			continue
+		}
+		interiors = append(interiors, pieceRef{bi, interior})
+		shells = append(shells, shellPieces(reg, interior, bi)...)
+	}
+
+	computeStart := time.Now()
+	for _, bi := range r.rp.Boxes {
+		r.accs[bi].Fill(0)
+	}
+	ierr := r.hook(super, "substep")
+	if ierr == nil && len(interiors) > 0 {
+		r.execPieces(interiors)
+	}
+	interiorDur := time.Since(computeStart)
+
+	// Always join the receiver before touching the boundary (or
+	// returning): no goroutine may outlive the superstep.
+	waitStart := time.Now()
+	rerr := <-recvDone
+	waitDur := time.Since(waitStart)
+	recvDur := time.Since(recvStart)
+	r.stats.ExchangeSec += recvDur.Seconds()
+	if hidden := recvDur - waitDur; hidden > 0 {
+		r.stats.ExchangeHiddenSec += hidden.Seconds()
+	}
+	if ierr != nil {
+		return ierr
+	}
+	if rerr != nil {
+		return rerr
+	}
+
+	t0 := time.Now()
+	r.execPieces(shells)
+	for _, bi := range r.rp.Boxes {
+		b := r.plan.Layout.Boxes[bi]
+		reg := r.region(b, 0, k)
+		r.fabs[bi].Plus(r.accs[bi], reg, -r.cfg.Dt)
+		r.stats.RecomputedCells += int64(reg.NumPts() - b.NumPts())
+	}
+	r.stats.ComputeSec += interiorDur.Seconds() + time.Since(t0).Seconds()
+
+	// Remaining sub-steps run on halo data alone, each on a region one
+	// stencil radius smaller — the recomputation that deep halos trade
+	// for messages.
+	for j := 1; j < k; j++ {
+		if err := r.hook(super, "substep"); err != nil {
+			return err
+		}
+		t0 := time.Now()
+		var pieces []pieceRef
+		for _, bi := range r.rp.Boxes {
+			reg := r.region(r.plan.Layout.Boxes[bi], j, k)
+			r.accs[bi].Fill(0)
+			pieces = append(pieces, pieceRef{bi, reg})
+		}
+		r.execPieces(pieces)
+		for _, bi := range r.rp.Boxes {
+			b := r.plan.Layout.Boxes[bi]
+			reg := r.region(b, j, k)
+			r.fabs[bi].Plus(r.accs[bi], reg, -r.cfg.Dt)
+			r.stats.RecomputedCells += int64(reg.NumPts() - b.NumPts())
+		}
+		r.stats.ComputeSec += time.Since(t0).Seconds()
+	}
+	return nil
+}
+
+// pieceRef names one compute region of one owned box.
+type pieceRef struct {
+	boxIdx int
+	region box.Box
+}
+
+// execPieces runs the configured variant over the pieces. Pieces of the
+// same box share its accumulator on disjoint regions, so P>=Box
+// families may execute them concurrently; every registered schedule is
+// bitwise partition-invariant (the conformance sweep's differential
+// property), so the split does not change a single output bit.
+func (r *runner) execPieces(pieces []pieceRef) {
+	if len(pieces) == 0 {
+		return
+	}
+	states := make([]variants.State, 0, len(pieces))
+	for _, pc := range pieces {
+		if pc.region.IsEmpty() {
+			continue
+		}
+		states = append(states, variants.State{
+			Valid: pc.region,
+			Phi0:  r.fabs[pc.boxIdx],
+			Phi1:  r.accs[pc.boxIdx],
+		})
+	}
+	if len(states) == 0 {
+		return
+	}
+	variants.ExecLevel(r.cfg.Variant, states, r.cfg.Threads)
+}
+
+// shellPieces decomposes outer minus inner into up to six disjoint
+// slabs (z-low, z-high, then y-low/y-high, then x-low/x-high), the
+// boundary-shell work list computed after the exchange lands.
+func shellPieces(outer, inner box.Box, boxIdx int) []pieceRef {
+	inner = inner.Intersect(outer)
+	if inner.IsEmpty() {
+		return []pieceRef{{boxIdx, outer}}
+	}
+	var out []pieceRef
+	add := func(b box.Box) {
+		if !b.IsEmpty() {
+			out = append(out, pieceRef{boxIdx, b})
+		}
+	}
+	rest := outer
+	for d := 2; d >= 1; d-- {
+		lo := rest
+		lo.Hi[d] = inner.Lo[d] - 1
+		add(lo)
+		hi := rest
+		hi.Lo[d] = inner.Hi[d] + 1
+		add(hi)
+		rest.Lo[d], rest.Hi[d] = inner.Lo[d], inner.Hi[d]
+	}
+	lo := rest
+	lo.Hi[0] = inner.Lo[0] - 1
+	add(lo)
+	hi := rest
+	hi.Lo[0] = inner.Hi[0] + 1
+	add(hi)
+	return out
+}
+
+// sendAll packs and ships every outgoing motion, retrying transient
+// backpressure with bounded exponential backoff.
+func (r *runner) sendAll(ctx context.Context, super int) error {
+	for _, snd := range r.rp.Sends {
+		r.packBuf = packRegion(r.fabs[snd.SrcBox], snd.Region, snd.Shift, r.packBuf)
+		f := Frame{Type: TypeData, Rank: uint16(r.rank), Step: uint32(super), Motion: snd.Motion, Data: r.packBuf}
+		var err error
+		for attempt := 0; ; attempt++ {
+			err = r.tr.Send(ctx, snd.To, &f)
+			if err == nil || !errors.Is(err, ErrBackpressure) || attempt >= r.cfg.maxRetries() {
+				break
+			}
+			r.stats.Retries++
+			backoff := r.cfg.retryBackoff() << uint(attempt)
+			select {
+			case <-ctx.Done():
+				err = ctx.Err()
+			case <-time.After(backoff):
+				continue
+			}
+			break
+		}
+		if err != nil {
+			return &RankError{Rank: r.rank, Peer: snd.To, Step: super, Op: "send", Err: err}
+		}
+		r.stats.MessagesSent++
+		r.stats.BytesSent += int64(EncodedSize(len(f.Data)))
+	}
+	return nil
+}
+
+// recvAll collects this superstep's expected frames under the exchange
+// deadline, buffering early frames from peers already a superstep ahead
+// and rejecting anything the plan does not predict.
+func (r *runner) recvAll(ctx context.Context, super int) error {
+	need := len(r.rp.Recvs)
+	if need == 0 {
+		return nil
+	}
+	seen := make([]bool, need)
+	got := 0
+	for key, f := range r.pending {
+		if key.step == uint32(super) {
+			delete(r.pending, key)
+			if err := r.applyFrame(super, f, seen, &got); err != nil {
+				return err
+			}
+		}
+	}
+	rctx, cancel := context.WithTimeout(ctx, r.cfg.exchangeTimeout())
+	defer cancel()
+	for got < need {
+		f, err := r.tr.Recv(rctx)
+		if err != nil {
+			if errors.Is(err, context.DeadlineExceeded) && ctx.Err() == nil {
+				return &RankError{Rank: r.rank, Peer: r.missingPeer(seen), Step: super, Op: "recv", Err: ErrTimeout}
+			}
+			return &RankError{Rank: r.rank, Peer: r.missingPeer(seen), Step: super, Op: "recv", Err: err}
+		}
+		switch {
+		case f.Type != TypeData:
+			return &RankError{Rank: r.rank, Peer: int(f.Rank), Step: super, Op: "recv",
+				Err: fmt.Errorf("%w: unexpected frame type %d mid-run", ErrProtocol, f.Type)}
+		case f.Step == uint32(super):
+			if err := r.applyFrame(super, f, seen, &got); err != nil {
+				return err
+			}
+		case f.Step > uint32(super):
+			// A neighbor that already has everything it needs may run
+			// one superstep ahead and send early; park its frames.
+			if len(r.pending) >= r.pendingCap {
+				return &RankError{Rank: r.rank, Peer: int(f.Rank), Step: super, Op: "recv",
+					Err: fmt.Errorf("%w: %d buffered future frames (peer %d is at superstep %d)",
+						ErrProtocol, len(r.pending), f.Rank, f.Step)}
+			}
+			r.pending[pendKey{f.Step, f.Motion}] = f
+		default:
+			return &RankError{Rank: r.rank, Peer: int(f.Rank), Step: super, Op: "recv",
+				Err: fmt.Errorf("%w: stale frame for superstep %d while at %d", ErrProtocol, f.Step, super)}
+		}
+	}
+	return nil
+}
+
+func (r *runner) applyFrame(super int, f Frame, seen []bool, got *int) error {
+	idx, ok := r.rp.recvIndex[f.Motion]
+	if !ok {
+		return &RankError{Rank: r.rank, Peer: int(f.Rank), Step: super, Op: "recv",
+			Err: fmt.Errorf("%w: unknown motion %d", ErrProtocol, f.Motion)}
+	}
+	rc := r.rp.Recvs[idx]
+	if rc.From != int(f.Rank) {
+		return &RankError{Rank: r.rank, Peer: int(f.Rank), Step: super, Op: "recv",
+			Err: fmt.Errorf("%w: motion %d belongs to rank %d, sent by rank %d", ErrProtocol, f.Motion, rc.From, f.Rank)}
+	}
+	if seen[idx] {
+		return &RankError{Rank: r.rank, Peer: rc.From, Step: super, Op: "recv",
+			Err: fmt.Errorf("%w: duplicate motion %d", ErrProtocol, f.Motion)}
+	}
+	if err := unpackRegion(r.fabs[rc.DstBox], rc.Region, f.Data); err != nil {
+		return &RankError{Rank: r.rank, Peer: rc.From, Step: super, Op: "recv", Err: err}
+	}
+	seen[idx] = true
+	*got++
+	r.stats.MessagesRecv++
+	r.stats.BytesRecv += int64(EncodedSize(len(f.Data)))
+	return nil
+}
+
+// missingPeer names the first peer whose frames are still outstanding.
+func (r *runner) missingPeer(seen []bool) int {
+	for i, s := range seen {
+		if !s {
+			return r.rp.Recvs[i].From
+		}
+	}
+	return -1
+}

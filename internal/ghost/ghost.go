@@ -50,6 +50,61 @@ func MinBoxForRatio(target float64, dim, nghost int) int {
 	return n
 }
 
+// DeepHalo summarizes the deep-halo trade at superstep factor K: ghost
+// layers K*nghost deep are exchanged once per K steps, and the K-1
+// intermediate steps recompute shrinking shells of ghost data instead of
+// communicating (the distributed analogue of the overlapped-tile
+// schedules). All per-step figures are relative to the K=1 baseline of
+// the same box.
+type DeepHalo struct {
+	// K is the steps per exchange; Depth the resulting halo depth in
+	// layers (K*nghost).
+	K, Depth int
+	// Ratio is the ghosted-to-valid cell ratio at Depth (Fig. 1 with
+	// nghost scaled by K): the memory price of the deep halo.
+	Ratio float64
+	// MessagesPerStep is the exchange-count factor, exactly 1/K.
+	MessagesPerStep float64
+	// BytesPerStep is the exchanged-volume factor: deep halos send more
+	// per exchange but exchange K times less often; > 1/K because halo
+	// volume grows superlinearly with depth.
+	BytesPerStep float64
+	// RecomputePerStep is the kernel cell-update factor (>= 1): sub-step
+	// j of a superstep computes the box grown by (K-1-j)*nghost layers.
+	RecomputePerStep float64
+}
+
+// DeepHaloStats returns the deep-halo trade for an n^dim box with nghost
+// base ghost layers at superstep factor k. It panics on invalid
+// arguments like Ratio does.
+func DeepHaloStats(n, dim, nghost, k int) DeepHalo {
+	if k < 1 {
+		panic(fmt.Sprintf("ghost: superstep factor k=%d must be >= 1", k))
+	}
+	if n <= 0 || dim <= 0 || nghost < 0 {
+		panic(fmt.Sprintf("ghost: bad arguments n=%d dim=%d nghost=%d", n, dim, nghost))
+	}
+	vol := func(edge float64) float64 { return math.Pow(edge, float64(dim)) }
+	halo := func(depth int) float64 { return vol(float64(n+2*depth)) - vol(float64(n)) }
+	var cells float64
+	for j := 0; j < k; j++ {
+		cells += vol(float64(n + 2*(k-1-j)*nghost))
+	}
+	dh := DeepHalo{
+		K:                k,
+		Depth:            k * nghost,
+		Ratio:            Ratio(n, dim, k*nghost),
+		MessagesPerStep:  1 / float64(k),
+		RecomputePerStep: cells / (float64(k) * vol(float64(n))),
+	}
+	if nghost == 0 {
+		dh.BytesPerStep = 0
+	} else {
+		dh.BytesPerStep = halo(k*nghost) / (float64(k) * halo(nghost))
+	}
+	return dh
+}
+
 // Series is one curve of Figure 1.
 type Series struct {
 	Dim    int

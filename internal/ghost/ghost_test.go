@@ -114,3 +114,68 @@ func TestFig1Series(t *testing.T) {
 		t.Errorf("4D/5ghost ratio at 16 = %v", series[3].Ratio[0])
 	}
 }
+
+func TestDeepHaloStats(t *testing.T) {
+	base := DeepHaloStats(32, 3, 2, 1)
+	if base.K != 1 || base.Depth != 2 {
+		t.Fatalf("base %+v", base)
+	}
+	if base.MessagesPerStep != 1 || base.BytesPerStep != 1 || base.RecomputePerStep != 1 {
+		t.Fatalf("K=1 must be the unit baseline: %+v", base)
+	}
+	if base.Ratio != Ratio(32, 3, 2) {
+		t.Fatalf("K=1 ratio %v != Ratio %v", base.Ratio, Ratio(32, 3, 2))
+	}
+
+	prev := base
+	for k := 2; k <= 4; k++ {
+		dh := DeepHaloStats(32, 3, 2, k)
+		if dh.Depth != 2*k {
+			t.Fatalf("K=%d depth %d", k, dh.Depth)
+		}
+		if dh.MessagesPerStep != 1/float64(k) {
+			t.Fatalf("K=%d messages/step %v", k, dh.MessagesPerStep)
+		}
+		// Deeper halos: more memory, fewer messages, more bytes per
+		// exchange than the per-step baseline share, more recompute.
+		if dh.Ratio <= prev.Ratio {
+			t.Fatalf("K=%d ratio %v not above K=%d's %v", k, dh.Ratio, prev.K, prev.Ratio)
+		}
+		if dh.BytesPerStep <= dh.MessagesPerStep {
+			t.Fatalf("K=%d bytes/step %v should exceed 1/K (halo volume is superlinear)", k, dh.BytesPerStep)
+		}
+		if dh.BytesPerStep >= 2 {
+			t.Fatalf("K=%d bytes/step %v implausibly large for 32^3", k, dh.BytesPerStep)
+		}
+		if dh.RecomputePerStep <= prev.RecomputePerStep {
+			t.Fatalf("K=%d recompute %v not above K=%d's %v", k, dh.RecomputePerStep, prev.K, prev.RecomputePerStep)
+		}
+		prev = dh
+	}
+
+	// Exact hand value: n=4, dim=1, g=1, k=2. Sub-steps compute extents
+	// 6 and 4 -> (6+4)/(2*4) = 1.25; halo(2)/2*halo(1) = 4/(2*2) = 1.
+	dh := DeepHaloStats(4, 1, 1, 2)
+	if dh.RecomputePerStep != 1.25 {
+		t.Fatalf("recompute %v, want 1.25", dh.RecomputePerStep)
+	}
+	if dh.BytesPerStep != 1 {
+		t.Fatalf("1-D bytes/step %v, want 1 (linear halo growth)", dh.BytesPerStep)
+	}
+}
+
+func TestDeepHaloStatsPanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { DeepHaloStats(32, 3, 2, 0) },
+		func() { DeepHaloStats(0, 3, 2, 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}

@@ -148,15 +148,33 @@ func InitSmooth(phi0 *fab.FAB, period int) {
 	if period <= 0 {
 		panic(fmt.Sprintf("kernel: period %d must be positive", period))
 	}
-	k := 2 * math.Pi / float64(period)
 	phi0.Box().ForEach(func(p ivect.IntVect) {
-		x, y, z := float64(p[0])+0.5, float64(p[1])+0.5, float64(p[2])+0.5
-		phi0.Set(p, 0, 1.0+0.1*math.Sin(k*x)*math.Cos(k*y))               // rho
-		phi0.Set(p, 1, 0.5+0.2*math.Sin(k*y))                             // u
-		phi0.Set(p, 2, 0.3+0.2*math.Cos(k*z))                             // v
-		phi0.Set(p, 3, 0.4+0.2*math.Sin(k*x+k*z))                         // w
-		phi0.Set(p, 4, 2.0+0.1*math.Cos(k*x)*math.Sin(k*y)*math.Sin(k*z)) // e
+		for c := 0; c < NComp; c++ {
+			phi0.Set(p, c, SmoothAt(period, p, c))
+		}
 	})
+}
+
+// SmoothAt is the pointwise form of InitSmooth: the value of component c
+// at cell p of the standard smooth field with the given period. The
+// distributed runtime initializes per-rank boxes through it, so a
+// multi-rank run starts from bit-identical data without any box ever
+// being assembled in one place.
+func SmoothAt(period int, p ivect.IntVect, c int) float64 {
+	k := 2 * math.Pi / float64(period)
+	x, y, z := float64(p[0])+0.5, float64(p[1])+0.5, float64(p[2])+0.5
+	switch c {
+	case 0:
+		return 1.0 + 0.1*math.Sin(k*x)*math.Cos(k*y) // rho
+	case 1:
+		return 0.5 + 0.2*math.Sin(k*y) // u
+	case 2:
+		return 0.3 + 0.2*math.Cos(k*z) // v
+	case 3:
+		return 0.4 + 0.2*math.Sin(k*x+k*z) // w
+	default:
+		return 2.0 + 0.1*math.Cos(k*x)*math.Sin(k*y)*math.Sin(k*z) // e
+	}
 }
 
 // FluxOnFaces evaluates the full exemplar flux (velocity face average

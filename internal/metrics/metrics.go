@@ -97,6 +97,23 @@ func DefBuckets() []float64 {
 	return []float64{0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1, 5, 10, 30, 60, 300}
 }
 
+// ExpBuckets returns n exponentially spaced bucket bounds: start,
+// start*factor, ..., start*factor^(n-1). It panics on a non-positive
+// start, a factor at or below 1, or n < 1 — a histogram with unsorted or
+// duplicate bounds would silently misbucket.
+func ExpBuckets(start, factor float64, n int) []float64 {
+	if start <= 0 || factor <= 1 || n < 1 {
+		panic(fmt.Sprintf("metrics: bad exponential buckets start=%g factor=%g n=%d", start, factor, n))
+	}
+	out := make([]float64, n)
+	v := start
+	for i := range out {
+		out[i] = v
+		v *= factor
+	}
+	return out
+}
+
 // Registry holds metric families and renders them for scraping. The zero
 // value is not usable; call NewRegistry.
 type Registry struct {

@@ -116,3 +116,29 @@ func TestConcurrentUse(t *testing.T) {
 		t.Fatalf("histogram count = %d, want 8000", got)
 	}
 }
+
+func TestExpBuckets(t *testing.T) {
+	b := ExpBuckets(1e-6, 4, 10)
+	if len(b) != 10 || b[0] != 1e-6 {
+		t.Fatalf("buckets %v", b)
+	}
+	for i := 1; i < len(b); i++ {
+		if b[i] != b[i-1]*4 {
+			t.Fatalf("bucket %d: %v != %v * 4", i, b[i], b[i-1])
+		}
+	}
+	for _, f := range []func(){
+		func() { ExpBuckets(0, 2, 3) },
+		func() { ExpBuckets(1, 1, 3) },
+		func() { ExpBuckets(1, 2, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
