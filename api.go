@@ -18,6 +18,7 @@ import (
 	"stencilsched/internal/kernel"
 	"stencilsched/internal/layout"
 	"stencilsched/internal/machine"
+	"stencilsched/internal/parallel"
 	"stencilsched/internal/perfmodel"
 	"stencilsched/internal/sched"
 	"stencilsched/internal/stats"
@@ -228,6 +229,39 @@ func Conformance(ctx context.Context, cfg ConformanceConfig) (*ConformanceReport
 	return conform.Sweep(ctx, cfg)
 }
 
+// CompiledSchedule is one What/When/Where schedule description compiled
+// to specialized Go by the internal/schedc pipeline and committed under
+// internal/variants/generated. Compiled schedules execute serially
+// within a box (the study's P>=Box granularity); parallelism is across
+// boxes. They pass the same conformance sweep as the studied variants.
+type CompiledSchedule struct {
+	Name string
+	run  func(phi0, phi1 *fab.FAB, valid box.Box, threads int) error
+}
+
+// CompiledSchedules returns the schedc-compiled runners registered in
+// the conformance registry, in registration order.
+func CompiledSchedules() []CompiledSchedule {
+	var out []CompiledSchedule
+	for _, r := range conform.Registry() {
+		if r.Generated {
+			out = append(out, CompiledSchedule{Name: r.Name, run: r.Run})
+		}
+	}
+	return out
+}
+
+// CompiledScheduleByName resolves a compiled schedule by its exact
+// registry name, e.g. "CodeGen series (generated)".
+func CompiledScheduleByName(name string) (CompiledSchedule, error) {
+	for _, cs := range CompiledSchedules() {
+		if cs.Name == name {
+			return cs, nil
+		}
+	}
+	return CompiledSchedule{}, fmt.Errorf("stencilsched: no compiled schedule %q", name)
+}
+
 // TuneResult is one autotuning measurement.
 type TuneResult struct {
 	Variant      Variant
@@ -289,6 +323,79 @@ func AutotuneContext(ctx context.Context, p Problem, reps int, candidates []Vari
 			return nil, fmt.Errorf("stencilsched: autotune %s: %w", v.Name(), err)
 		}
 		out = append(out, TuneResult{Variant: v, Seconds: res.Seconds, MCellsPerSec: res.MCellsPerSec})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Seconds < out[j].Seconds })
+	return out, nil
+}
+
+// CompiledTuneResult is one compiled-schedule autotuning measurement.
+type CompiledTuneResult struct {
+	Schedule     CompiledSchedule
+	Seconds      float64
+	MCellsPerSec float64
+}
+
+// AutotuneCompiled measures schedc-compiled schedules on the host for
+// problem p, the compiled counterpart of Autotune: reps repetitions
+// each, minimum kept, fastest first. A nil candidates slice tunes over
+// every compiled schedule. Compiled runners are serial within a box, so
+// Threads parallelizes across the NumBoxes boxes.
+func AutotuneCompiled(p Problem, reps int, candidates []CompiledSchedule) ([]CompiledTuneResult, error) {
+	return AutotuneCompiledContext(context.Background(), p, reps, candidates)
+}
+
+// AutotuneCompiledContext is AutotuneCompiled with cancellation,
+// checked before every candidate and between repetitions.
+func AutotuneCompiledContext(ctx context.Context, p Problem, reps int, candidates []CompiledSchedule) ([]CompiledTuneResult, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if reps < 1 {
+		reps = 1
+	}
+	if candidates == nil {
+		candidates = CompiledSchedules()
+	}
+	if len(candidates) == 0 {
+		return nil, fmt.Errorf("stencilsched: no compiled candidates for %+v", p)
+	}
+	boxes := make([]box.Box, p.NumBoxes)
+	for i := range boxes {
+		boxes[i] = box.Cube(p.BoxN)
+	}
+	states := variants.NewLevelState(boxes)
+	for _, s := range states {
+		kernel.InitSmooth(s.Phi0, p.BoxN)
+	}
+	out := make([]CompiledTuneResult, 0, len(candidates))
+	errs := make([]error, len(states))
+	for _, cs := range candidates {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		timing, err := stats.TimePrepContext(ctx, reps, func() {
+			for _, s := range states {
+				s.Phi1.Fill(0)
+			}
+		}, func() {
+			parallel.For(p.Threads, len(states), func(_, i int) {
+				s := states[i]
+				errs[i] = cs.run(s.Phi0, s.Phi1, s.Valid, 1)
+			})
+		})
+		if err != nil {
+			return nil, err
+		}
+		for _, e := range errs {
+			if e != nil {
+				return nil, fmt.Errorf("stencilsched: autotune %s: %w", cs.Name, e)
+			}
+		}
+		res := CompiledTuneResult{Schedule: cs, Seconds: timing.MinSec}
+		if timing.MinSec > 0 {
+			res.MCellsPerSec = float64(p.Cells()) / timing.MinSec / 1e6
+		}
+		out = append(out, res)
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Seconds < out[j].Seconds })
 	return out, nil

@@ -19,6 +19,41 @@ func TestVariantsCountAndNames(t *testing.T) {
 	}
 }
 
+func TestCompiledSchedules(t *testing.T) {
+	cs := CompiledSchedules()
+	if len(cs) < 4 {
+		t.Fatalf("%d compiled schedules, want at least the 4 schedc families", len(cs))
+	}
+	for _, c := range cs {
+		got, err := CompiledScheduleByName(c.Name)
+		if err != nil || got.Name != c.Name {
+			t.Errorf("round trip %q failed: %v", c.Name, err)
+		}
+	}
+	if _, err := CompiledScheduleByName("nonesuch"); err == nil {
+		t.Error("CompiledScheduleByName accepted an unknown name")
+	}
+}
+
+func TestAutotuneCompiled(t *testing.T) {
+	p := Problem{BoxN: 8, NumBoxes: 2, Threads: 2}
+	res, err := AutotuneCompiled(p, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != len(CompiledSchedules()) {
+		t.Fatalf("%d results, want %d", len(res), len(CompiledSchedules()))
+	}
+	for i, r := range res {
+		if r.Seconds <= 0 || r.MCellsPerSec <= 0 {
+			t.Errorf("%s: non-positive measurement %+v", r.Schedule.Name, r)
+		}
+		if i > 0 && r.Seconds < res[i-1].Seconds {
+			t.Errorf("results not sorted fastest first at %d", i)
+		}
+	}
+}
+
 func TestMachines(t *testing.T) {
 	if len(Machines()) != 4 {
 		t.Fatalf("%d machines", len(Machines()))

@@ -1,0 +1,42 @@
+// Command schedgen compiles the registered schedule families
+// (internal/schedc) to Go source and writes the result into the
+// internal/variants/generated package. It is wired to `go generate`:
+//
+//	go generate ./...
+//
+// regenerates every *.gen.go file; CI fails if the committed files
+// differ from what the compiler emits.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"stencilsched/internal/schedc"
+)
+
+func main() {
+	out := flag.String("out", "internal/variants/generated", "output directory for the generated package")
+	flag.Parse()
+	files, err := schedc.EmitFiles()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "schedgen:", err)
+		os.Exit(1)
+	}
+	names := make([]string, 0, len(files))
+	for name := range files {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		path := filepath.Join(*out, name)
+		if err := os.WriteFile(path, []byte(files[name]), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "schedgen:", err)
+			os.Exit(1)
+		}
+		fmt.Println("wrote", path)
+	}
+}

@@ -64,7 +64,7 @@ func main() {
 	flag.BoolVar(&o.list, "list", false, "list the studied variants and exit")
 	flag.BoolVar(&o.verify, "verify", false, "verify every variant against the reference kernel and exit")
 	flag.StringVar(&o.name, "variant", "", "variant name (paper legend style)")
-	flag.StringVar(&o.mode, "mode", "measured", "measured | modeled | sweep | dist")
+	flag.StringVar(&o.mode, "mode", "measured", "measured | modeled | sweep | dist | compare")
 	flag.StringVar(&o.mach, "machine", "Magny", "machine key for modeled runs (Magny, Atlantis, Sandy, desktop)")
 	flag.IntVar(&o.n, "n", 32, "box size N (box is N^3)")
 	flag.IntVar(&o.boxes, "boxes", 2, "number of boxes (measured mode)")
@@ -149,6 +149,9 @@ func run(o options) error {
 		fmt.Fprintf(o.out, "all %d variants bit-identical to the reference on a %d^3 box\n",
 			len(stencilsched.Variants()), o.n)
 		return nil
+	}
+	if o.mode == "compare" {
+		return runCompare(o)
 	}
 	if o.name == "" {
 		return fmt.Errorf("need -variant, -list or -verify")

@@ -470,8 +470,11 @@ func (s *server) handleAutotune(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	// Resolve the candidate set up front: it is part of the cache key,
-	// and a bad variant name must 400 here, not fail a queued job.
+	// and a bad name must 400 here, not fail a queued job. A candidate
+	// may name a studied variant or a schedc-compiled schedule; the
+	// default set tunes over both.
 	var cands []stencilsched.Variant
+	var compiled []stencilsched.CompiledSchedule
 	if len(req.Candidates) == 0 {
 		for _, v := range stencilsched.Variants() {
 			if v.Tiled() && v.MaxTileEdge() > p.BoxN {
@@ -479,12 +482,18 @@ func (s *server) handleAutotune(w http.ResponseWriter, r *http.Request) {
 			}
 			cands = append(cands, v)
 		}
+		compiled = stencilsched.CompiledSchedules()
 	} else {
 		for _, name := range req.Candidates {
 			v, err := stencilsched.ParseVariant(name)
 			if err != nil {
-				httpError(w, http.StatusBadRequest, "%v", err)
-				return
+				cs, csErr := stencilsched.CompiledScheduleByName(name)
+				if csErr != nil {
+					httpError(w, http.StatusBadRequest, "%v", err)
+					return
+				}
+				compiled = append(compiled, cs)
+				continue
 			}
 			// Feasibility is a request property, so infeasible tiles 400
 			// here rather than failing the queued job (AutotuneContext
@@ -497,12 +506,12 @@ func (s *server) handleAutotune(w http.ResponseWriter, r *http.Request) {
 			cands = append(cands, v)
 		}
 	}
-	if len(cands) == 0 {
+	if len(cands)+len(compiled) == 0 {
 		httpError(w, http.StatusBadRequest, "no feasible candidates for box_n %d", p.BoxN)
 		return
 	}
 
-	key := s.tuneKey(p, req.Reps, cands)
+	key := s.tuneKey(p, req.Reps, cands, compiled)
 	if s.cache != nil {
 		var cached []tuneRow
 		if ok, err := s.cache.Get(key, &cached); err == nil && ok {
@@ -516,14 +525,26 @@ func (s *server) handleAutotune(w http.ResponseWriter, r *http.Request) {
 	}
 	s.cacheMisses.Inc()
 	s.submit(w, "autotune", p.Threads, func(ctx context.Context) (any, error) {
-		results, err := stencilsched.AutotuneContext(ctx, p, req.Reps, cands)
-		if err != nil {
-			return nil, err
+		var rows []tuneRow
+		if len(cands) > 0 {
+			results, err := stencilsched.AutotuneContext(ctx, p, req.Reps, cands)
+			if err != nil {
+				return nil, err
+			}
+			for _, t := range results {
+				rows = append(rows, tuneRow{Variant: t.Variant.Name(), Seconds: t.Seconds, MCellsPerSec: t.MCellsPerSec})
+			}
 		}
-		rows := make([]tuneRow, len(results))
-		for i, t := range results {
-			rows[i] = tuneRow{Variant: t.Variant.Name(), Seconds: t.Seconds, MCellsPerSec: t.MCellsPerSec}
+		if len(compiled) > 0 {
+			results, err := stencilsched.AutotuneCompiledContext(ctx, p, req.Reps, compiled)
+			if err != nil {
+				return nil, err
+			}
+			for _, t := range results {
+				rows = append(rows, tuneRow{Variant: t.Schedule.Name, Seconds: t.Seconds, MCellsPerSec: t.MCellsPerSec})
+			}
 		}
+		sort.Slice(rows, func(i, j int) bool { return rows[i].Seconds < rows[j].Seconds })
 		if s.cache != nil {
 			if err := s.cache.Put(key, rows); err != nil {
 				// A broken cache must not fail a finished measurement.
@@ -539,11 +560,15 @@ func (s *server) handleAutotune(w http.ResponseWriter, r *http.Request) {
 }
 
 // tuneKey builds the cache key: host fingerprint + problem + reps +
-// the exact candidate set (order-insensitive).
-func (s *server) tuneKey(p stencilsched.Problem, reps int, cands []stencilsched.Variant) string {
-	names := make([]string, len(cands))
-	for i, v := range cands {
-		names[i] = v.Name()
+// the exact candidate set (order-insensitive), studied and compiled
+// names pooled — no name collides across the two sets.
+func (s *server) tuneKey(p stencilsched.Problem, reps int, cands []stencilsched.Variant, compiled []stencilsched.CompiledSchedule) string {
+	names := make([]string, 0, len(cands)+len(compiled))
+	for _, v := range cands {
+		names = append(names, v.Name())
+	}
+	for _, cs := range compiled {
+		names = append(names, cs.Name)
 	}
 	sort.Strings(names)
 	parts := append([]string{
@@ -681,7 +706,7 @@ func (s *server) handleModel(w http.ResponseWriter, r *http.Request) {
 func (s *server) handleVariants(w http.ResponseWriter, r *http.Request) {
 	t := &report.Table{
 		Title:  "Studied scheduling variants",
-		Note:   "see internal/sched for the axes",
+		Note:   "see internal/sched for the axes; schedc rows are compiled from internal/schedc schedule descriptions",
 		Header: []string{"name", "family", "granularity", "comp loop", "tile", "intra-tile"},
 	}
 	for _, v := range stencilsched.Variants() {
@@ -695,6 +720,9 @@ func (s *server) handleVariants(w http.ResponseWriter, r *http.Request) {
 			intra = v.Intra.String()
 		}
 		t.Add(v.Name(), v.Family.String(), v.Par.String(), v.Comp.String(), tile, intra)
+	}
+	for _, cs := range stencilsched.CompiledSchedules() {
+		t.Add(cs.Name, "schedc", "P>=Box", "-", "-", "-")
 	}
 	if r.URL.Query().Get("format") == "text" {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")

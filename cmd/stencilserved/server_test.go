@@ -106,8 +106,19 @@ func TestVariantsEndpoint(t *testing.T) {
 	if code := doJSON(t, http.MethodGet, ts.URL+"/v1/variants", nil, &table); code != http.StatusOK {
 		t.Fatalf("status %d", code)
 	}
-	if len(table.Rows) != 32 {
-		t.Fatalf("rows = %d, want the 32 studied variants", len(table.Rows))
+	want := 32 + len(stencilsched.CompiledSchedules())
+	if len(table.Rows) != want {
+		t.Fatalf("rows = %d, want the 32 studied variants plus %d compiled schedules",
+			len(table.Rows), len(stencilsched.CompiledSchedules()))
+	}
+	compiledRows := 0
+	for _, row := range table.Rows {
+		if row[1] == "schedc" {
+			compiledRows++
+		}
+	}
+	if compiledRows != len(stencilsched.CompiledSchedules()) {
+		t.Fatalf("schedc rows = %d, want %d", compiledRows, len(stencilsched.CompiledSchedules()))
 	}
 	resp, err := http.Get(ts.URL + "/v1/variants?format=text")
 	if err != nil {
@@ -417,15 +428,19 @@ func TestTuneKeyStability(t *testing.T) {
 	prob := stencilsched.Problem{BoxN: 8, NumBoxes: 1, Threads: 2}
 	a := parseVariants(t, "Baseline: P>=Box", "Shift-Fuse: P>=Box")
 	b := parseVariants(t, "Shift-Fuse: P>=Box", "Baseline: P>=Box")
-	if s.tuneKey(prob, 1, a) != s.tuneKey(prob, 1, b) {
+	if s.tuneKey(prob, 1, a, nil) != s.tuneKey(prob, 1, b, nil) {
 		t.Fatal("candidate order changed the cache key")
 	}
-	if s.tuneKey(prob, 1, a) == s.tuneKey(prob, 2, a) {
+	if s.tuneKey(prob, 1, a, nil) == s.tuneKey(prob, 2, a, nil) {
 		t.Fatal("reps not part of the cache key")
 	}
 	other := stencilsched.Problem{BoxN: 16, NumBoxes: 1, Threads: 2}
-	if s.tuneKey(other, 1, a) == s.tuneKey(prob, 1, a) {
+	if s.tuneKey(other, 1, a, nil) == s.tuneKey(prob, 1, a, nil) {
 		t.Fatal("problem not part of the cache key")
+	}
+	compiled := stencilsched.CompiledSchedules()
+	if s.tuneKey(prob, 1, a, compiled) == s.tuneKey(prob, 1, a, nil) {
+		t.Fatal("compiled candidates not part of the cache key")
 	}
 }
 
@@ -441,6 +456,48 @@ func TestAutotuneRejectsInfeasibleTileCandidate(t *testing.T) {
 	}
 	if !strings.Contains(e.Error, "infeasible") || !strings.Contains(e.Error, "32") {
 		t.Fatalf("unhelpful error: %q", e.Error)
+	}
+}
+
+func TestAutotuneMixedCompiledCandidates(t *testing.T) {
+	_, ts := newTestServer(t, config{})
+	// A candidate set naming both a studied variant and a schedc-compiled
+	// schedule measures both and merges the rows fastest-first.
+	body := map[string]any{
+		"box_n": 8, "threads": 1, "reps": 1,
+		"candidates": []string{"Baseline: P>=Box", "CodeGen series (generated)"},
+	}
+	var snap jobs.Snapshot
+	if code := doJSON(t, http.MethodPost, ts.URL+"/v1/autotune", body, &snap); code != http.StatusAccepted {
+		t.Fatalf("mixed autotune: status %d, want 202", code)
+	}
+	got := awaitJob(t, ts.URL, snap.ID)
+	if got.Status != jobs.StatusDone {
+		t.Fatalf("mixed autotune job: %+v", got)
+	}
+	rows := got.Result.(map[string]any)["results"].([]any)
+	if len(rows) != 2 {
+		t.Fatalf("results = %d rows, want 2", len(rows))
+	}
+	names := map[string]bool{}
+	prev := 0.0
+	for _, r := range rows {
+		row := r.(map[string]any)
+		names[row["variant"].(string)] = true
+		sec := row["seconds"].(float64)
+		if sec < prev {
+			t.Fatalf("rows not sorted fastest first: %v", rows)
+		}
+		prev = sec
+	}
+	if !names["Baseline-CLO: P>=Box"] || !names["CodeGen series (generated)"] {
+		t.Fatalf("missing candidate rows: %v", names)
+	}
+	// An unknown name still 400s with the variant parse error.
+	var e errorResponse
+	body["candidates"] = []string{"CodeGen nonesuch (generated)"}
+	if code := doJSON(t, http.MethodPost, ts.URL+"/v1/autotune", body, &e); code != http.StatusBadRequest {
+		t.Fatalf("unknown candidate: code %d, want 400", code)
 	}
 }
 

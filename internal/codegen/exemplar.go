@@ -1,6 +1,8 @@
 package codegen
 
 import (
+	"fmt"
+
 	"stencilsched/internal/box"
 	"stencilsched/internal/fab"
 	"stencilsched/internal/ivect"
@@ -133,60 +135,59 @@ func fusedLevel(d int) int { return map[int]int{0: 2, 1: 1, 2: 0}[d] }
 
 // BuildSeries expresses Fig. 6 (component loop outside) as a scheduled
 // program for one direction d: each statement is a full pass at a distinct
-// top-level static position.
+// top-level static position. The schedule comes from SeriesDesc — the same
+// serializable description the schedule compiler lowers to Go source.
 func BuildSeries(e *exemplarData, d int) *Program {
-	e.bindFullStorage(d)
-	faces := domainOf(e.valid.SurroundingFaces(d))
-	cells := domainOf(e.valid)
-	flux1, vel, flux2, acc := e.whats(d)
-	p := &Program{}
-	pos := 0
-	next := func() int { pos++; return pos - 1 }
-	for c := 0; c < kernel.NComp; c++ {
-		p.Add(&Statement{Name: "flux1", Domain: faces, Schedule: Scatter(3, next(), 0, 0, 0), Body: flux1(c)})
-	}
-	p.Add(&Statement{Name: "vel", Domain: faces, Schedule: Scatter(3, next(), 0, 0, 0), Body: vel})
-	for c := 0; c < kernel.NComp; c++ {
-		p.Add(&Statement{Name: "flux2", Domain: faces, Schedule: Scatter(3, next(), 0, 0, 0), Body: flux2(c)})
-		p.Add(&Statement{Name: "acc", Domain: cells, Schedule: Scatter(3, next(), 0, 0, 0), Body: acc(c)})
-	}
-	return p
+	return buildFromDesc(e, SeriesDesc(d))
 }
 
 // BuildRowFused expresses the shifted-and-fused schedule for direction d:
 // all statements share the loop levels down to the fused level (the
 // direction's own loop); the accumulation is shifted by +1 there so each
 // flux value is consumed immediately after the plane computing it, which
-// is what legalizes the two-deep ring-buffer storage.
+// is what legalizes the two-deep ring-buffer storage. The schedule comes
+// from RowFusedDesc (see BuildSeries).
 func BuildRowFused(e *exemplarData, d int) *Program {
-	e.bindRingStorage(d)
-	faces := domainOf(e.valid.SurroundingFaces(d))
-	cells := domainOf(e.valid)
-	flux1, vel, flux2, acc := e.whats(d)
-	lvl := fusedLevel(d)
+	return buildFromDesc(e, RowFusedDesc(d))
+}
+
+// buildFromDesc materializes a description as an interpretable program:
+// storage is bound per the description's buffer kinds, macro names resolve
+// to the Whats of the exemplar, and every domain is bound to the concrete
+// valid box. Interpreting the result is the oracle the generated code is
+// differentially tested against.
+func buildFromDesc(e *exemplarData, pd ProgramDesc) *Program {
+	switch pd.Buffers[0].Kind {
+	case "full":
+		e.bindFullStorage(pd.Dir)
+	case "ring":
+		e.bindRingStorage(pd.Dir)
+	default:
+		panic(fmt.Sprintf("codegen: unknown buffer kind %q", pd.Buffers[0].Kind))
+	}
+	flux1, vel, flux2, acc := e.whats(pd.Dir)
+	vals := BoxParamValues(e.valid)
 	p := &Program{}
-	// Static positions: shared 0 above the fused level; after the fused
-	// level the order is flux1 components, velocity, flux2 components,
-	// accumulate components.
-	mk := func(after int) []int {
-		pos := make([]int, 4)
-		pos[lvl+1] = after
-		return pos
-	}
-	seq := 0
-	for c := 0; c < kernel.NComp; c++ {
-		p.Add(&Statement{Name: "flux1", Domain: faces, Schedule: Scatter(3, mk(seq)...), Body: flux1(c)})
-		seq++
-	}
-	p.Add(&Statement{Name: "vel", Domain: faces, Schedule: Scatter(3, mk(seq)...), Body: vel})
-	seq++
-	for c := 0; c < kernel.NComp; c++ {
-		p.Add(&Statement{Name: "flux2", Domain: faces, Schedule: Scatter(3, mk(seq)...), Body: flux2(c)})
-		seq++
-	}
-	for c := 0; c < kernel.NComp; c++ {
-		p.Add(&Statement{Name: "acc", Domain: cells, Schedule: Scatter(3, mk(seq)...).Shift(lvl, 1), Body: acc(c)})
-		seq++
+	for _, st := range pd.Stmts {
+		var body func(x []int)
+		switch st.Macro {
+		case "flux1":
+			body = flux1(st.Comp)
+		case "vel":
+			body = vel
+		case "flux2":
+			body = flux2(st.Comp)
+		case "acc":
+			body = acc(st.Comp)
+		default:
+			panic(fmt.Sprintf("codegen: unknown macro %q", st.Macro))
+		}
+		p.Add(&Statement{
+			Name:     st.Name,
+			Domain:   st.Domain.Bind(vals...).Set(),
+			Schedule: st.Sched.Schedule(),
+			Body:     body,
+		})
 	}
 	return p
 }

@@ -11,16 +11,17 @@ import (
 	"stencilsched/internal/ivect"
 	"stencilsched/internal/kernel"
 	"stencilsched/internal/sched"
+	"stencilsched/internal/variants/generated"
 )
 
 func TestRegistryCoverage(t *testing.T) {
 	rs := Registry()
-	want := len(sched.Studied()) + 2
+	want := len(sched.Studied()) + 2 + len(generated.Entries())
 	if len(rs) != want {
-		t.Fatalf("registry has %d runners, want %d (studied variants + 2 interpreted)", len(rs), want)
+		t.Fatalf("registry has %d runners, want %d (studied variants + 2 interpreted + generated)", len(rs), want)
 	}
 	seen := map[string]bool{}
-	interpreted := 0
+	interpreted, gen := 0, 0
 	for _, r := range rs {
 		if seen[r.Name] {
 			t.Errorf("duplicate runner name %q", r.Name)
@@ -28,6 +29,9 @@ func TestRegistryCoverage(t *testing.T) {
 		seen[r.Name] = true
 		if r.Interpreted {
 			interpreted++
+		}
+		if r.Generated {
+			gen++
 		}
 		got, ok := RunnerByName(r.Name)
 		if !ok || got.Name != r.Name {
@@ -37,8 +41,31 @@ func TestRegistryCoverage(t *testing.T) {
 	if interpreted != 2 {
 		t.Errorf("registry has %d interpreted runners, want 2", interpreted)
 	}
+	if gen != 4 {
+		t.Errorf("registry has %d generated runners, want 4", gen)
+	}
 	if _, ok := RunnerByName("no such runner"); ok {
 		t.Errorf("RunnerByName accepted an unknown name")
+	}
+}
+
+// TestAddRunnerRejectsDuplicate locks in that registering two runners
+// under one name is an error, not a silent shadowing.
+func TestAddRunnerRejectsDuplicate(t *testing.T) {
+	r := Runner{Name: "dup", Run: func(phi0, phi1 *fab.FAB, valid box.Box, threads int) error { return nil }}
+	rs, err := AddRunner(nil, r)
+	if err != nil || len(rs) != 1 {
+		t.Fatalf("first AddRunner = %d runners, %v", len(rs), err)
+	}
+	rs2, err := AddRunner(rs, r)
+	if err == nil {
+		t.Fatal("duplicate AddRunner did not error")
+	}
+	if !strings.Contains(err.Error(), "dup") {
+		t.Errorf("duplicate error %q does not name the runner", err)
+	}
+	if len(rs2) != 1 {
+		t.Errorf("failed AddRunner changed the slice: %d runners", len(rs2))
 	}
 }
 

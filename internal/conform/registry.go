@@ -1,11 +1,14 @@
 package conform
 
 import (
+	"fmt"
+
 	"stencilsched/internal/box"
 	"stencilsched/internal/codegen"
 	"stencilsched/internal/fab"
 	"stencilsched/internal/sched"
 	"stencilsched/internal/variants"
+	"stencilsched/internal/variants/generated"
 )
 
 // Runner is one registered schedule execution: a name, a way to run the
@@ -23,6 +26,9 @@ type Runner struct {
 	// Interpreted marks the codegen-interpreted exemplar schedules,
 	// which execute serially regardless of the thread argument.
 	Interpreted bool
+	// Generated marks the schedc-compiled runners (package
+	// internal/variants/generated), also serial within the box.
+	Generated bool
 	// Run executes the exemplar: phi0 must cover the ghosted valid box,
 	// and the flux divergence accumulates into phi1 over valid.
 	Run func(phi0, phi1 *fab.FAB, valid box.Box, threads int) error
@@ -51,19 +57,43 @@ func interpretedRunner(name string, fused bool) Runner {
 	}
 }
 
+// AddRunner appends r to rs, rejecting a name already present — a
+// duplicate registration would make divergence repro lines ambiguous
+// and silently halve the sweep's coverage of one of the two runners.
+func AddRunner(rs []Runner, r Runner) ([]Runner, error) {
+	for _, have := range rs {
+		if have.Name == r.Name {
+			return rs, fmt.Errorf("conform: duplicate runner name %q", r.Name)
+		}
+	}
+	return append(rs, r), nil
+}
+
 // Registry returns every registered schedule the harness conforms: the
-// 32 studied hand-written variants and the two codegen-interpreted
-// exemplar schedules (series and row-fused). The sweep's acceptance
-// criterion is that every entry here is covered.
+// 32 studied hand-written variants, the two codegen-interpreted
+// exemplar schedules (series and row-fused), and the schedc-compiled
+// runners. The sweep's acceptance criterion is that every entry here
+// is covered. A duplicate name in the registration sequence is a
+// programming error and panics.
 func Registry() []Runner {
 	var rs []Runner
-	for _, v := range sched.Studied() {
-		rs = append(rs, variantRunner(v))
+	var err error
+	add := func(r Runner) {
+		if err == nil {
+			rs, err = AddRunner(rs, r)
+		}
 	}
-	rs = append(rs,
-		interpretedRunner("CodeGen series (interpreted)", false),
-		interpretedRunner("CodeGen row-fused (interpreted)", true),
-	)
+	for _, v := range sched.Studied() {
+		add(variantRunner(v))
+	}
+	add(interpretedRunner("CodeGen series (interpreted)", false))
+	add(interpretedRunner("CodeGen row-fused (interpreted)", true))
+	for _, e := range generated.Entries() {
+		add(Runner{Name: e.Name, Generated: true, Run: e.Run})
+	}
+	if err != nil {
+		panic(err)
+	}
 	return rs
 }
 

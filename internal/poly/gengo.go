@@ -5,6 +5,73 @@ import (
 	"strings"
 )
 
+// Loop is one loop of a generated nest: the variable name and its Go
+// lower/upper bound expressions, ready to render as
+//
+//	for v := Lo; v <= Hi; v++ { ... }
+//
+// Guarded reports that a bound came from a constraint with a non-unit
+// coefficient on this variable, so the Fourier–Motzkin projection may
+// over-approximate (integer gaps) and the nest needs a membership guard
+// around its body.
+type Loop struct {
+	Var     string
+	Lo, Hi  string
+	Guarded bool
+	// Los and His are the individual candidate bounds Lo and Hi fold
+	// (Lo = max of Los, Hi = min of His) — consumers that merge several
+	// sets into one nest fold the raw candidates themselves.
+	Los, His []string
+}
+
+// Loops computes the bound expressions of every loop dimension of the
+// set, treating the first params dimensions as externally bound symbols:
+// their names may appear inside bound expressions, but no loops are
+// produced for them. This is the parametric form a schedule compiler
+// needs — a box-size-generic nest has its box corners as parameters and
+// only the spatial dimensions as loops. vars names all Dim dimensions,
+// parameters first.
+//
+// Bounds come from the same Fourier–Motzkin projections Scan uses, so
+// for unit-coefficient sets (boxes, shifted unions, wavefront slices)
+// the nest visits exactly the set's points; constraints with non-unit
+// coefficients (tile sets) use the cdiv/fdiv helpers of Helpers and mark
+// the loop Guarded.
+func (s *Set) Loops(vars []string, params int) ([]Loop, error) {
+	if len(vars) != s.Dim {
+		return nil, fmt.Errorf("poly: %d variable names for %d dims", len(vars), s.Dim)
+	}
+	if params < 0 || params > s.Dim {
+		return nil, fmt.Errorf("poly: %d parameters in %d-d set", params, s.Dim)
+	}
+	// Build projections, innermost last (as in Scan). The projection for
+	// the outermost loop may still involve every parameter.
+	projs := make([]*Set, s.Dim)
+	cur := s.clone()
+	for k := s.Dim - 1; k >= params; k-- {
+		projs[k] = cur
+		if k > 0 {
+			cur = cur.EliminateLast()
+		}
+	}
+	loops := make([]Loop, 0, s.Dim-params)
+	for k := params; k < s.Dim; k++ {
+		lbs, ubs, guard, err := boundExprs(projs[k], k, vars)
+		if err != nil {
+			return nil, err
+		}
+		loops = append(loops, Loop{
+			Var:     vars[k],
+			Lo:      foldBounds(lbs, "max"),
+			Hi:      foldBounds(ubs, "min"),
+			Guarded: guard,
+			Los:     lbs,
+			His:     ubs,
+		})
+	}
+	return loops, nil
+}
+
 // GenGo emits a Go loop nest that scans the set in lexicographic order —
 // the literal code-generation step of CodeGen+ (the paper's Section IV-E
 // tool emits C; this emits Go). vars names the loop variables, outermost
@@ -15,45 +82,41 @@ import (
 //	func cdiv(a, b int) int // ceil(a/b), b > 0
 //	func fdiv(a, b int) int // floor(a/b), b > 0
 //
-// which Helpers returns. Bounds come from the same Fourier–Motzkin
-// projections Scan uses, so for unit-coefficient sets (boxes, shifted
-// unions, tiles, wavefront slices) the generated nest visits exactly the
-// set's points; for general coefficients the projection is an
-// over-approximation and a guard `if` is emitted around the body.
+// which Helpers returns — emit them once per generated package, not per
+// nest. For sets whose constraints all have unit coefficients the
+// generated nest visits exactly the set's points; for general
+// coefficients the projection is an over-approximation and a guard `if`
+// is emitted around the body.
 func (s *Set) GenGo(vars []string, body string) (string, error) {
-	if len(vars) != s.Dim {
-		return "", fmt.Errorf("poly: %d variable names for %d dims", len(vars), s.Dim)
+	return s.GenGoParams(vars, 0, body)
+}
+
+// GenGoParams is GenGo with the first params dimensions treated as
+// externally bound symbols (see Loops): loops are emitted only for the
+// remaining dimensions, with parameter names appearing symbolically in
+// the bound expressions.
+func (s *Set) GenGoParams(vars []string, params int, body string) (string, error) {
+	loops, err := s.Loops(vars, params)
+	if err != nil {
+		return "", err
 	}
-	// Build projections, innermost last (as in Scan).
-	projs := make([]*Set, s.Dim)
-	cur := s.clone()
-	for k := s.Dim - 1; k >= 0; k-- {
-		projs[k] = cur
-		if k > 0 {
-			cur = cur.EliminateLast()
-		}
+	needGuard := false
+	for _, l := range loops {
+		needGuard = needGuard || l.Guarded
 	}
 	var b strings.Builder
 	indent := ""
-	needGuard := false
-	for k := 0; k < s.Dim; k++ {
-		lbs, ubs, guard, err := boundExprs(projs[k], k, vars)
-		if err != nil {
-			return "", err
-		}
-		needGuard = needGuard || guard
-		lb := foldBounds(lbs, "max")
-		ub := foldBounds(ubs, "min")
+	for _, l := range loops {
 		fmt.Fprintf(&b, "%sfor %s := %s; %s <= %s; %s++ {\n",
-			indent, vars[k], lb, vars[k], ub, vars[k])
+			indent, l.Var, l.Lo, l.Var, l.Hi, l.Var)
 		indent += "\t"
 	}
 	if needGuard {
-		fmt.Fprintf(&b, "%sif %s {\n%s\t%s\n%s}\n", indent, guardExpr(s, vars), indent, body, indent)
+		fmt.Fprintf(&b, "%sif %s {\n%s\t%s\n%s}\n", indent, GuardExpr(s, vars), indent, body, indent)
 	} else {
 		fmt.Fprintf(&b, "%s%s\n", indent, body)
 	}
-	for k := s.Dim - 1; k >= 0; k-- {
+	for range loops {
 		indent = indent[:len(indent)-1]
 		fmt.Fprintf(&b, "%s}\n", indent)
 	}
@@ -164,8 +227,12 @@ func foldBounds(exprs []string, fn string) string {
 	return out
 }
 
-// guardExpr renders the full membership test of the set.
-func guardExpr(s *Set, vars []string) string {
+// GuardExpr renders the full membership test of the set as a Go boolean
+// expression over vars — the guard a code generator wraps around a nest
+// body when the Fourier–Motzkin bounds over-approximate (non-unit
+// coefficients), and the per-statement execution condition when several
+// statements with different domains fuse into one nest.
+func GuardExpr(s *Set, vars []string) string {
 	var parts []string
 	for _, a := range s.Cons {
 		var terms []string

@@ -1,0 +1,149 @@
+package poly
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite the GenGo golden files")
+
+// goldenCases are the representative code-generation shapes of the
+// schedule compiler, committed as golden files so any change to bound
+// emission shows up as a reviewable diff instead of a silent behavior
+// change. Parameters (box corners, tile size symbols) exercise the
+// parametric form schedc lowers through.
+func goldenCases() []struct {
+	name   string
+	params int
+	vars   []string
+	set    *Set
+	body   string
+} {
+	// box: the plain valid-box nest with symbolic corners —
+	// params (lo0, hi0, lo1, hi1), loops (y, x).
+	boxSet := NewSet(6)
+	boxSet.Add(Affine{Coef: []int{0, 0, -1, 0, 1, 0}}) // y >= lo1
+	boxSet.Add(Affine{Coef: []int{0, 0, 0, 1, -1, 0}}) // y <= hi1
+	boxSet.Add(Affine{Coef: []int{-1, 0, 0, 0, 0, 1}}) // x >= lo0
+	boxSet.Add(Affine{Coef: []int{0, 1, 0, 0, 0, -1}}) // x <= hi0
+	// shifted union: the row-fused time loop — faces run t in
+	// lo..hi+1 and the shifted accumulation t-1 in lo..hi, so the fused
+	// loop scans the union lo..hi+1 (one symbolic dimension pair).
+	union := NewSet(3)
+	union.Add(Affine{Coef: []int{-1, 0, 1}})           // t >= lo
+	union.Add(Affine{Coef: []int{0, 1, -1}, Const: 1}) // t <= hi+1
+	// tile: tile-origin loop plus intra-tile loop with tile edge 8 —
+	// non-unit coefficients force cdiv/fdiv bounds and a guard.
+	tile := NewSet(4)
+	tile.Add(Affine{Coef: []int{-1, 0, 0, 1}})           // x >= lo
+	tile.Add(Affine{Coef: []int{0, 1, 0, -1}})           // x <= hi
+	tile.Add(Affine{Coef: []int{-1, 0, -8, 1}})          // x >= lo + 8 t
+	tile.Add(Affine{Coef: []int{1, 0, 8, -1}, Const: 7}) // x <= lo + 8 t + 7
+	// wavefront slice: the anti-diagonal y+x = w inside a box; the
+	// equality gives exact unit bounds, no guard.
+	wf := NewSet(4)
+	wf.Add(Affine{Coef: []int{0, 0, 1, 0}})     // y >= 0
+	wf.Add(Affine{Coef: []int{1, 0, -1, 0}})    // y <= n
+	wf.Add(Affine{Coef: []int{0, 0, 0, 1}})     // x >= 0
+	wf.Add(Affine{Coef: []int{1, 0, 0, -1}})    // x <= n
+	wf.AddEq(Affine{Coef: []int{0, 1, -1, -1}}) // y + x == w
+	// guard: a genuinely strided set 0 <= 2x <= 2n+1, whose FM bounds
+	// over-approximate — the membership-guard emission case.
+	guard := NewSet(2)
+	guard.Add(Affine{Coef: []int{0, 2}})            // 2x >= 0
+	guard.Add(Affine{Coef: []int{2, -2}, Const: 1}) // 2x <= 2n+1
+
+	return []struct {
+		name   string
+		params int
+		vars   []string
+		set    *Set
+		body   string
+	}{
+		{"box", 4, []string{"lo0", "hi0", "lo1", "hi1", "y", "x"}, boxSet, "visit(y, x)"},
+		{"shifted_union", 2, []string{"lo", "hi", "t"}, union, "visit(t)"},
+		{"tile", 2, []string{"lo", "hi", "t", "x"}, tile, "visit(t, x)"},
+		{"wavefront_slice", 2, []string{"n", "w", "y", "x"}, wf, "visit(y, x)"},
+		{"guard", 1, []string{"n", "x"}, guard, "visit(x)"},
+	}
+}
+
+func TestGenGoGolden(t *testing.T) {
+	for _, tc := range goldenCases() {
+		t.Run(tc.name, func(t *testing.T) {
+			code, err := tc.set.GenGoParams(tc.vars, tc.params, tc.body)
+			if err != nil {
+				t.Fatal(err)
+			}
+			path := filepath.Join("testdata", tc.name+".golden")
+			if *updateGolden {
+				if err := os.WriteFile(path, []byte(code), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden file (run `go test ./internal/poly -run Golden -update`): %v", err)
+			}
+			if code != string(want) {
+				t.Errorf("generated code changed; diff against %s and re-run with -update if intended.\ngot:\n%s\nwant:\n%s",
+					path, code, want)
+			}
+		})
+	}
+}
+
+// TestGenGoGoldenSemantics pins the guard-emission contract alongside the
+// text: the tile case needs cdiv/fdiv + membership guard, the unit cases
+// must not pay for one.
+func TestGenGoGoldenSemantics(t *testing.T) {
+	for _, tc := range goldenCases() {
+		loops, err := tc.set.Loops(tc.vars, tc.params)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		guarded := false
+		for _, l := range loops {
+			guarded = guarded || l.Guarded
+		}
+		wantGuard := tc.name == "tile" || tc.name == "guard"
+		if guarded != wantGuard {
+			t.Errorf("%s: guarded = %v, want %v", tc.name, guarded, wantGuard)
+		}
+		if len(loops) != len(tc.vars)-tc.params {
+			t.Errorf("%s: %d loops for %d loop dims", tc.name, len(loops), len(tc.vars)-tc.params)
+		}
+	}
+}
+
+// TestGenGoParamsMatchesBoundEnumeration cross-checks the parametric tile
+// bounds against Scan on numeric instantiations: binding the parameters
+// and scanning must visit exactly the points the generated nest would.
+func TestGenGoParamsMatchesBoundEnumeration(t *testing.T) {
+	tile := goldenCases()[2]
+	for _, bounds := range [][2]int{{0, 15}, {-3, 20}, {5, 5}} {
+		lo, hi := bounds[0], bounds[1]
+		bound := tile.set.clone()
+		bound.AddEq(Affine{Coef: []int{1}, Const: -lo})
+		bound.AddEq(Affine{Coef: []int{0, 1}, Const: -hi})
+		n := 0
+		seen := map[[2]int]bool{}
+		bound.Scan(func(x []int) {
+			n++
+			seen[[2]int{x[2], x[3]}] = true
+		})
+		want := hi - lo + 1
+		if n != want {
+			t.Errorf("lo=%d hi=%d: scanned %d points, want %d", lo, hi, n, want)
+		}
+		for x := lo; x <= hi; x++ {
+			tt := (x - lo) / 8
+			if !seen[[2]int{tt, x}] {
+				t.Errorf("lo=%d hi=%d: missing point (t=%d, x=%d)", lo, hi, tt, x)
+			}
+		}
+	}
+}

@@ -1,0 +1,236 @@
+package schedc
+
+import (
+	"fmt"
+
+	"stencilsched/internal/codegen"
+	"stencilsched/internal/kernel"
+)
+
+// Families returns every schedule family the compiler ships generated
+// code for: the two CodeGen+ exemplar schedules (series and row-fused,
+// from the same descriptions the interpreter executes) and two of the
+// hand-written families re-derived from declarative descriptions
+// (Shift-Fuse serial and the overlapped-tile Basic-Sched OT-16). All
+// four run serially within the box — the P>=Box granularity, whose
+// parallelism is across boxes.
+func Families() []Family {
+	series := Family{
+		Name:     "CodeGen series (generated)",
+		FuncName: "RunSeries",
+		FileName: "series.gen.go",
+		Comment: "RunSeries executes the original series-of-loops schedule (Fig. 6,\n" +
+			"component loop outside) compiled from codegen.SeriesDesc: every\n" +
+			"statement a full pass over its face or cell box, with full-array\n" +
+			"flux and velocity temporaries from the scratch arena.",
+	}
+	rowfused := Family{
+		Name:     "CodeGen row-fused (generated)",
+		FuncName: "RunRowFused",
+		FileName: "rowfused.gen.go",
+		Comment: "RunRowFused executes the shifted-and-fused exemplar schedule\n" +
+			"compiled from codegen.RowFusedDesc: per direction, all statements\n" +
+			"fuse at the direction's own loop level with the accumulation\n" +
+			"shifted by one, legalizing two-deep ring storage (a scalar, row,\n" +
+			"or plane per parity — Table I's shrunken temporaries).",
+	}
+	for d := 0; d < 3; d++ {
+		series.Progs = append(series.Progs, codegen.SeriesDesc(d))
+		rowfused.Progs = append(rowfused.Progs, codegen.RowFusedDesc(d))
+	}
+	return []Family{
+		series,
+		rowfused,
+		{
+			Name:     "Shift-Fuse (generated)",
+			FuncName: "RunShiftFuse",
+			FileName: "shiftfuse.gen.go",
+			Comment: "RunShiftFuse executes the fully shifted-and-fused schedule of\n" +
+				"Section IV-B compiled from its description: three velocity\n" +
+				"pre-passes, then one sweep per component over the cells in which\n" +
+				"the three face fluxes are computed one iteration ahead (shift -1)\n" +
+				"and consumed from parity rings — the carried scalar/row/plane\n" +
+				"caches of the hand-written family, derived from the storage rule.",
+			Progs: []codegen.ProgramDesc{ShiftFuseProg()},
+		},
+		{
+			Name:     "Basic-Sched OT-16 (generated)",
+			FuncName: "RunOT16",
+			FileName: "ot16.gen.go",
+			Comment: "RunOT16 executes the overlapped-tile schedule of Section IV-D with\n" +
+				"the series intra-tile schedule on 16^3 tiles, compiled from a\n" +
+				"tiled description: tile-origin loops with cdiv/fdiv bounds from\n" +
+				"the polyhedral projection, tile-local temporaries allocated per\n" +
+				"tile from the arena, and every tile evaluating all faces its\n" +
+				"cells consume (the recomputation trade).",
+			Progs: []codegen.ProgramDesc{OT16Prog()},
+		},
+	}
+}
+
+// fext is the face-box extension of direction d.
+func fext(d int) [3]int {
+	var e [3]int
+	e[d] = 1
+	return e
+}
+
+var dirName = [3]string{"X", "Y", "Z"}
+
+// innerAxes lists the axes stored per ring slot for a ring along
+// direction d in the (z, y, x) nest: exactly the axes iterated inside
+// d's own loop level, innermost first — which yields the scalar (x),
+// row (y), and plane (z) carried caches of the hand-written sweeps.
+func innerAxes(d int) []int {
+	var inner []int
+	for a := 0; a < d; a++ {
+		inner = append(inner, a)
+	}
+	return inner
+}
+
+// ShiftFuseProg describes the fully fused schedule: velocity pre-passes
+// at the first three top-level positions, then per component (CLO, the
+// studied order) a fused sweep in which fluxX/fluxY/fluxZ are shifted by
+// -1 at their direction's loop level and the unshifted accumulation
+// reads both ring parities.
+func ShiftFuseProg() codegen.ProgramDesc {
+	pd := codegen.ProgramDesc{
+		Name: "shiftfuse",
+		Vars: codegen.LoopVarNames(),
+	}
+	var velB, fluxB [3]string
+	for d := 0; d < 3; d++ {
+		velB[d] = "vel" + dirName[d]
+		fluxB[d] = "flux" + dirName[d]
+		pd.Buffers = append(pd.Buffers,
+			codegen.BufferDesc{Name: velB[d], Kind: "full", Dir: d, Comps: 1},
+			codegen.BufferDesc{Name: fluxB[d], Kind: "ring", Dir: d, Comps: 1, Depth: 2, Inner: innerAxes(d)},
+		)
+	}
+	cells := codegen.BoxDomainDesc(0, [3]int{})
+	for d := 0; d < 3; d++ {
+		pd.Stmts = append(pd.Stmts, codegen.StmtDesc{
+			Name: "vel" + dirName[d], Macro: "flux1", Dir: d, Comp: kernel.VelComp(d),
+			Bufs:   []string{velB[d]},
+			Domain: codegen.BoxDomainDesc(0, fext(d)),
+			Sched:  codegen.ScatterDesc(3, d, 0, 0, 0),
+		})
+	}
+	for c := 0; c < kernel.NComp; c++ {
+		top := 3 + c
+		for d := 0; d < 3; d++ {
+			pd.Stmts = append(pd.Stmts, codegen.StmtDesc{
+				Name: fmt.Sprintf("flux%s-c%d", dirName[d], c), Macro: "fluxdir", Dir: d, Comp: c,
+				Bufs:   []string{velB[d], fluxB[d]},
+				Domain: codegen.BoxDomainDesc(0, fext(d)),
+				Sched:  codegen.ScatterDesc(3, top, 0, 0, d).Shift(2-d, -1),
+			})
+		}
+		pd.Stmts = append(pd.Stmts, codegen.StmtDesc{
+			Name: fmt.Sprintf("acc-c%d", c), Macro: "accfused", Dir: 0, Comp: c,
+			Bufs:   []string{fluxB[0], fluxB[1], fluxB[2]},
+			Domain: cells,
+			Sched:  codegen.ScatterDesc(3, top, 0, 0, 3),
+		})
+	}
+	return pd
+}
+
+// tileDomain builds the 12-dimensional domain of one overlapped-tile
+// statement: box parameters, tile-origin variables (tz, ty, tx), and the
+// spatial loops (z, y, x). Each axis is confined to its tile of edge E
+// clipped to the valid box, with the high side extended by ext[axis]
+// (the face boxes of the tile — faces on shared tile surfaces belong to
+// both neighbors, which is the overlap).
+func tileDomain(E int, ext [3]int) codegen.SetDesc {
+	const dim = codegen.NumBoxParams + 6
+	d := codegen.SetDesc{Dim: dim}
+	add := func(coef []int, c int) {
+		d.Cons = append(d.Cons, codegen.AffineDesc{Coef: coef, Const: c})
+	}
+	for lvl := 0; lvl < 3; lvl++ {
+		axis := 2 - lvl
+		ti := codegen.NumBoxParams + lvl     // tile-origin variable
+		li := codegen.NumBoxParams + 3 + lvl // spatial loop variable
+		// v >= lo (valid box)
+		lo := make([]int, dim)
+		lo[li], lo[2*axis] = 1, -1
+		add(lo, 0)
+		// v <= hi + ext (valid box, face-extended)
+		hi := make([]int, dim)
+		hi[li], hi[2*axis+1] = -1, 1
+		add(hi, ext[axis])
+		// v >= lo + E*t (tile low edge)
+		tl := make([]int, dim)
+		tl[li], tl[2*axis], tl[ti] = 1, -1, -E
+		add(tl, 0)
+		// v <= lo + E*t + E-1 + ext (tile high edge, face-extended)
+		th := make([]int, dim)
+		th[li], th[2*axis], th[ti] = -1, 1, E
+		add(th, E-1+ext[axis])
+		// t >= 0 and lo + E*t <= hi: only tiles whose origin lies in the
+		// valid box exist — otherwise the face extension would admit a
+		// phantom boundary tile computing faces no cell consumes.
+		t0 := make([]int, dim)
+		t0[ti] = 1
+		add(t0, 0)
+		t1 := make([]int, dim)
+		t1[ti], t1[2*axis], t1[2*axis+1] = -E, -1, 1
+		add(t1, 0)
+	}
+	return d
+}
+
+// OT16Prog describes Basic-Sched OT-16: three tile-origin loops, and
+// within each tile the full series schedule per direction over the
+// tile's own face and cell boxes, with tile-local full-array
+// temporaries (allocated at loop depth 3, rewound per tile).
+func OT16Prog() codegen.ProgramDesc {
+	const E = 16
+	pd := codegen.ProgramDesc{
+		Name:     "ot16",
+		Vars:     []string{"tz", "ty", "tx", "z", "y", "x"},
+		TileEdge: E,
+	}
+	var velB, fluxB [3]string
+	for d := 0; d < 3; d++ {
+		velB[d] = "vel" + dirName[d]
+		fluxB[d] = "flux" + dirName[d]
+		pd.Buffers = append(pd.Buffers,
+			codegen.BufferDesc{Name: fluxB[d], Kind: "full", Dir: d, Comps: kernel.NComp, Level: 3},
+			codegen.BufferDesc{Name: velB[d], Kind: "full", Dir: d, Comps: 1, Level: 3},
+		)
+	}
+	cells := tileDomain(E, [3]int{})
+	seq := 0
+	sched := func() codegen.ScheduleDesc {
+		s := codegen.ScatterDesc(6, 0, 0, 0, seq, 0, 0, 0)
+		seq++
+		return s
+	}
+	for d := 0; d < 3; d++ {
+		faces := tileDomain(E, fext(d))
+		for c := 0; c < kernel.NComp; c++ {
+			pd.Stmts = append(pd.Stmts, codegen.StmtDesc{
+				Name: fmt.Sprintf("flux1%s-c%d", dirName[d], c), Macro: "flux1", Dir: d, Comp: c,
+				Bufs: []string{fluxB[d]}, Domain: faces, Sched: sched(),
+			})
+		}
+		pd.Stmts = append(pd.Stmts, codegen.StmtDesc{
+			Name: "vel" + dirName[d], Macro: "vel", Dir: d, Comp: -1,
+			Bufs: []string{fluxB[d], velB[d]}, Domain: faces, Sched: sched(),
+		})
+		for c := 0; c < kernel.NComp; c++ {
+			pd.Stmts = append(pd.Stmts, codegen.StmtDesc{
+				Name: fmt.Sprintf("flux2%s-c%d", dirName[d], c), Macro: "flux2", Dir: d, Comp: c,
+				Bufs: []string{velB[d], fluxB[d]}, Domain: faces, Sched: sched(),
+			})
+			pd.Stmts = append(pd.Stmts, codegen.StmtDesc{
+				Name: fmt.Sprintf("acc%s-c%d", dirName[d], c), Macro: "acc", Dir: d, Comp: c,
+				Bufs: []string{fluxB[d]}, Domain: cells, Sched: sched(),
+			})
+		}
+	}
+	return pd
+}

@@ -1,0 +1,24 @@
+// Package generated holds schedule runners compiled to Go by the
+// internal/schedc schedule compiler. Every *.gen.go file in this package
+// is emitted by cmd/schedgen from the declarative What/When/Where
+// descriptions in internal/schedc and internal/codegen — edit the
+// descriptions (or the compiler) and re-run `go generate ./...`, never
+// the emitted files. A test in this package fails when the committed
+// files drift from what the compiler emits.
+package generated
+
+//go:generate go run stencilsched/cmd/schedgen -out .
+
+import (
+	"stencilsched/internal/box"
+	"stencilsched/internal/fab"
+)
+
+// Entry is one compiled schedule runner, under the same contract as a
+// conformance-registry runner: phi0 covers the ghosted valid box, the
+// flux divergence accumulates into phi1 over valid, and execution is
+// serial within the box regardless of threads.
+type Entry struct {
+	Name string
+	Run  func(phi0, phi1 *fab.FAB, valid box.Box, threads int) error
+}

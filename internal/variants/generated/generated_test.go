@@ -1,0 +1,83 @@
+package generated
+
+import (
+	"math/rand"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"testing"
+
+	"stencilsched/internal/box"
+	"stencilsched/internal/fab"
+	"stencilsched/internal/ivect"
+	"stencilsched/internal/kernel"
+	"stencilsched/internal/schedc"
+)
+
+// TestGeneratedFilesFresh recompiles every schedule family and compares
+// the result byte-for-byte with the committed files: editing a schedule
+// description (or the compiler) without re-running `go generate ./...`
+// fails here, and so does a stray .gen.go file the compiler no longer
+// emits.
+func TestGeneratedFilesFresh(t *testing.T) {
+	files, err := schedc.EmitFiles()
+	if err != nil {
+		t.Fatalf("EmitFiles: %v", err)
+	}
+	for name, want := range files {
+		got, err := os.ReadFile(name)
+		if err != nil {
+			t.Errorf("%s: %v (run `go generate ./...`)", name, err)
+			continue
+		}
+		if string(got) != want {
+			t.Errorf("%s is stale: committed file differs from compiler output (run `go generate ./...`)", name)
+		}
+	}
+	stray, err := filepath.Glob("*.gen.go")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range stray {
+		if _, ok := files[name]; !ok {
+			t.Errorf("%s is no longer emitted by the compiler; delete it", name)
+		}
+	}
+}
+
+// TestGeneratedPackageVetClean runs go vet over this package: the
+// emitted source must be idiomatic enough to pass the standard static
+// checks (unreachable code, shadowing-prone composites, printf misuse).
+func TestGeneratedPackageVetClean(t *testing.T) {
+	cmd := exec.Command("go", "vet", ".")
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("go vet: %v\n%s", err, out)
+	}
+}
+
+// TestEntriesBitwiseEqualReference is the local differential check (the
+// conformance sweep covers the same runners across many geometries; this
+// pins correctness next to the generated code on an offset box).
+func TestEntriesBitwiseEqualReference(t *testing.T) {
+	boxes := []box.Box{
+		box.Cube(8),
+		box.Cube(12), // ragged 16^3 tiles
+		box.NewSized(ivect.New(-3, 5, 2), ivect.New(9, 7, 11)), // non-cubic, shifted
+	}
+	for bi, b := range boxes {
+		phi0, want := kernel.NewState(b)
+		phi0.Randomize(rand.New(rand.NewSource(int64(300+bi))), 0.25, 1.75)
+		kernel.Reference(phi0, want, b)
+		for _, e := range Entries() {
+			phi1 := fab.New(b, kernel.NComp)
+			if err := e.Run(phi0, phi1, b, 1); err != nil {
+				t.Errorf("box %v, %s: %v", b, e.Name, err)
+				continue
+			}
+			if d, at, c := phi1.MaxDiff(want, b); d != 0 {
+				t.Errorf("box %v, %s: diff %g at %v comp %d", b, e.Name, d, at, c)
+			}
+		}
+	}
+}
