@@ -236,16 +236,33 @@ func Conformance(ctx context.Context, cfg ConformanceConfig) (*ConformanceReport
 // boxes. They pass the same conformance sweep as the studied variants.
 type CompiledSchedule struct {
 	Name string
-	run  func(phi0, phi1 *fab.FAB, valid box.Box, threads int) error
+	// TemporalK > 0 marks a temporal-blocking schedule fusing that many
+	// Euler steps per sweep: its input state must carry TemporalK*NGhost
+	// ghost layers and its output is the K-step delta, so one sweep does
+	// TemporalK cell-updates per cell. Zero means a classic single-step
+	// schedule.
+	TemporalK int
+	run       func(phi0, phi1 *fab.FAB, valid box.Box, threads int) error
+}
+
+// Steps returns the number of Euler steps one sweep of the schedule
+// advances: TemporalK for temporal schedules, 1 otherwise.
+func (cs CompiledSchedule) Steps() int {
+	if cs.TemporalK > 0 {
+		return cs.TemporalK
+	}
+	return 1
 }
 
 // CompiledSchedules returns the schedc-compiled runners registered in
-// the conformance registry, in registration order.
+// the conformance registry, in registration order. The set spans the
+// joint (tile, K) schedule space: classic single-step schedules plus
+// the temporal families over K in {1,2,4} and tile edges {box,16,32}.
 func CompiledSchedules() []CompiledSchedule {
 	var out []CompiledSchedule
 	for _, r := range conform.Registry() {
 		if r.Generated {
-			out = append(out, CompiledSchedule{Name: r.Name, run: r.Run})
+			out = append(out, CompiledSchedule{Name: r.Name, TemporalK: r.TemporalK, run: r.Run})
 		}
 	}
 	return out
@@ -329,23 +346,44 @@ func AutotuneContext(ctx context.Context, p Problem, reps int, candidates []Vari
 }
 
 // CompiledTuneResult is one compiled-schedule autotuning measurement.
+// Temporal schedules advance Schedule.Steps() Euler steps per sweep, so
+// throughput comparisons across K go through StepSeconds and
+// MCellsPerSec (cell-updates), which are per-Euler-step quantities.
 type CompiledTuneResult struct {
-	Schedule     CompiledSchedule
-	Seconds      float64
+	Schedule CompiledSchedule
+	// Seconds is the minimum wall time of one sweep (K steps for a
+	// temporal schedule).
+	Seconds float64
+	// StepSeconds is Seconds normalized per Euler step:
+	// Seconds / Schedule.Steps(). Results sort by it.
+	StepSeconds float64
+	// MCellsPerSec counts cell-updates (cells * steps advanced), so a
+	// K=2 sweep that halves traffic shows up as higher throughput, not a
+	// slower sweep.
 	MCellsPerSec float64
 }
 
 // AutotuneCompiled measures schedc-compiled schedules on the host for
 // problem p, the compiled counterpart of Autotune: reps repetitions
-// each, minimum kept, fastest first. A nil candidates slice tunes over
-// every compiled schedule. Compiled runners are serial within a box, so
-// Threads parallelizes across the NumBoxes boxes.
+// each, minimum kept, fastest first (per Euler step — see
+// CompiledTuneResult). A nil candidates slice tunes over every compiled
+// schedule, which makes the default sweep a joint search of the
+// (tile, K) schedule space. Compiled runners are serial within a box,
+// so Threads parallelizes across the NumBoxes boxes.
 func AutotuneCompiled(p Problem, reps int, candidates []CompiledSchedule) ([]CompiledTuneResult, error) {
 	return AutotuneCompiledContext(context.Background(), p, reps, candidates)
 }
 
 // AutotuneCompiledContext is AutotuneCompiled with cancellation,
 // checked before every candidate and between repetitions.
+//
+// Every candidate runs against state sized for its own contract: a
+// temporal schedule fusing K steps reads TemporalK*NGhost ghost layers,
+// so each distinct ghost depth gets its own smooth-initialized level
+// (allocated once, shared by all candidates of that depth). Phi1 is
+// zeroed before every repetition — the runners accumulate, and carrying
+// one repetition's output into the next would both corrupt the result
+// and perturb the timing.
 func AutotuneCompiledContext(ctx context.Context, p Problem, reps int, candidates []CompiledSchedule) ([]CompiledTuneResult, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
@@ -363,16 +401,27 @@ func AutotuneCompiledContext(ctx context.Context, p Problem, reps int, candidate
 	for i := range boxes {
 		boxes[i] = box.Cube(p.BoxN)
 	}
-	states := variants.NewLevelState(boxes)
-	for _, s := range states {
-		kernel.InitSmooth(s.Phi0, p.BoxN)
+	levels := map[int][]variants.State{}
+	statesFor := func(depth int) []variants.State {
+		if s, ok := levels[depth]; ok {
+			return s
+		}
+		states := make([]variants.State, len(boxes))
+		for i, b := range boxes {
+			phi0 := fab.New(b.Grow(depth), kernel.NComp)
+			kernel.InitSmooth(phi0, p.BoxN)
+			states[i] = variants.State{Valid: b, Phi0: phi0, Phi1: fab.New(b, kernel.NComp)}
+		}
+		levels[depth] = states
+		return states
 	}
 	out := make([]CompiledTuneResult, 0, len(candidates))
-	errs := make([]error, len(states))
+	errs := make([]error, len(boxes))
 	for _, cs := range candidates {
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
+		states := statesFor(cs.Steps() * kernel.NGhost)
 		timing, err := stats.TimePrepContext(ctx, reps, func() {
 			for _, s := range states {
 				s.Phi1.Fill(0)
@@ -392,12 +441,13 @@ func AutotuneCompiledContext(ctx context.Context, p Problem, reps int, candidate
 			}
 		}
 		res := CompiledTuneResult{Schedule: cs, Seconds: timing.MinSec}
+		res.StepSeconds = timing.MinSec / float64(cs.Steps())
 		if timing.MinSec > 0 {
-			res.MCellsPerSec = float64(p.Cells()) / timing.MinSec / 1e6
+			res.MCellsPerSec = float64(p.Cells()) * float64(cs.Steps()) / timing.MinSec / 1e6
 		}
 		out = append(out, res)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Seconds < out[j].Seconds })
+	sort.Slice(out, func(i, j int) bool { return out[i].StepSeconds < out[j].StepSeconds })
 	return out, nil
 }
 
@@ -681,7 +731,14 @@ func PredictDistributedStep(v Variant, p DistProblem, m Machine, net Interconnec
 		return DistPrediction{}, err
 	}
 	k := p.haloK()
-	dh := ghost.DeepHaloStats(p.BoxN, 3, kernel.NGhost, k)
+	// The analytic deep-halo trade assumes nearest-neighbor exchange, so
+	// a halo deeper than the box (k*NGhost > BoxN) is a bad request — a
+	// typed ErrHaloTooDeep, which services surface as HTTP 400 — even
+	// though the runtime's copier could route such frames.
+	dh, err := ghost.DeepHaloStatsChecked(p.BoxN, 3, kernel.NGhost, k)
+	if err != nil {
+		return DistPrediction{}, fmt.Errorf("stencilsched: halo_k=%d on %d^3 boxes: %w", k, p.BoxN, err)
+	}
 	pred := DistPrediction{
 		ComputeSec:      sm.ComputeSec * dh.RecomputePerStep,
 		ExchangeSec:     sm.ExchangeSec / float64(k),

@@ -44,13 +44,24 @@ func TestAutotuneCompiled(t *testing.T) {
 	if len(res) != len(CompiledSchedules()) {
 		t.Fatalf("%d results, want %d", len(res), len(CompiledSchedules()))
 	}
+	temporal := 0
 	for i, r := range res {
-		if r.Seconds <= 0 || r.MCellsPerSec <= 0 {
+		if r.Seconds <= 0 || r.StepSeconds <= 0 || r.MCellsPerSec <= 0 {
 			t.Errorf("%s: non-positive measurement %+v", r.Schedule.Name, r)
 		}
-		if i > 0 && r.Seconds < res[i-1].Seconds {
-			t.Errorf("results not sorted fastest first at %d", i)
+		if got, want := r.StepSeconds*float64(r.Schedule.Steps()), r.Seconds; got != want {
+			t.Errorf("%s: StepSeconds %g * steps %d != Seconds %g",
+				r.Schedule.Name, r.StepSeconds, r.Schedule.Steps(), want)
 		}
+		if i > 0 && r.StepSeconds < res[i-1].StepSeconds {
+			t.Errorf("results not sorted fastest-per-step first at %d", i)
+		}
+		if r.Schedule.TemporalK > 0 {
+			temporal++
+		}
+	}
+	if temporal < 9 {
+		t.Errorf("default candidate set covers %d temporal (tile, K) points, want >= 9", temporal)
 	}
 }
 

@@ -15,6 +15,7 @@
 //	stencilbench -variant "Baseline-CLO: P>=Box" -mode dist -domain 32 -n 16 -ranks 2 -halo 2 -steps 8 \
 //	    -dist-rank 0 -dist-addrs host0:9000,host1:9000
 //	stencilbench -variant "Shift-Fuse OT-4: P<Box" -n 16 -boxes 2 -json BENCH_shiftfuse.json
+//	stencilbench -mode temporal -n 64 -boxes 2 -threads 4 -reps 3 -json BENCH_temporal.json
 package main
 
 import (
@@ -37,7 +38,7 @@ import (
 type options struct {
 	list, verify bool
 	name         string
-	mode         string // measured | modeled | sweep | dist
+	mode         string // measured | modeled | sweep | dist | compare | temporal
 	mach         string
 	n            int // box size
 	boxes        int // box count (measured mode)
@@ -64,7 +65,7 @@ func main() {
 	flag.BoolVar(&o.list, "list", false, "list the studied variants and exit")
 	flag.BoolVar(&o.verify, "verify", false, "verify every variant against the reference kernel and exit")
 	flag.StringVar(&o.name, "variant", "", "variant name (paper legend style)")
-	flag.StringVar(&o.mode, "mode", "measured", "measured | modeled | sweep | dist | compare")
+	flag.StringVar(&o.mode, "mode", "measured", "measured | modeled | sweep | dist | compare | temporal")
 	flag.StringVar(&o.mach, "machine", "Magny", "machine key for modeled runs (Magny, Atlantis, Sandy, desktop)")
 	flag.IntVar(&o.n, "n", 32, "box size N (box is N^3)")
 	flag.IntVar(&o.boxes, "boxes", 2, "number of boxes (measured mode)")
@@ -152,6 +153,9 @@ func run(o options) error {
 	}
 	if o.mode == "compare" {
 		return runCompare(o)
+	}
+	if o.mode == "temporal" {
+		return runTemporal(o)
 	}
 	if o.name == "" {
 		return fmt.Errorf("need -variant, -list or -verify")

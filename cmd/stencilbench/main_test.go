@@ -231,3 +231,48 @@ func TestRunDistTCPPair(t *testing.T) {
 		}
 	}
 }
+
+func TestRunTemporalJSONRecord(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_temporal.json")
+	o := testOpts()
+	o.mode = "temporal"
+	o.mach = "desktop"
+	o.jsonPath = path
+	if err := run(o); err != nil {
+		t.Fatal(err)
+	}
+	var rec temporalRecord
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(data, &rec); err != nil {
+		t.Fatalf("record is not valid JSON: %v\n%s", err, data)
+	}
+	if rec.Mode != "temporal" || rec.BoxN != o.n {
+		t.Fatalf("record misdescribes the run: %+v", rec)
+	}
+	// The grid must span the compiled K axis with a K=1 baseline and
+	// per-point figures in both currencies.
+	ks := map[int]bool{}
+	for _, pt := range rec.Points {
+		ks[pt.K] = true
+		if pt.StepSeconds <= 0 || pt.SweepSeconds < pt.StepSeconds {
+			t.Fatalf("bad timing in point %+v", pt)
+		}
+		if pt.ModelBytesPerCellStep <= 0 {
+			t.Fatalf("missing traffic model in point %+v", pt)
+		}
+	}
+	for _, k := range []int{1, 2, 4} {
+		if !ks[k] {
+			t.Fatalf("grid misses K=%d: %+v", k, rec.Points)
+		}
+	}
+	if rec.BestK1 == "" || rec.Best == "" || rec.DeepSpeedup <= 0 {
+		t.Fatalf("missing wall-time verdict: %+v", rec)
+	}
+	if rec.BestTraffic == "" || rec.TrafficDeepAdvantage <= 0 {
+		t.Fatalf("missing traffic verdict: %+v", rec)
+	}
+}

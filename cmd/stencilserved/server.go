@@ -440,8 +440,14 @@ type autotuneRequest struct {
 }
 
 type tuneRow struct {
-	Variant      string  `json:"variant"`
-	Seconds      float64 `json:"seconds"`
+	Variant string  `json:"variant"`
+	Seconds float64 `json:"seconds"`
+	// Steps is the Euler steps one sweep advances (1 for classic
+	// schedules, K for temporal ones); StepSeconds is Seconds/Steps,
+	// the cross-K ranking metric. MCellsPerSec counts cell-updates, so
+	// it is per-step too.
+	Steps        int     `json:"steps"`
+	StepSeconds  float64 `json:"step_seconds"`
 	MCellsPerSec float64 `json:"mcells_per_sec"`
 }
 
@@ -532,7 +538,8 @@ func (s *server) handleAutotune(w http.ResponseWriter, r *http.Request) {
 				return nil, err
 			}
 			for _, t := range results {
-				rows = append(rows, tuneRow{Variant: t.Variant.Name(), Seconds: t.Seconds, MCellsPerSec: t.MCellsPerSec})
+				rows = append(rows, tuneRow{Variant: t.Variant.Name(), Seconds: t.Seconds,
+					Steps: 1, StepSeconds: t.Seconds, MCellsPerSec: t.MCellsPerSec})
 			}
 		}
 		if len(compiled) > 0 {
@@ -541,10 +548,13 @@ func (s *server) handleAutotune(w http.ResponseWriter, r *http.Request) {
 				return nil, err
 			}
 			for _, t := range results {
-				rows = append(rows, tuneRow{Variant: t.Schedule.Name, Seconds: t.Seconds, MCellsPerSec: t.MCellsPerSec})
+				rows = append(rows, tuneRow{Variant: t.Schedule.Name, Seconds: t.Seconds,
+					Steps: t.Schedule.Steps(), StepSeconds: t.StepSeconds, MCellsPerSec: t.MCellsPerSec})
 			}
 		}
-		sort.Slice(rows, func(i, j int) bool { return rows[i].Seconds < rows[j].Seconds })
+		// Rank by per-step time: a temporal sweep doing K steps is
+		// comparable to a single-step schedule only after normalization.
+		sort.Slice(rows, func(i, j int) bool { return rows[i].StepSeconds < rows[j].StepSeconds })
 		if s.cache != nil {
 			if err := s.cache.Put(key, rows); err != nil {
 				// A broken cache must not fail a finished measurement.
@@ -559,19 +569,32 @@ func (s *server) handleAutotune(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-// tuneKey builds the cache key: host fingerprint + problem + reps +
-// the exact candidate set (order-insensitive), studied and compiled
-// names pooled — no name collides across the two sets.
+// tuneKeySchema versions the cached-row semantics. v2: rows carry the
+// temporal-K axis (steps, step_seconds) and rank per Euler step, so v1
+// entries — sweep-time-ranked, no K — must miss, not be replayed.
+const tuneKeySchema = "schema=2"
+
+// tuneKey builds the cache key: schema version + host fingerprint +
+// problem + reps + the exact candidate set (order-insensitive). Every
+// candidate is labeled with its axis — "variant=" for studied
+// schedules, "compiled=... k=K" for schedc-compiled ones — so the key
+// captures the full candidate axis set: pooled unlabeled names would
+// alias a studied and a compiled candidate that ever shared a name, and
+// would miss a contract change on an existing name (a schedule becoming
+// temporal changes k even though the name persists). Widening the
+// candidate set in any axis (new tile families, new K points) therefore
+// always changes the key.
 func (s *server) tuneKey(p stencilsched.Problem, reps int, cands []stencilsched.Variant, compiled []stencilsched.CompiledSchedule) string {
 	names := make([]string, 0, len(cands)+len(compiled))
 	for _, v := range cands {
-		names = append(names, v.Name())
+		names = append(names, "variant="+v.Name())
 	}
 	for _, cs := range compiled {
-		names = append(names, cs.Name)
+		names = append(names, fmt.Sprintf("compiled=%s k=%d", cs.Name, cs.TemporalK))
 	}
 	sort.Strings(names)
 	parts := append([]string{
+		tuneKeySchema,
 		tunecache.Fingerprint(),
 		fmt.Sprintf("boxn=%d boxes=%d threads=%d reps=%d", p.BoxN, p.NumBoxes, p.Threads, reps),
 	}, names...)

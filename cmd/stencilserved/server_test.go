@@ -203,6 +203,42 @@ func TestSolveValidation(t *testing.T) {
 	}
 }
 
+// TestSolveRejectsOverDeepHalo pins the /v1/solve halo_k validation at
+// the k ~= n boundary: the per-box deep-halo model is only defined up
+// to halo depth == box extent, so deeper requests 400 with a clear
+// message instead of producing nonsense predictions, and the deepest
+// valid k is accepted.
+func TestSolveRejectsOverDeepHalo(t *testing.T) {
+	_, ts := newTestServer(t, config{})
+	cases := []struct {
+		boxN, haloK int
+		wantCode    int
+	}{
+		{boxN: 4, haloK: 2, wantCode: http.StatusAccepted}, // depth 4 == boxN: deepest valid
+		{boxN: 4, haloK: 3, wantCode: http.StatusBadRequest},
+		{boxN: 8, haloK: 4, wantCode: http.StatusAccepted}, // depth 8 == boxN
+		{boxN: 8, haloK: 5, wantCode: http.StatusBadRequest},
+	}
+	for _, c := range cases {
+		body := map[string]any{
+			"domain_n": 16, "box_n": c.boxN, "ranks": 2, "integrator": "euler",
+			"halo_k": c.haloK, "steps": 1, "threads": 1,
+		}
+		var raw json.RawMessage
+		code := doJSON(t, http.MethodPost, ts.URL+"/v1/solve", body, &raw)
+		if code != c.wantCode {
+			t.Errorf("box_n=%d halo_k=%d: code %d, want %d", c.boxN, c.haloK, code, c.wantCode)
+			continue
+		}
+		if c.wantCode == http.StatusBadRequest {
+			var e errorResponse
+			if err := json.Unmarshal(raw, &e); err != nil || !strings.Contains(e.Error, "halo") {
+				t.Errorf("box_n=%d halo_k=%d: error %q should mention the halo", c.boxN, c.haloK, e.Error)
+			}
+		}
+	}
+}
+
 func TestSolveCancellation(t *testing.T) {
 	_, ts := newTestServer(t, config{workers: 1})
 	var snap jobs.Snapshot
@@ -441,6 +477,58 @@ func TestTuneKeyStability(t *testing.T) {
 	compiled := stencilsched.CompiledSchedules()
 	if s.tuneKey(prob, 1, a, compiled) == s.tuneKey(prob, 1, a, nil) {
 		t.Fatal("compiled candidates not part of the cache key")
+	}
+}
+
+// TestTuneCacheMissOnWidenedCandidateSet is the regression test for the
+// candidate-axis cache-key bug: a result cached for one candidate set
+// must not answer a request whose set is wider in any axis — more
+// studied variants, more compiled schedules, or a new temporal-K point.
+// Each widening must produce a distinct key, and the cache must miss
+// under the widened key.
+func TestTuneCacheMissOnWidenedCandidateSet(t *testing.T) {
+	s, _ := newTestServer(t, config{})
+	prob := stencilsched.Problem{BoxN: 8, NumBoxes: 1, Threads: 2}
+	vars := parseVariants(t, "Baseline: P>=Box")
+	all := stencilsched.CompiledSchedules()
+	var classic, temporal []stencilsched.CompiledSchedule
+	for _, cs := range all {
+		if cs.TemporalK > 0 {
+			temporal = append(temporal, cs)
+		} else {
+			classic = append(classic, cs)
+		}
+	}
+	if len(classic) == 0 || len(temporal) == 0 {
+		t.Fatalf("want both classic and temporal compiled schedules, got %d/%d", len(classic), len(temporal))
+	}
+	narrow := s.tuneKey(prob, 1, vars, classic)
+	if err := s.cache.Put(narrow, []tuneRow{{Variant: classic[0].Name, Seconds: 0.01, Steps: 1, StepSeconds: 0.01}}); err != nil {
+		t.Fatal(err)
+	}
+	widenings := map[string]string{
+		"one more temporal K point":   s.tuneKey(prob, 1, vars, append(append([]stencilsched.CompiledSchedule{}, classic...), temporal[0])),
+		"one more studied variant":    s.tuneKey(prob, 1, parseVariants(t, "Baseline: P>=Box", "Shift-Fuse: P>=Box"), classic),
+		"full joint (tile, K) sweep":  s.tuneKey(prob, 1, vars, all),
+		"same names, variant dropped": s.tuneKey(prob, 1, nil, classic),
+	}
+	for what, key := range widenings {
+		if key == narrow {
+			t.Errorf("%s: key unchanged — stale tuning results would be replayed", what)
+			continue
+		}
+		var rows []tuneRow
+		if ok, err := s.cache.Get(key, &rows); err != nil || ok {
+			t.Errorf("%s: cache Get = (%v, %v), want miss", what, ok, err)
+		}
+	}
+	// The K axis must be in the key independently of the name: the same
+	// schedule name with a different K is a different measurement.
+	probe := temporal[0]
+	probe.TemporalK++
+	if s.tuneKey(prob, 1, vars, []stencilsched.CompiledSchedule{temporal[0]}) ==
+		s.tuneKey(prob, 1, vars, []stencilsched.CompiledSchedule{probe}) {
+		t.Error("TemporalK not part of the cache key")
 	}
 }
 

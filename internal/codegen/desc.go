@@ -182,6 +182,14 @@ func (d ScheduleDesc) ScatterForm(dim int) error {
 // the runner preamble over the valid box; a positive level allocates after
 // that many loops, over the bounds current at that depth (tile-local
 // storage of the overlapped schedules).
+//
+// Grow widens a full buffer's extent by that many cells on every side of
+// its base box before the Dir face extension — the storage form of a
+// temporal-blocking working set, whose statements at sub-step k range over
+// the base box grown by (K-1-k)*NGhost. Dir -1 means a cell-centered
+// buffer with no face extension on any axis (e.g. the state and divergence
+// accumulator of a temporal sweep). Grow is only meaningful for kind
+// "full".
 type BufferDesc struct {
 	Name  string `json:"name"`
 	Kind  string `json:"kind"`
@@ -190,6 +198,7 @@ type BufferDesc struct {
 	Depth int    `json:"depth,omitempty"`
 	Inner []int  `json:"inner,omitempty"`
 	Level int    `json:"level,omitempty"`
+	Grow  int    `json:"grow,omitempty"`
 }
 
 // StmtDesc is a serializable scheduled statement: a macro name (resolved

@@ -1,0 +1,45 @@
+package codegen
+
+import (
+	"math/rand"
+	"testing"
+
+	"stencilsched/internal/box"
+	"stencilsched/internal/fab"
+	"stencilsched/internal/ivect"
+	"stencilsched/internal/kernel"
+	"stencilsched/internal/temporal"
+)
+
+// TestTemporalInterpretedMatchesReference pins the interpreted K-step
+// schedule bitwise against composing kernel.Reference K times.
+func TestTemporalInterpretedMatchesReference(t *testing.T) {
+	valid := box.New(ivect.New(-1, 2, 0), ivect.New(5, 8, 6))
+	for _, k := range []int{1, 2, 3} {
+		phi0 := fab.New(valid.Grow(k*kernel.NGhost), kernel.NComp)
+		phi0.Randomize(rand.New(rand.NewSource(int64(10+k))), 0.25, 1.75)
+		want := fab.New(valid, kernel.NComp)
+		temporal.Reference(phi0, want, valid, k, kernel.EulerDt)
+		got := fab.New(valid, kernel.NComp)
+		if err := RunTemporalInterpreted(phi0, got, valid, k); err != nil {
+			t.Fatalf("k=%d: %v", k, err)
+		}
+		if d, at, c := got.MaxDiff(want, valid); d != 0 {
+			t.Fatalf("k=%d: diverges at %v comp %d by %g", k, at, c, d)
+		}
+	}
+}
+
+// TestTemporalProgValidates checks the scheduled program passes the
+// interpreter's dependence validation (every value written before read
+// under the scatter schedule) for a small K.
+func TestTemporalProgValidates(t *testing.T) {
+	valid := box.Cube(4)
+	phi0 := fab.New(valid.Grow(2*kernel.NGhost), kernel.NComp)
+	phi0.Randomize(rand.New(rand.NewSource(1)), 0.25, 1.75)
+	phi1 := fab.New(valid, kernel.NComp)
+	p := BuildTemporal(phi0, phi1, valid, 2)
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}

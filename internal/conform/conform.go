@@ -46,6 +46,7 @@ import (
 	"stencilsched/internal/fab"
 	"stencilsched/internal/ivect"
 	"stencilsched/internal/kernel"
+	"stencilsched/internal/temporal"
 )
 
 // sentinel fills output guard rings and pre-loads the accumulation
@@ -271,7 +272,24 @@ func CheckBox(r Runner, c Case, maxULP uint64) (dv *Divergence) {
 		}
 	}()
 	valid := c.Box()
-	phi0 := fab.New(kernel.GrownBox(valid).Grow(c.GhostPad), kernel.NComp)
+	// Temporal-blocking runners read a K-times-deeper ghost shell and
+	// produce the K-step state delta; their oracle is kernel.Reference
+	// composed K times (temporal.Reference). Everything else about the
+	// properties — sentinel guards, determinism, rho linearity — is
+	// unchanged: the rho path stays linear through every Euler step
+	// because components 1..4 never read component 0.
+	depth := kernel.NGhost
+	if r.TemporalK > 0 {
+		depth = r.TemporalK * kernel.NGhost
+	}
+	oracle := func(phi0, out *fab.FAB) {
+		if r.TemporalK > 0 {
+			temporal.Reference(phi0, out, valid, r.TemporalK, kernel.EulerDt)
+		} else {
+			kernel.Reference(phi0, out, valid)
+		}
+	}
+	phi0 := fab.New(valid.Grow(depth+c.GhostPad), kernel.NComp)
 	phi0.Randomize(rand.New(rand.NewSource(c.Seed)), 0.25, 1.75)
 	outBox := valid.Grow(c.OutPad)
 
@@ -280,7 +298,7 @@ func CheckBox(r Runner, c Case, maxULP uint64) (dv *Divergence) {
 	// discrepancy shows as a ULP failure over the full output box.
 	want := fab.New(outBox, kernel.NComp)
 	want.Fill(sentinel)
-	kernel.Reference(phi0, want, valid)
+	oracle(phi0, want)
 	got := fab.New(outBox, kernel.NComp)
 	got.Fill(sentinel)
 	if err := r.Run(phi0, got, valid, c.Threads); err != nil {

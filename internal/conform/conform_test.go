@@ -16,12 +16,14 @@ import (
 
 func TestRegistryCoverage(t *testing.T) {
 	rs := Registry()
-	want := len(sched.Studied()) + 2 + len(generated.Entries())
+	// Studied variants + 2 interpreted exemplars + every generated entry
+	// + 3 temporal engine runners + 1 interpreted temporal K1.
+	want := len(sched.Studied()) + 2 + len(generated.Entries()) + 4
 	if len(rs) != want {
-		t.Fatalf("registry has %d runners, want %d (studied variants + 2 interpreted + generated)", len(rs), want)
+		t.Fatalf("registry has %d runners, want %d (studied variants + interpreted + generated + temporal)", len(rs), want)
 	}
 	seen := map[string]bool{}
-	interpreted, gen := 0, 0
+	interpreted, gen, temporal := 0, 0, 0
 	for _, r := range rs {
 		if seen[r.Name] {
 			t.Errorf("duplicate runner name %q", r.Name)
@@ -33,16 +35,22 @@ func TestRegistryCoverage(t *testing.T) {
 		if r.Generated {
 			gen++
 		}
+		if r.TemporalK > 0 {
+			temporal++
+		}
 		got, ok := RunnerByName(r.Name)
 		if !ok || got.Name != r.Name {
 			t.Errorf("RunnerByName(%q) = %q, %v", r.Name, got.Name, ok)
 		}
 	}
-	if interpreted != 2 {
-		t.Errorf("registry has %d interpreted runners, want 2", interpreted)
+	if interpreted != 3 {
+		t.Errorf("registry has %d interpreted runners, want 3", interpreted)
 	}
-	if gen != 4 {
-		t.Errorf("registry has %d generated runners, want 4", gen)
+	if gen != 13 {
+		t.Errorf("registry has %d generated runners, want 13 (4 classic + 9 temporal)", gen)
+	}
+	if temporal != 13 {
+		t.Errorf("registry has %d temporal runners, want 13 (9 generated + 3 engine + 1 interpreted)", temporal)
 	}
 	if _, ok := RunnerByName("no such runner"); ok {
 		t.Errorf("RunnerByName accepted an unknown name")

@@ -28,6 +28,13 @@ func FuzzConformance(f *testing.F) {
 	f.Add(int64(4), uint8(24), int8(0), int8(0), int8(0), uint8(32), uint8(5), uint8(2), uint8(0), uint8(2), uint8(8), false)
 	f.Add(int64(5), uint8(32), int8(-8), int8(-8), int8(-8), uint8(6), uint8(6), uint8(6), uint8(3), uint8(1), uint8(3), true)
 	f.Add(int64(6), uint8(33), int8(4), int8(4), int8(4), uint8(12), uint8(7), uint8(9), uint8(0), uint8(0), uint8(1), false)
+	// Temporal-blocking runners (the K axis): a tiled generated K2, the
+	// threaded K4 engine, and the generated K4 on a ragged shifted box —
+	// mutation from these reaches the deep-ghost contract and the
+	// wavefront-in-time guards.
+	f.Add(int64(7), uint8(42), int8(0), int8(0), int8(0), uint8(8), uint8(8), uint8(8), uint8(0), uint8(0), uint8(2), false)
+	f.Add(int64(8), uint8(49), int8(-5), int8(3), int8(1), uint8(9), uint8(6), uint8(11), uint8(1), uint8(1), uint8(4), true)
+	f.Add(int64(9), uint8(44), int8(2), int8(-7), int8(0), uint8(12), uint8(5), uint8(7), uint8(0), uint8(1), uint8(1), false)
 
 	f.Fuzz(func(t *testing.T, seed int64, runner uint8,
 		lo0, lo1, lo2 int8, s0, s1, s2 uint8,

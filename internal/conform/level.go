@@ -145,6 +145,12 @@ func runLevel(r Runner, lc LevelCase, field func(ivect.IntVect, int) float64) ([
 // It returns the first divergence or nil. Panics are reported as
 // divergences, as in CheckBox.
 func CheckLevel(r Runner, lc LevelCase, maxULP uint64) (dv *Divergence) {
+	if r.TemporalK > 0 {
+		// Level ghost exchanges fill only NGhost layers; a K-step sweep
+		// needs K*NGhost. The deep-halo composition is covered by the
+		// internal/dist temporal tests instead.
+		return nil
+	}
 	lc = lc.Normalized()
 	defer func() {
 		if rec := recover(); rec != nil {

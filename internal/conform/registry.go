@@ -7,6 +7,7 @@ import (
 	"stencilsched/internal/codegen"
 	"stencilsched/internal/fab"
 	"stencilsched/internal/sched"
+	"stencilsched/internal/temporal"
 	"stencilsched/internal/variants"
 	"stencilsched/internal/variants/generated"
 )
@@ -29,6 +30,14 @@ type Runner struct {
 	// Generated marks the schedc-compiled runners (package
 	// internal/variants/generated), also serial within the box.
 	Generated bool
+	// TemporalK > 0 marks a temporal-blocking runner fusing that many
+	// Euler steps per sweep, which changes the contract: phi0 must cover
+	// valid grown by TemporalK*NGhost, and phi1 accumulates the K-step
+	// state delta instead of the raw divergence. The conformance oracle
+	// for such runners is temporal.Reference (kernel.Reference composed
+	// K times), and level (multi-box) checks are skipped — level ghost
+	// exchanges are only NGhost deep.
+	TemporalK int
 	// Run executes the exemplar: phi0 must cover the ghosted valid box,
 	// and the flux divergence accumulates into phi1 over valid.
 	Run func(phi0, phi1 *fab.FAB, valid box.Box, threads int) error
@@ -89,12 +98,46 @@ func Registry() []Runner {
 	add(interpretedRunner("CodeGen series (interpreted)", false))
 	add(interpretedRunner("CodeGen row-fused (interpreted)", true))
 	for _, e := range generated.Entries() {
-		add(Runner{Name: e.Name, Generated: true, Run: e.Run})
+		add(Runner{Name: e.Name, Generated: true, TemporalK: e.TemporalK, Run: e.Run})
 	}
+	// The parallel temporal engine (threaded across tiles, arbitrary
+	// tile edge) and the interpreted time-domain schedule. Deeper
+	// interpreted K are pinned by the dedicated temporal sweep test —
+	// their instance counts are too large for the per-build registry.
+	for _, k := range []int{1, 2, 4} {
+		add(temporalEngineRunner(k))
+	}
+	add(temporalInterpretedRunner(1))
 	if err != nil {
 		panic(err)
 	}
 	return rs
+}
+
+// temporalEngineRunner wraps the internal/temporal tiled engine: K Euler
+// steps per sweep on 8^3 tiles with real thread parallelism across
+// tiles, bitwise independent of both (tile edges and thread count).
+func temporalEngineRunner(k int) Runner {
+	return Runner{
+		Name:      fmt.Sprintf("Temporal K%d (engine)", k),
+		TemporalK: k,
+		Run: func(phi0, phi1 *fab.FAB, valid box.Box, threads int) error {
+			return temporal.Apply(phi0, phi1, valid, temporal.Config{K: k, TileEdge: 8, Threads: threads})
+		},
+	}
+}
+
+// temporalInterpretedRunner wraps the codegen-interpreted K-step
+// schedule (serial, instance-at-a-time execution of TemporalProg).
+func temporalInterpretedRunner(k int) Runner {
+	return Runner{
+		Name:        fmt.Sprintf("Temporal K%d (interpreted)", k),
+		Interpreted: true,
+		TemporalK:   k,
+		Run: func(phi0, phi1 *fab.FAB, valid box.Box, threads int) error {
+			return codegen.RunTemporalInterpreted(phi0, phi1, valid, k)
+		},
+	}
 }
 
 // studiedIndex locates a variant runner's position in sched.Studied()

@@ -365,3 +365,76 @@ func TestTCPMeshSizeMismatch(t *testing.T) {
 		t.Fatal("expected mesh-size mismatch error")
 	}
 }
+
+// TestDistTemporalComposition is the deep-halo x temporal-blocking
+// composition check: multi-rank runs whose intra-superstep engine is
+// the internal/temporal tiled wavefront must match the per-step
+// reference oracle bit for bit, across rank counts, halo depths, tile
+// edges and boundary conditions — including a step count that leaves a
+// partial final superstep.
+func TestDistTemporalComposition(t *testing.T) {
+	for _, periodic := range [][3]bool{
+		{true, true, true},
+		{true, false, true},
+	} {
+		l := testLayout(t, 8, 4, periodic)
+		field := testField(23)
+		const steps = 5 // HaloK=2 leaves a 1-step final superstep
+		ld := oracleAdvance(l, field, steps)
+		for _, ranks := range []int{1, 2, 4} {
+			for _, haloK := range []int{1, 2} {
+				for _, tile := range []int{0, 3} {
+					label := fmt.Sprintf("temporal periodic=%v ranks=%d K=%d tile=%d",
+						periodic, ranks, haloK, tile)
+					res, err := RunLoopback(context.Background(), Config{
+						Layout: l, Ranks: ranks, HaloK: haloK,
+						Temporal: true, TemporalTile: tile,
+						Steps: steps, Dt: testDt, Threads: 2, Init: field,
+					})
+					if err != nil {
+						t.Fatalf("%s: %v", label, err)
+					}
+					assertMatchesOracle(t, res, ld, label)
+					if haloK > 1 && res.Stats.RecomputedCells == 0 {
+						t.Fatalf("%s: deep-halo run recomputed nothing", label)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestDistTemporalMatchesSubstepEngine pins the two intra-rank engines
+// against each other directly (stronger than both matching the oracle:
+// it also compares ghost regions' stats accounting).
+func TestDistTemporalMatchesSubstepEngine(t *testing.T) {
+	l := testLayout(t, 12, 6, [3]bool{true, true, false})
+	field := testField(31)
+	base := Config{
+		Layout: l, Ranks: 3, Variant: mustVariant(t, "Baseline-CLO: P>=Box"),
+		HaloK: 2, Steps: 4, Dt: testDt, Threads: 2, Init: field,
+	}
+	want, err := RunLoopback(context.Background(), base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tcfg := base
+	tcfg.Temporal = true
+	tcfg.TemporalTile = 4
+	got, err := RunLoopback(context.Background(), tcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, b := range l.Boxes {
+		if d, at, c := got.Fabs[i].MaxDiff(want.Fabs[i], b); d != 0 {
+			t.Fatalf("box %d: temporal engine differs from sub-step engine by %g at %v comp %d", i, d, at, c)
+		}
+	}
+	if got.Stats.RecomputedCells != want.Stats.RecomputedCells {
+		t.Fatalf("recompute accounting differs: temporal %d vs sub-step %d",
+			got.Stats.RecomputedCells, want.Stats.RecomputedCells)
+	}
+	if got.Stats.MessagesSent != want.Stats.MessagesSent {
+		t.Fatalf("message accounting differs: %d vs %d", got.Stats.MessagesSent, want.Stats.MessagesSent)
+	}
+}

@@ -7,9 +7,19 @@
 package ghost
 
 import (
+	"errors"
 	"fmt"
 	"math"
 )
+
+// ErrHaloTooDeep reports a superstep factor whose halo depth k*nghost
+// exceeds the box extent n. The deep-halo analytics model a
+// nearest-neighbor exchange — each box's halo supplied by the boxes
+// touching it — so beyond n the per-exchange byte and recompute figures
+// describe a communication pattern that single exchange does not have,
+// and callers must treat the configuration as invalid rather than
+// trust the numbers. Test with errors.Is.
+var ErrHaloTooDeep = errors.New("ghost: halo deeper than box extent")
 
 // Ratio returns (1 + 2*nghost/n)^dim, the total-to-physical cell ratio of a
 // D-dimensional hyper-cube box of n cells per side with nghost ghost
@@ -76,13 +86,31 @@ type DeepHalo struct {
 
 // DeepHaloStats returns the deep-halo trade for an n^dim box with nghost
 // base ghost layers at superstep factor k. It panics on invalid
-// arguments like Ratio does.
+// arguments like Ratio does, including a halo deeper than the box (see
+// ErrHaloTooDeep); services validating request parameters should call
+// DeepHaloStatsChecked instead.
 func DeepHaloStats(n, dim, nghost, k int) DeepHalo {
+	dh, err := DeepHaloStatsChecked(n, dim, nghost, k)
+	if err != nil {
+		panic(err.Error())
+	}
+	return dh
+}
+
+// DeepHaloStatsChecked is DeepHaloStats with errors instead of panics:
+// a typed ErrHaloTooDeep when k*nghost exceeds the box extent n (the
+// boundary k == n/nghost is the deepest valid superstep), and plain
+// errors for out-of-range arguments.
+func DeepHaloStatsChecked(n, dim, nghost, k int) (DeepHalo, error) {
 	if k < 1 {
-		panic(fmt.Sprintf("ghost: superstep factor k=%d must be >= 1", k))
+		return DeepHalo{}, fmt.Errorf("ghost: superstep factor k=%d must be >= 1", k)
 	}
 	if n <= 0 || dim <= 0 || nghost < 0 {
-		panic(fmt.Sprintf("ghost: bad arguments n=%d dim=%d nghost=%d", n, dim, nghost))
+		return DeepHalo{}, fmt.Errorf("ghost: bad arguments n=%d dim=%d nghost=%d", n, dim, nghost)
+	}
+	if k*nghost > n {
+		return DeepHalo{}, fmt.Errorf("%w: depth %d (k=%d x %d ghost layers) exceeds box extent %d",
+			ErrHaloTooDeep, k*nghost, k, nghost, n)
 	}
 	vol := func(edge float64) float64 { return math.Pow(edge, float64(dim)) }
 	halo := func(depth int) float64 { return vol(float64(n+2*depth)) - vol(float64(n)) }
@@ -102,7 +130,7 @@ func DeepHaloStats(n, dim, nghost, k int) DeepHalo {
 	} else {
 		dh.BytesPerStep = halo(k*nghost) / (float64(k) * halo(nghost))
 	}
-	return dh
+	return dh, nil
 }
 
 // Series is one curve of Figure 1.

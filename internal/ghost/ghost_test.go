@@ -1,6 +1,7 @@
 package ghost
 
 import (
+	"errors"
 	"math"
 	"testing"
 )
@@ -178,4 +179,61 @@ func TestDeepHaloStatsPanics(t *testing.T) {
 			f()
 		}()
 	}
+}
+
+// TestDeepHaloStatsCheckedBoundary table-tests the k ~= n boundary: the
+// deepest valid superstep is k*nghost == n, one step further is a typed
+// ErrHaloTooDeep, and out-of-range arguments error instead of
+// panicking.
+func TestDeepHaloStatsCheckedBoundary(t *testing.T) {
+	cases := []struct {
+		n, dim, nghost, k int
+		wantErr           error
+		wantAnyErr        bool
+	}{
+		{n: 8, dim: 3, nghost: 2, k: 3},                          // depth 6 < 8
+		{n: 8, dim: 3, nghost: 2, k: 4},                          // depth 8 == 8: deepest valid
+		{n: 8, dim: 3, nghost: 2, k: 5, wantErr: ErrHaloTooDeep}, // depth 10 > 8
+		{n: 4, dim: 3, nghost: 2, k: 2},                          // k == n/nghost exactly
+		{n: 4, dim: 3, nghost: 2, k: 3, wantErr: ErrHaloTooDeep}, // smallest over-deep k
+		{n: 5, dim: 3, nghost: 2, k: 2},                          // depth 4 < 5 (non-divisible)
+		{n: 5, dim: 3, nghost: 2, k: 3, wantErr: ErrHaloTooDeep}, // depth 6 > 5
+		{n: 2, dim: 1, nghost: 1, k: 2},                          // tiny box at the edge
+		{n: 2, dim: 1, nghost: 1, k: 3, wantErr: ErrHaloTooDeep}, // tiny box over the edge
+		{n: 8, dim: 3, nghost: 0, k: 100},                        // no ghosts: any k is fine
+		{n: 8, dim: 3, nghost: 2, k: 0, wantAnyErr: true},        // bad k
+		{n: 0, dim: 3, nghost: 2, k: 1, wantAnyErr: true},        // bad n
+		{n: 8, dim: 0, nghost: 2, k: 1, wantAnyErr: true},        // bad dim
+		{n: 8, dim: 3, nghost: -1, k: 1, wantAnyErr: true},       // bad nghost
+	}
+	for _, c := range cases {
+		dh, err := DeepHaloStatsChecked(c.n, c.dim, c.nghost, c.k)
+		switch {
+		case c.wantErr != nil:
+			if !errors.Is(err, c.wantErr) {
+				t.Errorf("n=%d nghost=%d k=%d: err %v, want %v", c.n, c.nghost, c.k, err, c.wantErr)
+			}
+		case c.wantAnyErr:
+			if err == nil {
+				t.Errorf("n=%d dim=%d nghost=%d k=%d: no error", c.n, c.dim, c.nghost, c.k)
+			}
+			if errors.Is(err, ErrHaloTooDeep) {
+				t.Errorf("n=%d dim=%d nghost=%d k=%d: mislabeled as ErrHaloTooDeep: %v", c.n, c.dim, c.nghost, c.k, err)
+			}
+		default:
+			if err != nil {
+				t.Errorf("n=%d nghost=%d k=%d: unexpected error %v", c.n, c.nghost, c.k, err)
+			}
+			if err == nil && (dh.Depth != c.k*c.nghost || dh.K != c.k) {
+				t.Errorf("n=%d nghost=%d k=%d: stats %+v", c.n, c.nghost, c.k, dh)
+			}
+		}
+	}
+	// The panicking wrapper now panics (not nonsense) for over-deep halos.
+	defer func() {
+		if recover() == nil {
+			t.Error("DeepHaloStats did not panic for an over-deep halo")
+		}
+	}()
+	DeepHaloStats(8, 3, 2, 5)
 }

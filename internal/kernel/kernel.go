@@ -44,6 +44,11 @@ const (
 	// C1 and C2 are the fourth-order face-average coefficients of eq. 6.
 	C1 = 7.0 / 12.0
 	C2 = -1.0 / 12.0
+	// EulerDt is the explicit Euler step used by every multi-step path
+	// (dist supersteps, temporal blocking): phi' = phi - EulerDt*div. A
+	// power of two, so the scaling is exact in floating point and
+	// K-step compositions stay bitwise comparable across schedules.
+	EulerDt = 1.0 / 64.0
 )
 
 // VelComp returns the component of phi holding the advection velocity for
@@ -138,6 +143,27 @@ func checkState(phi0, phi1 *fab.FAB, valid box.Box) {
 // for the variants package, which performs the same precondition check
 // before entering raw-offset loops.
 func CheckState(phi0, phi1 *fab.FAB, valid box.Box) { checkState(phi0, phi1, valid) }
+
+// CheckStateK validates the temporal-blocking state shape: a runner that
+// advances k Euler steps in one sweep reads k*NGhost ghost layers, so
+// phi0 must cover valid grown by that depth (phi1 still covers valid).
+func CheckStateK(phi0, phi1 *fab.FAB, valid box.Box, k int) {
+	if k < 1 {
+		panic(fmt.Sprintf("kernel: temporal depth %d must be positive", k))
+	}
+	if phi0.NComp() != NComp || phi1.NComp() != NComp {
+		panic(fmt.Sprintf("kernel: state must have %d components (got %d, %d)",
+			NComp, phi0.NComp(), phi1.NComp()))
+	}
+	if !phi0.Box().ContainsBox(valid.Grow(k * NGhost)) {
+		panic(fmt.Sprintf("kernel: phi0 box %v does not cover valid %v grown by %d*NGhost",
+			phi0.Box(), valid, k))
+	}
+	if !phi1.Box().ContainsBox(valid) {
+		panic(fmt.Sprintf("kernel: phi1 box %v does not cover valid %v",
+			phi1.Box(), valid))
+	}
+}
 
 // InitSmooth fills phi0 with a smooth periodic field over the domain of
 // period (the physical domain size in cells). Density and energy carry

@@ -38,7 +38,7 @@ func Families() []Family {
 		series.Progs = append(series.Progs, codegen.SeriesDesc(d))
 		rowfused.Progs = append(rowfused.Progs, codegen.RowFusedDesc(d))
 	}
-	return []Family{
+	fams := []Family{
 		series,
 		rowfused,
 		{
@@ -66,6 +66,49 @@ func Families() []Family {
 			Progs: []codegen.ProgramDesc{OT16Prog()},
 		},
 	}
+	return append(fams, temporalFamilies()...)
+}
+
+// temporalFamilies returns the temporal-blocking grid: K Euler steps
+// fused per sweep (the time axis in the When clause) crossed with the
+// spatial tiling of the working set. K=1 is included deliberately — it
+// shares the delta contract and storage shape of the deeper variants, so
+// the autotuner compares K fairly within one family line.
+func temporalFamilies() []Family {
+	var fams []Family
+	for _, k := range []int{1, 2, 4} {
+		for _, edge := range []int{0, 16, 32} {
+			fams = append(fams, temporalFamily(k, edge))
+		}
+	}
+	return fams
+}
+
+// temporalFamily builds one (K, tile) point of the temporal grid.
+func temporalFamily(k, edge int) Family {
+	f := Family{
+		Name:      fmt.Sprintf("Temporal K%d (generated)", k),
+		FuncName:  fmt.Sprintf("RunTemporalK%d", k),
+		FileName:  fmt.Sprintf("temporal_k%d.gen.go", k),
+		TemporalK: k,
+		Progs:     []codegen.ProgramDesc{codegen.TemporalProg(k, edge)},
+	}
+	where := "whole-box temporaries"
+	if edge > 0 {
+		f.Name = fmt.Sprintf("Temporal K%d OT-%d (generated)", k, edge)
+		f.FuncName = fmt.Sprintf("RunTemporalK%dOT%d", k, edge)
+		f.FileName = fmt.Sprintf("temporal_k%d_ot%d.gen.go", k, edge)
+		where = fmt.Sprintf("tile-local temporaries on %d^3 tiles", edge)
+	}
+	f.Comment = fmt.Sprintf(
+		"%s executes %d explicit Euler steps per sweep (temporal blocking)\n"+
+			"compiled from codegen.TemporalProg: the k axis of the When clause\n"+
+			"shrinks each sub-step's region by NGhost (the wavefront in time),\n"+
+			"with %s grown by the deepest sub-step's\n"+
+			"reach. phi1 accumulates the K-step delta state_K - phi0, bitwise\n"+
+			"identical to composing kernel.Reference %d times.",
+		f.FuncName, k, where, k)
+	return f
 }
 
 // fext is the face-box extension of direction d.

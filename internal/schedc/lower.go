@@ -34,7 +34,7 @@ type guard struct {
 // loop variable minus the schedule shift at the axis's level.
 func (ls *loweredStmt) axisExpr(vars []string, a int) string {
 	for lvl := len(vars) - 1; lvl >= 0; lvl-- {
-		if isTileVar(vars[lvl]) {
+		if isTileVar(vars[lvl]) || isTimeVar(vars[lvl]) {
 			continue
 		}
 		if ax, _ := axisOf(vars[lvl]); ax == a {

@@ -83,6 +83,28 @@ func (bi *bufInfo) extentExpr(a int, hi [3]string) string {
 	return fmt.Sprintf("%s - %s + 1%s", hi[a], bi.base[a], ext)
 }
 
+// growExpr widens a corner expression by delta cells (negative shrinks):
+// the Grow of temporal working sets applied to a base or high corner.
+func growExpr(corner string, delta int) string {
+	switch {
+	case delta > 0:
+		return fmt.Sprintf("(%s + %d)", corner, delta)
+	case delta < 0:
+		return fmt.Sprintf("(%s - %d)", corner, -delta)
+	}
+	return corner
+}
+
+// bufBounds applies a buffer's Grow to its per-axis corner names,
+// returning the base (low) and high expressions of its index space.
+func bufBounds(bi *bufInfo, loName, hiName func(a int) string) (lo, hi [3]string) {
+	for a := 0; a < 3; a++ {
+		lo[a] = growExpr(loName(a), -bi.d.Grow)
+		hi[a] = growExpr(hiName(a), bi.d.Grow)
+	}
+	return lo, hi
+}
+
 // emitBufPrelude writes the allocation and stride locals of one buffer.
 // hi names the per-axis high-corner expressions of the buffer's box.
 func (e *emitter) emitBufPrelude(bi *bufInfo, hi [3]string, ind string) {
@@ -97,6 +119,9 @@ func (e *emitter) emitBufPrelude(bi *bufInfo, hi [3]string, ind string) {
 	case "ring":
 		if bi.d.Depth != 2 {
 			panic(fmt.Sprintf("schedc: ring %s depth %d unsupported", n, bi.d.Depth))
+		}
+		if bi.d.Grow != 0 {
+			panic(fmt.Sprintf("schedc: ring %s cannot grow", n))
 		}
 		switch len(bi.d.Inner) {
 		case 0:
@@ -194,19 +219,18 @@ func (e *emitter) emitScopedBuffers(level int, ind string) string {
 	}
 	E := e.prog.TileEdge
 	// Tile bounds: tloA/thiA from the tile-origin variables in scope.
-	var hi [3]string
 	for lvl := 0; lvl < level; lvl++ {
 		v := e.prog.Vars[lvl]
 		a, _ := axisOf(v)
 		e.printf("%stlo%d := lo%d + %d*%s\n", ind, a, a, E, v)
 		e.printf("%sthi%d := min(hi%d, tlo%d+%d)\n", ind, a, a, a, E-1)
-		hi[a] = fmt.Sprintf("thi%d", a)
 	}
 	e.printf("%sam := ar.Mark()\n", ind)
 	for _, bi := range scoped {
-		for a := 0; a < 3; a++ {
-			bi.base[a] = fmt.Sprintf("tlo%d", a)
-		}
+		var hi [3]string
+		bi.base, hi = bufBounds(bi,
+			func(a int) string { return fmt.Sprintf("tlo%d", a) },
+			func(a int) string { return fmt.Sprintf("thi%d", a) })
 		e.emitBufPrelude(bi, hi, ind)
 	}
 	return "ar.Rewind(am)"
@@ -224,6 +248,12 @@ func bufOrder(pd *codegen.ProgramDesc) []string {
 // dirStride0 is the phi0 stride expression of direction d.
 func dirStride0(d int) string {
 	return [...]string{"1", "s0y", "s0z"}[d]
+}
+
+// bufDirStride is a full buffer's stride expression along direction d,
+// for stencils reading the buffer itself (the temporal state).
+func bufDirStride(bi *bufInfo, d int) string {
+	return [...]string{"1", bi.sy, bi.sz}[d]
 }
 
 // faceAvgExpr is the textual expansion of kernel.FaceAvg(ph, off, s):
@@ -343,6 +373,55 @@ func (e *emitter) emitMacro(ls *loweredStmt, ind string) {
 		e.printf("%s\tv += %s[%s] - %s[%s]\n",
 			ind, fz.d.Name, e.index(fz, shiftAxis(ax, 2, 1), c), fz.d.Name, e.index(fz, ax, c))
 		e.printf("%s\tp1_%d[o1] = v\n", ind, c)
+		e.printf("%s}\n", ind)
+	case "scopy":
+		// Seed the temporal state from phi0 over the deepest grown box.
+		s := buf(0)
+		e.printf("%s{\n", ind)
+		e.printf("%s\to0 := %s\n", ind, e.off0(ax))
+		e.printf("%s\t%s[%s] = p0_%d[o0]\n", ind, s.d.Name, e.index(s, ax, st.Comp), st.Comp)
+		e.printf("%s}\n", ind)
+	case "szero":
+		// Zero the divergence accumulator for one sub-step's region.
+		a := buf(0)
+		e.printf("%s%s[%s] = 0\n", ind, a.d.Name, e.index(a, ax, st.Comp))
+	case "sflux1":
+		// Fourth-order face average read from the temporal state buffer
+		// (Bufs[0]) instead of phi0, written into the flux (Bufs[1]).
+		s, f := buf(0), buf(1)
+		e.printf("%s{\n", ind)
+		e.printf("%s\tsi := %s\n", ind, e.index(s, ax, st.Comp))
+		e.printf("%s\t%s[%s] = %s\n",
+			ind, f.d.Name, e.index(f, ax, st.Comp),
+			faceAvgExpr(s.d.Name, "si", bufDirStride(s, d)))
+		e.printf("%s}\n", ind)
+	case "sacc":
+		// Accumulate direction d's flux divergence into the accumulator
+		// buffer (Bufs[1]) rather than phi1 — the Euler update consumes it.
+		f, a := buf(0), buf(1)
+		e.printf("%s{\n", ind)
+		e.printf("%s\tai := %s\n", ind, e.index(a, ax, st.Comp))
+		e.printf("%s\t%s[ai] += %s[%s] - %s[%s]\n",
+			ind, a.d.Name, f.d.Name, e.index(f, shiftAxis(ax, d, 1), st.Comp), f.d.Name, e.index(f, ax, st.Comp))
+		e.printf("%s}\n", ind)
+	case "seuler":
+		// Explicit Euler update: state -= EulerDt * divergence, the same
+		// expression fab.Plus(acc, reg, -dt) evaluates in the engine.
+		a, s := buf(0), buf(1)
+		e.printf("%s{\n", ind)
+		e.printf("%s\tsi := %s\n", ind, e.index(s, ax, st.Comp))
+		e.printf("%s\t%s[si] += -kernel.EulerDt * %s[%s]\n",
+			ind, s.d.Name, a.d.Name, e.index(a, ax, st.Comp))
+		e.printf("%s}\n", ind)
+	case "sdelta":
+		// K-step delta writeback: phi1 += state_K - phi0 over the valid
+		// box (internal/temporal.AddDiff's expression).
+		s := buf(0)
+		e.printf("%s{\n", ind)
+		e.printf("%s\to0 := %s\n", ind, e.off0(ax))
+		e.printf("%s\to1 := %s\n", ind, e.off1(ax))
+		e.printf("%s\tp1_%d[o1] += %s[%s] - p0_%d[o0]\n",
+			ind, st.Comp, s.d.Name, e.index(s, ax, st.Comp), st.Comp)
 		e.printf("%s}\n", ind)
 	default:
 		panic(fmt.Sprintf("schedc: unknown macro %q", st.Macro))

@@ -53,6 +53,11 @@ type Family struct {
 	FileName string
 	// Comment is a short description placed above the runner.
 	Comment string
+	// TemporalK, when positive, marks a temporal-blocking family fusing
+	// that many Euler steps per sweep: the runner's contract changes to
+	// the K-step delta (phi0 over valid grown by TemporalK*NGhost, phi1
+	// accumulating state_K - phi0), checked by kernel.CheckStateK.
+	TemporalK int
 	// Progs are executed in order, each against a rewound arena mark.
 	Progs []codegen.ProgramDesc
 }
@@ -75,6 +80,12 @@ func axisOf(name string) (int, error) {
 func isTileVar(name string) bool {
 	return len(name) == 2 && name[0] == 't'
 }
+
+// isTimeVar reports whether a loop variable is the temporal sub-step
+// axis. Like tile-origin variables it carries no spatial axis: macros
+// never index storage by k — the time axis only shapes the (shrinking)
+// statement domains.
+func isTimeVar(name string) bool { return name == "k" }
 
 // tileLevels returns the number of leading tile-origin loops of a
 // program (0 for untiled programs).

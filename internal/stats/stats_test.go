@@ -129,3 +129,21 @@ func TestTimePrepContextCancelSkipsPrep(t *testing.T) {
 		t.Fatalf("prep ran %d times after cancel at 2", preps)
 	}
 }
+
+// TestTimePrepRunsBeforeEveryRepetition pins the prep contract for
+// multi-repetition measurements: prep interleaves strictly before each
+// repetition (p f p f p f), never just once up front. Measured workloads
+// that accumulate into their output (every schedule runner does) depend
+// on this for correctness, not just clean timings.
+func TestTimePrepRunsBeforeEveryRepetition(t *testing.T) {
+	var order []byte
+	s, err := TimePrepContext(context.Background(), 3,
+		func() { order = append(order, 'p') },
+		func() { order = append(order, 'f') })
+	if err != nil || s.Reps != 3 {
+		t.Fatalf("reps=%d err=%v", s.Reps, err)
+	}
+	if got := string(order); got != "pfpfpf" {
+		t.Fatalf("call order %q, want \"pfpfpf\"", got)
+	}
+}

@@ -1,0 +1,151 @@
+package temporal
+
+import (
+	"math/rand"
+	"testing"
+
+	"stencilsched/internal/box"
+	"stencilsched/internal/fab"
+	"stencilsched/internal/ivect"
+	"stencilsched/internal/kernel"
+)
+
+// composeSteps is an independent K-step composition: each Euler step
+// ping-pongs into a freshly allocated, exactly-sized state over the
+// shrunk region — no in-place update, no shared helper with the engine
+// beyond kernel.Reference itself. Regions are clipped to clip; cells
+// outside clip read as zero and are never stepped.
+func composeSteps(phi0 *fab.FAB, valid box.Box, k int, dt float64, clip box.Box) *fab.FAB {
+	ng := kernel.NGhost
+	curB := valid.Grow(k * ng)
+	cur := fab.New(curB, kernel.NComp)
+	cur.CopyFrom(phi0, curB.Intersect(clip).Intersect(phi0.Box()))
+	for j := 0; j < k; j++ {
+		outB := valid.Grow((k - 1 - j) * ng)
+		reg := outB.Intersect(clip)
+		next := fab.New(outB, kernel.NComp)
+		next.CopyFrom(cur, outB)
+		if !reg.IsEmpty() {
+			acc := fab.New(reg, kernel.NComp)
+			kernel.Reference(cur, acc, reg)
+			next.Plus(acc, reg, -dt)
+		}
+		cur = next
+	}
+	return cur
+}
+
+func randomState(t *testing.T, valid box.Box, k int, seed int64) *fab.FAB {
+	t.Helper()
+	phi0 := fab.New(valid.Grow(k*kernel.NGhost), kernel.NComp)
+	phi0.Randomize(rand.New(rand.NewSource(seed)), 0.25, 1.75)
+	return phi0
+}
+
+func requireSame(t *testing.T, got, want *fab.FAB, r box.Box, what string) {
+	t.Helper()
+	if d, at, c := got.MaxDiff(want, r); d != 0 {
+		t.Fatalf("%s: diverges at %v comp %d by %g", what, at, c, d)
+	}
+}
+
+// TestReferenceMatchesComposition pins Reference against the
+// independent ping-pong composition, bitwise, for several K.
+func TestReferenceMatchesComposition(t *testing.T) {
+	valid := box.New(ivect.New(-2, 3, 1), ivect.New(8, 9, 7))
+	for _, k := range []int{1, 2, 3, 4} {
+		phi0 := randomState(t, valid, k, 7)
+		want := composeSteps(phi0, valid, k, kernel.EulerDt, phi0.Box())
+		phi1 := fab.New(valid, kernel.NComp)
+		Reference(phi0, phi1, valid, k, kernel.EulerDt)
+		// phi1 holds the delta; reconstruct by checking the delta of the
+		// composition with the same AddDiff expression.
+		wantDelta := fab.New(valid, kernel.NComp)
+		AddDiff(wantDelta, want, phi0, valid)
+		requireSame(t, phi1, wantDelta, valid, "reference vs composition")
+	}
+}
+
+// TestApplyMatchesReference checks the tiled engine against the oracle
+// bitwise over tile edges and thread counts, including tiles that do
+// not divide the box evenly.
+func TestApplyMatchesReference(t *testing.T) {
+	valid := box.New(ivect.New(1, -4, 0), ivect.New(11, 6, 9))
+	for _, k := range []int{1, 2, 4} {
+		phi0 := randomState(t, valid, k, 11)
+		want := fab.New(valid, kernel.NComp)
+		Reference(phi0, want, valid, k, kernel.EulerDt)
+		for _, tile := range []int{0, 4, 5, 16} {
+			for _, threads := range []int{1, 4} {
+				phi1 := fab.New(valid, kernel.NComp)
+				cfg := Config{K: k, TileEdge: tile, Threads: threads}
+				if err := Apply(phi0, phi1, valid, cfg); err != nil {
+					t.Fatalf("apply k=%d tile=%d threads=%d: %v", k, tile, threads, err)
+				}
+				requireSame(t, phi1, want, valid, "apply vs reference")
+			}
+		}
+	}
+}
+
+// TestApplyAccumulates checks the runner contract: phi1 accumulates,
+// so two sweeps on a warm arena double nothing silently — the second
+// sweep adds the same delta again.
+func TestApplyAccumulates(t *testing.T) {
+	valid := box.Cube(8)
+	phi0 := randomState(t, valid, 2, 3)
+	once := fab.New(valid, kernel.NComp)
+	cfg := Config{K: 2, TileEdge: 4, Threads: 2}
+	if err := Apply(phi0, once, valid, cfg); err != nil {
+		t.Fatal(err)
+	}
+	twice := fab.New(valid, kernel.NComp)
+	for i := 0; i < 2; i++ {
+		if err := Apply(phi0, twice, valid, cfg); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want := once.Clone()
+	want.Plus(once, valid, 1)
+	requireSame(t, twice, want, valid, "accumulation")
+}
+
+// TestStepMatchesComposition checks the in-place (dist) contract: the
+// written-back owned values equal the independent composition exactly,
+// with and without a clip cutting into the ghost shell (the physical
+// boundary case).
+func TestStepMatchesComposition(t *testing.T) {
+	owned := box.New(ivect.New(0, 0, 0), ivect.New(9, 7, 8))
+	for _, k := range []int{1, 2, 3} {
+		depth := GhostDepth(k)
+		full := owned.Grow(depth)
+		for _, clip := range []box.Box{full, full.GrowLo(0, -depth).GrowHi(2, -depth)} {
+			src := fab.New(full, kernel.NComp)
+			src.Randomize(rand.New(rand.NewSource(int64(k))), 0.25, 1.75)
+			// Zero the beyond-clip shell, as dist keeps physical ghosts.
+			masked := fab.New(full, kernel.NComp)
+			masked.CopyFrom(src, clip)
+			want := composeSteps(masked, owned, k, kernel.EulerDt, clip)
+			out := fab.New(owned, kernel.NComp)
+			cfg := Config{K: k, TileEdge: 4, Threads: 3}
+			if err := Step(masked, out, owned, clip, cfg); err != nil {
+				t.Fatalf("step k=%d: %v", k, err)
+			}
+			requireSame(t, out, want, owned, "step vs composition")
+		}
+	}
+}
+
+// TestConfigErrors checks the typed failure paths.
+func TestConfigErrors(t *testing.T) {
+	valid := box.Cube(4)
+	phi0 := randomState(t, valid, 1, 1)
+	phi1 := fab.New(valid, kernel.NComp)
+	if err := Apply(phi0, phi1, valid, Config{K: 0}); err == nil {
+		t.Fatal("K=0 must fail")
+	}
+	small := fab.New(valid.Grow(1), kernel.NComp)
+	if err := Step(small, phi1, valid, valid.Grow(2), Config{K: 1}); err == nil {
+		t.Fatal("undersized src must fail")
+	}
+}

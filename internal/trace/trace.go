@@ -89,10 +89,16 @@ func (s *state) alloc(b box.Box, ncomp int) field {
 // readFaceAvg emits the four phi0 reads of one fourth-order face average at
 // face p (between cells p-e_d and p) for component c.
 func (s *state) readFaceAvg(sink Sink, p ivect.IntVect, dir, c int) {
-	sink.Read(s.phi0.addr(p.Shift(dir, -1), c))
-	sink.Read(s.phi0.addr(p, c))
-	sink.Read(s.phi0.addr(p.Shift(dir, -2), c))
-	sink.Read(s.phi0.addr(p.Shift(dir, 1), c))
+	readFaceAvgFrom(sink, s.phi0, p, dir, c)
+}
+
+// readFaceAvgFrom is readFaceAvg against an arbitrary source field (the
+// temporal generator reads from the per-tile stepped state, not phi0).
+func readFaceAvgFrom(sink Sink, src field, p ivect.IntVect, dir, c int) {
+	sink.Read(src.addr(p.Shift(dir, -1), c))
+	sink.Read(src.addr(p, c))
+	sink.Read(src.addr(p.Shift(dir, -2), c))
+	sink.Read(src.addr(p.Shift(dir, 1), c))
 }
 
 // Generate emits the access stream of variant v applied once to an N^3 box.
@@ -143,6 +149,13 @@ func Generate(v sched.Variant, n int, sink Sink) error {
 // space so that per-tile temporaries overlap in memory like the real
 // per-thread scratch does.
 func seriesTrace(s *state, region box.Box, sink Sink, fresh bool) {
+	seriesTraceInto(s, region, s.phi0, s.phi1, sink, fresh)
+}
+
+// seriesTraceInto is seriesTrace with explicit source and destination
+// fields: the temporal sub-steps run the same series schedule but read
+// the tile's stepped state and accumulate into a scratch field.
+func seriesTraceInto(s *state, region box.Box, src, dst field, sink Sink, fresh bool) {
 	mark := s.next
 	for dir := 0; dir < 3; dir++ {
 		faces := region.SurroundingFaces(dir)
@@ -151,7 +164,7 @@ func seriesTrace(s *state, region box.Box, sink Sink, fresh bool) {
 		for c := 0; c < kernel.NComp; c++ {
 			c := c
 			faces.ForEach(func(p ivect.IntVect) {
-				s.readFaceAvg(sink, p, dir, c)
+				readFaceAvgFrom(sink, src, p, dir, c)
 				sink.Write(flux.addr(p, c))
 			})
 		}
@@ -169,8 +182,8 @@ func seriesTrace(s *state, region box.Box, sink Sink, fresh bool) {
 			region.ForEach(func(p ivect.IntVect) {
 				sink.Read(flux.addr(p.Shift(dir, 1), c))
 				sink.Read(flux.addr(p, c))
-				sink.Read(s.phi1.addr(p, c))
-				sink.Write(s.phi1.addr(p, c))
+				sink.Read(dst.addr(p, c))
+				sink.Write(dst.addr(p, c))
 			})
 		}
 		if !fresh {
@@ -283,4 +296,76 @@ func SeriesAccessCount(n int) (reads, writes uint64) {
 		faces*c + // pass 2a flux
 		3*cells*c // phi1, per direction
 	return reads, writes
+}
+
+// GenerateTemporal emits the access stream of one K-step temporal sweep
+// (internal/temporal.Apply) over an N^3 box with tile edge tileEdge
+// (<= 0: the whole box as one tile), in the engine's serial traversal
+// order. Per tile: copy the K-deep ghosted state in, run K series
+// sub-steps on shrinking regions against arena-reused temporaries, and
+// write the stepped delta back to phi1. Feeding the stream through
+// internal/cachesim predicts DRAM traffic as a function of (tile, K) —
+// the execution-driven check on perfmodel.TemporalTrafficBytes.
+func GenerateTemporal(n, tileEdge, k int, sink Sink) error {
+	if n <= 0 {
+		return fmt.Errorf("trace: bad box size %d", n)
+	}
+	if k < 1 {
+		return fmt.Errorf("trace: temporal depth K=%d must be >= 1", k)
+	}
+	ng := kernel.NGhost
+	valid := box.Cube(n)
+	s := &state{valid: valid}
+	var cur uint64 = 1 << 30
+	s.phi0, cur = newField(cur, valid.Grow(k*ng), kernel.NComp)
+	s.phi1, cur = newField(cur, valid, kernel.NComp)
+	s.next = cur
+	tiles := []box.Box{valid}
+	if tileEdge > 0 {
+		tiles = valid.Tiles(tileEdge)
+	}
+	mark := s.next
+	for _, tile := range tiles {
+		// Tiles reuse the same scratch addresses, like the per-thread
+		// arenas of the real engine.
+		s.next = mark
+		stateBox := tile.Grow(k * ng)
+		st := s.alloc(stateBox, kernel.NComp)
+		for c := 0; c < kernel.NComp; c++ {
+			c := c
+			stateBox.ForEach(func(p ivect.IntVect) {
+				sink.Read(s.phi0.addr(p, c))
+				sink.Write(st.addr(p, c))
+			})
+		}
+		acc := s.alloc(tile.Grow((k-1)*ng), kernel.NComp)
+		for j := 0; j < k; j++ {
+			reg := tile.Grow((k - 1 - j) * ng)
+			for c := 0; c < kernel.NComp; c++ {
+				c := c
+				reg.ForEach(func(p ivect.IntVect) { sink.Write(acc.addr(p, c)) })
+			}
+			seriesTraceInto(s, reg, st, acc, sink, false)
+			// state += -dt * acc over the sub-step region.
+			for c := 0; c < kernel.NComp; c++ {
+				c := c
+				reg.ForEach(func(p ivect.IntVect) {
+					sink.Read(acc.addr(p, c))
+					sink.Read(st.addr(p, c))
+					sink.Write(st.addr(p, c))
+				})
+			}
+		}
+		// phi1 += state - phi0 over the tile interior.
+		for c := 0; c < kernel.NComp; c++ {
+			c := c
+			tile.ForEach(func(p ivect.IntVect) {
+				sink.Read(st.addr(p, c))
+				sink.Read(s.phi0.addr(p, c))
+				sink.Read(s.phi1.addr(p, c))
+				sink.Write(s.phi1.addr(p, c))
+			})
+		}
+	}
+	return nil
 }

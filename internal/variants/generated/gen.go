@@ -18,7 +18,13 @@ import (
 // conformance-registry runner: phi0 covers the ghosted valid box, the
 // flux divergence accumulates into phi1 over valid, and execution is
 // serial within the box regardless of threads.
+//
+// TemporalK > 0 marks a temporal-blocking runner fusing that many Euler
+// steps per sweep, which changes the contract: phi0 must cover valid
+// grown by TemporalK*kernel.NGhost and phi1 accumulates the K-step state
+// delta (state_K - phi0) instead of the raw flux divergence.
 type Entry struct {
-	Name string
-	Run  func(phi0, phi1 *fab.FAB, valid box.Box, threads int) error
+	Name      string
+	Run       func(phi0, phi1 *fab.FAB, valid box.Box, threads int) error
+	TemporalK int
 }

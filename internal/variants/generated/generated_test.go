@@ -70,6 +70,58 @@ func TestEntriesBitwiseEqualReference(t *testing.T) {
 		phi0.Randomize(rand.New(rand.NewSource(int64(300+bi))), 0.25, 1.75)
 		kernel.Reference(phi0, want, b)
 		for _, e := range Entries() {
+			if e.TemporalK > 0 {
+				continue // different contract, see the temporal test below
+			}
+			phi1 := fab.New(b, kernel.NComp)
+			if err := e.Run(phi0, phi1, b, 1); err != nil {
+				t.Errorf("box %v, %s: %v", b, e.Name, err)
+				continue
+			}
+			if d, at, c := phi1.MaxDiff(want, b); d != 0 {
+				t.Errorf("box %v, %s: diff %g at %v comp %d", b, e.Name, d, at, c)
+			}
+		}
+	}
+}
+
+// temporalDelta composes kernel.Reference k times on shrinking regions
+// (the wavefront in time) and returns the K-step delta state_k - phi0
+// over valid — the oracle for the temporal-blocking runners, built here
+// from the kernel alone so this package's tests stay self-contained.
+func temporalDelta(phi0 *fab.FAB, valid box.Box, k int) *fab.FAB {
+	ng := kernel.NGhost
+	state := fab.New(valid.Grow(k*ng), kernel.NComp)
+	state.CopyFrom(phi0, state.Box())
+	for j := 0; j < k; j++ {
+		reg := valid.Grow((k - 1 - j) * ng)
+		acc := fab.New(reg, kernel.NComp)
+		kernel.Reference(state, acc, reg)
+		state.Plus(acc, reg, -kernel.EulerDt)
+	}
+	delta := fab.New(valid, kernel.NComp)
+	delta.CopyFrom(state, valid)
+	delta.Plus(phi0, valid, -1)
+	return delta
+}
+
+// TestTemporalEntriesBitwiseEqualComposition pins every generated
+// temporal runner (all K and tile edges) bitwise against composing
+// kernel.Reference K times, on offset and ragged boxes.
+func TestTemporalEntriesBitwiseEqualComposition(t *testing.T) {
+	boxes := []box.Box{
+		box.Cube(8),
+		box.Cube(12), // ragged 16^3 tiles
+		box.NewSized(ivect.New(-3, 5, 2), ivect.New(9, 7, 11)), // non-cubic, shifted
+	}
+	for bi, b := range boxes {
+		for _, e := range Entries() {
+			if e.TemporalK == 0 {
+				continue
+			}
+			phi0 := fab.New(b.Grow(e.TemporalK*kernel.NGhost), kernel.NComp)
+			phi0.Randomize(rand.New(rand.NewSource(int64(500+bi))), 0.25, 1.75)
+			want := temporalDelta(phi0, b, e.TemporalK)
 			phi1 := fab.New(b, kernel.NComp)
 			if err := e.Run(phi0, phi1, b, 1); err != nil {
 				t.Errorf("box %v, %s: %v", b, e.Name, err)
