@@ -1,0 +1,362 @@
+// Command stencilload drives a stencilserved node — standalone or fleet
+// coordinator — with sustained solve or autotune traffic and reports
+// throughput and latency percentiles. It exists to answer the question
+// the fleet work raises: what does the service actually sustain, and
+// what does a client see at the tail?
+//
+// Each worker submits a request, polls the job to a terminal state, and
+// immediately submits the next one, so -concurrency is the number of
+// in-flight requests, not an arrival rate. Distinct workers use
+// distinct problem bodies, so a coordinator spreads them across its
+// ring. 429 (tenant quota) and 503 (queue full) answers count as
+// throttled, back off, and retry — they are the service working as
+// designed, not errors.
+//
+// Usage:
+//
+//	stencilload -url http://127.0.0.1:8754 -duration 10s -concurrency 8
+//	stencilload -url http://127.0.0.1:8754 -kind autotune -tenants 4 \
+//	    -json BENCH_fleet_load.json
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// options maps one to one onto the flag set; tests drive run directly.
+type options struct {
+	url         string
+	kind        string // solve | autotune
+	duration    time.Duration
+	concurrency int
+	tenants     int // distinct X-Tenant values (0 = anonymous)
+	domainN     int
+	steps       int
+	threads     int
+	pollEvery   time.Duration
+	jsonPath    string
+	out         io.Writer
+}
+
+func main() {
+	var o options
+	flag.StringVar(&o.url, "url", "http://127.0.0.1:8754", "stencilserved base URL")
+	flag.StringVar(&o.kind, "kind", "solve", "request kind: solve or autotune")
+	flag.DurationVar(&o.duration, "duration", 10*time.Second, "load duration")
+	flag.IntVar(&o.concurrency, "concurrency", 4, "in-flight requests")
+	flag.IntVar(&o.tenants, "tenants", 0, "distinct X-Tenant values (0 = anonymous)")
+	flag.IntVar(&o.domainN, "n", 16, "solve domain edge")
+	flag.IntVar(&o.steps, "steps", 50, "solve time steps")
+	flag.IntVar(&o.threads, "threads", 1, "threads requested per job")
+	flag.DurationVar(&o.pollEvery, "poll", 20*time.Millisecond, "job poll interval")
+	flag.StringVar(&o.jsonPath, "json", "", "write a BENCH_*.json perf record to this path")
+	flag.Parse()
+	o.out = os.Stdout
+	if err := run(o); err != nil {
+		fmt.Fprintln(os.Stderr, "stencilload:", err)
+		os.Exit(1)
+	}
+}
+
+// benchRecord is the perf-trajectory record one load run appends, in
+// the same shape family as stencilbench's BENCH_*.json files.
+type benchRecord struct {
+	Mode        string  `json:"mode"` // "serve-load"
+	URL         string  `json:"url"`
+	Kind        string  `json:"kind"`
+	Concurrency int     `json:"concurrency"`
+	Tenants     int     `json:"tenants"`
+	DomainN     int     `json:"domain_n,omitempty"`
+	Steps       int     `json:"steps,omitempty"`
+	DurationSec float64 `json:"duration_sec"`
+
+	Requests     int64   `json:"requests"`
+	Errors       int64   `json:"errors"`
+	Throttled    int64   `json:"throttled"`
+	Replacements int64   `json:"replacements"`
+	SyncAnswers  int64   `json:"sync_answers"`
+	RPS          float64 `json:"requests_per_sec"`
+
+	LatencyMeanSec float64 `json:"latency_mean_sec"`
+	LatencyP50Sec  float64 `json:"latency_p50_sec"`
+	LatencyP99Sec  float64 `json:"latency_p99_sec"`
+	LatencyMaxSec  float64 `json:"latency_max_sec"`
+}
+
+// loadStats accumulates across workers.
+type loadStats struct {
+	mu        sync.Mutex
+	latencies []float64
+
+	requests     atomic.Int64
+	errors       atomic.Int64
+	throttled    atomic.Int64
+	replacements atomic.Int64
+	syncAnswers  atomic.Int64
+}
+
+func (st *loadStats) observe(sec float64) {
+	st.mu.Lock()
+	st.latencies = append(st.latencies, sec)
+	st.mu.Unlock()
+}
+
+// quantile returns the exact q-th quantile of the sorted sample.
+func quantile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(math.Ceil(q*float64(len(sorted)))) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
+}
+
+func run(o options) error {
+	if o.concurrency < 1 {
+		return fmt.Errorf("concurrency %d invalid: must be >= 1", o.concurrency)
+	}
+	if o.kind != "solve" && o.kind != "autotune" {
+		return fmt.Errorf("unknown kind %q (solve, autotune)", o.kind)
+	}
+	base := strings.TrimRight(o.url, "/")
+	hc := &http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: o.concurrency}}
+	defer hc.CloseIdleConnections()
+
+	st := &loadStats{}
+	ctx, cancel := context.WithTimeout(context.Background(), o.duration)
+	defer cancel()
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < o.concurrency; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			worker(ctx, o, hc, base, w, st)
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start).Seconds()
+
+	st.mu.Lock()
+	lats := st.latencies
+	st.mu.Unlock()
+	sort.Float64s(lats)
+	var sum float64
+	for _, v := range lats {
+		sum += v
+	}
+	rec := benchRecord{
+		Mode: "serve-load", URL: base, Kind: o.kind,
+		Concurrency: o.concurrency, Tenants: o.tenants,
+		DomainN: o.domainN, Steps: o.steps,
+		DurationSec:   elapsed,
+		Requests:      st.requests.Load(),
+		Errors:        st.errors.Load(),
+		Throttled:     st.throttled.Load(),
+		Replacements:  st.replacements.Load(),
+		SyncAnswers:   st.syncAnswers.Load(),
+		LatencyMaxSec: quantile(lats, 1),
+		LatencyP50Sec: quantile(lats, 0.50),
+		LatencyP99Sec: quantile(lats, 0.99),
+	}
+	if elapsed > 0 {
+		rec.RPS = float64(rec.Requests) / elapsed
+	}
+	if len(lats) > 0 {
+		rec.LatencyMeanSec = sum / float64(len(lats))
+	}
+	fmt.Fprintf(o.out, "stencilload: %s %s x%d for %.1fs: %d ok, %d errors, %d throttled, %.1f req/s, p50 %.1fms, p99 %.1fms\n",
+		o.kind, base, o.concurrency, elapsed, rec.Requests, rec.Errors, rec.Throttled,
+		rec.RPS, rec.LatencyP50Sec*1e3, rec.LatencyP99Sec*1e3)
+	if err := writeRecord(o.jsonPath, rec); err != nil {
+		return err
+	}
+	if rec.Errors > 0 {
+		// A load run that dropped requests must fail loudly (CI gates on
+		// it) — but only after the record is on disk for the post-mortem.
+		return fmt.Errorf("%d of %d requests failed", rec.Errors, rec.Errors+rec.Requests)
+	}
+	return nil
+}
+
+// worker submits and completes requests until ctx expires. The body is
+// unique per worker (the velocity differs), so a fleet coordinator
+// spreads the workers across its ring while each worker keeps hitting
+// the same peer's warm caches.
+func worker(ctx context.Context, o options, hc *http.Client, base string, w int, st *loadStats) {
+	tenant := ""
+	if o.tenants > 0 {
+		tenant = fmt.Sprintf("tenant-%d", w%o.tenants)
+	}
+	path, body := requestFor(o, w)
+	for seq := 0; ; seq++ {
+		if ctx.Err() != nil {
+			return
+		}
+		start := time.Now()
+		ok, throttled := oneRequest(ctx, o, hc, base, path, tenant, body, st)
+		switch {
+		case ctx.Err() != nil:
+			return // interrupted mid-flight: not a service failure
+		case throttled:
+			st.throttled.Add(1)
+			select {
+			case <-time.After(100 * time.Millisecond):
+			case <-ctx.Done():
+				return
+			}
+		case ok:
+			st.requests.Add(1)
+			st.observe(time.Since(start).Seconds())
+		default:
+			st.errors.Add(1)
+			select { // do not hot-spin against a broken service
+			case <-time.After(100 * time.Millisecond):
+			case <-ctx.Done():
+				return
+			}
+		}
+	}
+}
+
+// requestFor builds the per-worker request body.
+func requestFor(o options, w int) (path, body string) {
+	switch o.kind {
+	case "autotune":
+		// Repeated identical sweeps per worker: the first measures, the
+		// rest exercise the cache path (sync answers through a fleet).
+		return "/v1/autotune", fmt.Sprintf(
+			`{"box_n":%d,"num_boxes":1,"threads":%d,"reps":1,"candidates":["Shift-Fuse: P>=Box","Baseline: P>=Box"]}`,
+			o.domainN, o.threads)
+	default:
+		return "/v1/solve", fmt.Sprintf(
+			`{"domain_n":%d,"box_n":%d,"steps":%d,"integrator":"euler","threads":%d,"dt":0.05,"u":[%d,1,0]}`,
+			o.domainN, o.domainN, o.steps, o.threads, 1+w)
+	}
+}
+
+// jobView is the subset of a job snapshot the poller needs.
+type jobView struct {
+	ID     string          `json:"id"`
+	Status string          `json:"status"`
+	Result json.RawMessage `json:"result"`
+	Error  string          `json:"error"`
+}
+
+// placedResult is the fleet coordinator's result envelope; decoding it
+// from a standalone node simply yields zero values.
+type placedResult struct {
+	Replacements int64 `json:"replacements"`
+}
+
+// oneRequest drives one submit-poll-complete cycle. ok reports a
+// successful terminal result; throttled reports a 429/503 shed.
+func oneRequest(ctx context.Context, o options, hc *http.Client, base, path, tenant, body string, st *loadStats) (ok, throttled bool) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, base+path, strings.NewReader(body))
+	if err != nil {
+		return false, false
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if tenant != "" {
+		req.Header.Set("X-Tenant", tenant)
+	}
+	resp, err := hc.Do(req)
+	if err != nil {
+		return false, false
+	}
+	data, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	resp.Body.Close()
+	if err != nil {
+		return false, false
+	}
+	switch resp.StatusCode {
+	case http.StatusOK:
+		// Synchronous answer: an autotune cache hit, here or on a peer.
+		st.syncAnswers.Add(1)
+		return true, false
+	case http.StatusAccepted:
+	case http.StatusTooManyRequests, http.StatusServiceUnavailable:
+		return false, true
+	default:
+		return false, false
+	}
+	var snap jobView
+	if err := json.Unmarshal(data, &snap); err != nil || snap.ID == "" {
+		return false, false
+	}
+	t := time.NewTicker(o.pollEvery)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+		case <-ctx.Done():
+			// Time is up with a job in flight; cancel it best-effort so the
+			// server is not left measuring for a departed client.
+			dreq, err := http.NewRequest(http.MethodDelete, base+"/v1/jobs/"+snap.ID, nil)
+			if err == nil {
+				if dresp, err := hc.Do(dreq); err == nil {
+					dresp.Body.Close()
+				}
+			}
+			return false, false
+		}
+		greq, err := http.NewRequestWithContext(ctx, http.MethodGet, base+"/v1/jobs/"+snap.ID, nil)
+		if err != nil {
+			return false, false
+		}
+		gresp, err := hc.Do(greq)
+		if err != nil {
+			if ctx.Err() != nil {
+				continue // let the ctx.Done arm run the cancel path
+			}
+			return false, false
+		}
+		gdata, err := io.ReadAll(io.LimitReader(gresp.Body, 1<<20))
+		gresp.Body.Close()
+		if err != nil || gresp.StatusCode != http.StatusOK {
+			return false, false
+		}
+		var j jobView
+		if err := json.Unmarshal(gdata, &j); err != nil {
+			return false, false
+		}
+		switch j.Status {
+		case "done":
+			var pr placedResult
+			if json.Unmarshal(j.Result, &pr) == nil {
+				st.replacements.Add(pr.Replacements)
+			}
+			return true, false
+		case "failed", "canceled":
+			return false, false
+		}
+	}
+}
+
+func writeRecord(path string, rec benchRecord) error {
+	if path == "" {
+		return nil
+	}
+	data, err := json.MarshalIndent(rec, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

@@ -1,0 +1,201 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// fakeServe is a minimal stencilserved stand-in: 202s submissions,
+// completes each job after a short delay, serves polls, and can inject
+// throttles and synchronous cache answers.
+type fakeServe struct {
+	mu       sync.Mutex
+	jobs     map[string]time.Time // id -> completion time
+	next     int
+	throttle atomic.Int64 // remaining submissions to 429
+	syncHit  bool
+	delay    time.Duration
+	canceled atomic.Int64
+}
+
+func newFakeServe(delay time.Duration) *fakeServe {
+	return &fakeServe{jobs: make(map[string]time.Time), delay: delay}
+}
+
+func (f *fakeServe) handler() http.Handler {
+	mux := http.NewServeMux()
+	submit := func(w http.ResponseWriter, r *http.Request) {
+		if f.throttle.Load() > 0 {
+			f.throttle.Add(-1)
+			w.WriteHeader(http.StatusTooManyRequests)
+			return
+		}
+		if f.syncHit {
+			w.WriteHeader(http.StatusOK)
+			fmt.Fprint(w, `{"source":"cache"}`)
+			return
+		}
+		f.mu.Lock()
+		f.next++
+		id := fmt.Sprintf("job-%d", f.next)
+		f.jobs[id] = time.Now().Add(f.delay)
+		f.mu.Unlock()
+		w.WriteHeader(http.StatusAccepted)
+		fmt.Fprintf(w, `{"id":%q,"status":"pending"}`, id)
+	}
+	mux.HandleFunc("POST /v1/solve", submit)
+	mux.HandleFunc("POST /v1/autotune", submit)
+	mux.HandleFunc("GET /v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		f.mu.Lock()
+		doneAt, ok := f.jobs[r.PathValue("id")]
+		f.mu.Unlock()
+		if !ok {
+			w.WriteHeader(http.StatusNotFound)
+			return
+		}
+		status := "running"
+		if time.Now().After(doneAt) {
+			status = "done"
+		}
+		fmt.Fprintf(w, `{"id":%q,"status":%q,"result":{"replacements":1}}`, r.PathValue("id"), status)
+	})
+	mux.HandleFunc("DELETE /v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		f.canceled.Add(1)
+		fmt.Fprintf(w, `{"id":%q,"status":"canceled"}`, r.PathValue("id"))
+	})
+	return mux
+}
+
+func loadOpts(url string) options {
+	return options{
+		url: url, kind: "solve", duration: 300 * time.Millisecond,
+		concurrency: 3, domainN: 8, steps: 2, threads: 1,
+		pollEvery: 5 * time.Millisecond, out: &strings.Builder{},
+	}
+}
+
+func TestLoadRunHappyPath(t *testing.T) {
+	f := newFakeServe(10 * time.Millisecond)
+	ts := httptest.NewServer(f.handler())
+	defer ts.Close()
+
+	o := loadOpts(ts.URL)
+	path := filepath.Join(t.TempDir(), "BENCH_load.json")
+	o.jsonPath = path
+	if err := run(o); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rec benchRecord
+	if err := json.Unmarshal(data, &rec); err != nil {
+		t.Fatalf("bad BENCH record %q: %v", data, err)
+	}
+	if rec.Mode != "serve-load" || rec.Kind != "solve" || rec.Concurrency != 3 {
+		t.Fatalf("record header wrong: %+v", rec)
+	}
+	if rec.Requests == 0 || rec.Errors != 0 {
+		t.Fatalf("requests=%d errors=%d, want >0 and 0", rec.Requests, rec.Errors)
+	}
+	if rec.RPS <= 0 || rec.LatencyP50Sec <= 0 || rec.LatencyP99Sec < rec.LatencyP50Sec {
+		t.Fatalf("stats implausible: %+v", rec)
+	}
+	// The fake reports one replacement per completed job.
+	if rec.Replacements != rec.Requests {
+		t.Fatalf("replacements=%d, want %d", rec.Replacements, rec.Requests)
+	}
+}
+
+func TestLoadCountsThrottlesNotErrors(t *testing.T) {
+	f := newFakeServe(5 * time.Millisecond)
+	f.throttle.Store(4)
+	ts := httptest.NewServer(f.handler())
+	defer ts.Close()
+
+	o := loadOpts(ts.URL)
+	o.concurrency = 2
+	path := filepath.Join(t.TempDir(), "BENCH_load.json")
+	o.jsonPath = path
+	if err := run(o); err != nil {
+		t.Fatal(err)
+	}
+	var rec benchRecord
+	data, _ := os.ReadFile(path)
+	if err := json.Unmarshal(data, &rec); err != nil {
+		t.Fatal(err)
+	}
+	if rec.Throttled != 4 {
+		t.Fatalf("throttled=%d, want 4", rec.Throttled)
+	}
+	if rec.Errors != 0 {
+		t.Fatalf("throttles counted as errors: %+v", rec)
+	}
+}
+
+func TestLoadSyncAnswers(t *testing.T) {
+	f := newFakeServe(0)
+	f.syncHit = true
+	ts := httptest.NewServer(f.handler())
+	defer ts.Close()
+
+	o := loadOpts(ts.URL)
+	o.kind = "autotune"
+	o.duration = 100 * time.Millisecond
+	if err := run(o); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLoadCancelsInFlightJobAtDeadline(t *testing.T) {
+	f := newFakeServe(time.Hour) // jobs never finish
+	ts := httptest.NewServer(f.handler())
+	defer ts.Close()
+
+	o := loadOpts(ts.URL)
+	o.concurrency = 1
+	o.duration = 100 * time.Millisecond
+	if err := run(o); err != nil {
+		t.Fatal(err)
+	}
+	if f.canceled.Load() == 0 {
+		t.Fatal("abandoned job was not canceled on the server")
+	}
+}
+
+func TestLoadRejectsBadOptions(t *testing.T) {
+	if err := run(options{concurrency: 0}); err == nil {
+		t.Fatal("concurrency 0 accepted")
+	}
+	o := loadOpts("http://127.0.0.1:1")
+	o.kind = "nonsense"
+	if err := run(o); err == nil {
+		t.Fatal("bad kind accepted")
+	}
+}
+
+func TestQuantileExact(t *testing.T) {
+	if q := quantile(nil, 0.5); q != 0 {
+		t.Fatalf("empty quantile = %v", q)
+	}
+	s := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	if q := quantile(s, 0.5); q != 5 {
+		t.Fatalf("p50 = %v, want 5", q)
+	}
+	if q := quantile(s, 0.99); q != 10 {
+		t.Fatalf("p99 = %v, want 10", q)
+	}
+	if q := quantile(s, 1); q != 10 {
+		t.Fatalf("p100 = %v, want 10", q)
+	}
+}

@@ -1,0 +1,429 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"strings"
+	"time"
+
+	"stencilsched/internal/fleet"
+	"stencilsched/internal/jobs"
+	"stencilsched/internal/metrics"
+	"stencilsched/internal/tunecache"
+)
+
+// coordConfig sizes a coordinator node.
+type coordConfig struct {
+	peers         []fleet.Peer  // the fleet this coordinator places onto
+	workers       int           // concurrent placement jobs
+	queueDepth    int           // pending placements before 503
+	jobTimeout    time.Duration // per-placement ceiling (0 = none)
+	drainTimeout  time.Duration // graceful-shutdown budget
+	cacheDir      string        // fleet cache authority directory ("" disables)
+	jobHistory    int           // terminal placements retained
+	tenantQuota   int           // live placements per tenant (0 = unlimited)
+	probeInterval time.Duration // peer health probe cadence (0 = default, <0 disables)
+}
+
+// coordServer is stencilserved in coordinator mode: it owns no solver
+// and measures nothing — every /v1/solve and /v1/autotune request is
+// placed onto a peer by consistent hash of its problem fingerprint and
+// driven to completion by a local placement job, so admission control,
+// tenancy quotas, job listing, cancellation, and drain all reuse the
+// jobs.Queue machinery peers already have. Its tunecache is the fleet's
+// shared cache authority, served over /v1/cache/{get,put}.
+type coordServer struct {
+	cfg   coordConfig
+	co    *fleet.Coordinator
+	queue *jobs.Queue
+	cache *tunecache.Cache
+	reg   *metrics.Registry
+	mux   *http.ServeMux
+	start time.Time
+
+	placements   *metrics.Counter
+	syncAnswers  *metrics.Counter
+	replacements *metrics.Counter
+	rejected     *metrics.Counter
+	jobSeconds   *metrics.Histogram
+	attemptsHist *metrics.Histogram
+}
+
+func newCoordinator(cfg coordConfig) (*coordServer, error) {
+	if cfg.workers < 1 {
+		cfg.workers = 16 // placements poll, they do not compute; be generous
+	}
+	if cfg.queueDepth < 1 {
+		cfg.queueDepth = 64
+	}
+	co, err := fleet.New(fleet.Config{
+		Peers:         cfg.peers,
+		ProbeInterval: cfg.probeInterval,
+	})
+	if err != nil {
+		return nil, err
+	}
+	s := &coordServer{
+		cfg: cfg,
+		co:  co,
+		// Thread budget: placement jobs hold no compute threads, so the
+		// budget equals the worker count — one token per in-flight poll.
+		queue: jobs.New(cfg.workers, cfg.queueDepth, cfg.workers),
+		reg:   metrics.NewRegistry(),
+		mux:   http.NewServeMux(),
+		start: time.Now(),
+	}
+	if cfg.jobHistory > 0 {
+		s.queue.SetHistoryLimit(cfg.jobHistory)
+	}
+	if cfg.tenantQuota > 0 {
+		s.queue.SetTenantLimit(cfg.tenantQuota)
+	}
+	if cfg.cacheDir != "" {
+		c, err := tunecache.Open(cfg.cacheDir)
+		if err != nil {
+			return nil, err
+		}
+		s.cache = c
+	}
+	s.placements = s.reg.Counter("stencilserved_fleet_placements_total",
+		"requests placed onto the fleet")
+	s.syncAnswers = s.reg.Counter("stencilserved_fleet_sync_answers_total",
+		"placements answered synchronously by a peer (cache hits)")
+	s.replacements = s.reg.Counter("stencilserved_fleet_replacements_total",
+		"jobs re-placed after their peer died mid-run")
+	s.rejected = s.reg.Counter("stencilserved_fleet_rejected_total",
+		"requests rejected before placement (quota, queue full, no live peer)")
+	s.jobSeconds = s.reg.Histogram("stencilserved_fleet_job_seconds",
+		"end-to-end placement latency, submit to terminal", nil)
+	s.attemptsHist = s.reg.Histogram("stencilserved_fleet_place_attempts",
+		"submission attempts per placement", []float64{1, 2, 3, 5, 8, 13})
+
+	s.handle("POST /v1/solve", func(w http.ResponseWriter, r *http.Request) {
+		s.place(w, r, "/v1/solve")
+	})
+	s.handle("POST /v1/autotune", func(w http.ResponseWriter, r *http.Request) {
+		s.place(w, r, "/v1/autotune")
+	})
+	s.handle("GET /v1/fleet", s.handleFleet)
+	s.handle("GET /v1/jobs", s.handleJobList)
+	s.handle("GET /v1/jobs/{id}", s.handleJobGet)
+	s.handle("DELETE /v1/jobs/{id}", s.handleJobCancel)
+	s.handle("POST /v1/cache/get", s.handleCacheGet)
+	s.handle("POST /v1/cache/put", s.handleCachePut)
+	s.handle("GET /metrics", s.handleMetrics)
+	s.handle("GET /healthz", s.handleHealthz)
+	co.Start()
+	return s, nil
+}
+
+func (s *coordServer) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+func (s *coordServer) banner(addr net.Addr) string {
+	names := make([]string, len(s.cfg.peers))
+	for i, p := range s.cfg.peers {
+		names[i] = p.Name
+	}
+	return fmt.Sprintf("stencilserved: coordinating %d peers [%s] on http://%s (workers=%d, cache=%s)",
+		len(s.cfg.peers), strings.Join(names, " "), addr, s.cfg.workers, s.cfg.cacheDir)
+}
+
+func (s *coordServer) drainBudget() time.Duration { return s.cfg.drainTimeout }
+
+func (s *coordServer) drain(ctx context.Context) error {
+	err := s.queue.Drain(ctx)
+	s.co.Close()
+	return err
+}
+
+// handle mirrors server.handle: per-route latency histogram plus a
+// route/status response counter, labeled by mux pattern.
+func (s *coordServer) handle(pattern string, h http.HandlerFunc) {
+	route := metrics.Label{Key: "route", Value: pattern}
+	hist := s.reg.Histogram("stencilserved_request_seconds",
+		"request latency by route", nil, route)
+	s.mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
+		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+		defer hist.ObserveSince(time.Now())
+		h(sw, r)
+		s.reg.Counter("stencilserved_responses_total", "responses by route and status",
+			route, metrics.Label{Key: "code", Value: fmt.Sprintf("%d", sw.code)}).Inc()
+	})
+}
+
+// fleetJobResult is what a completed placement job reports: the peer's
+// result payload plus the placement's provenance, so a client can see
+// where its job ran and whether it survived a re-placement.
+type fleetJobResult struct {
+	Peer         string          `json:"peer"`
+	RemoteID     string          `json:"remote_id,omitempty"`
+	Attempts     int             `json:"attempts"`
+	Replacements int             `json:"replacements"`
+	Result       json.RawMessage `json:"result"`
+}
+
+// place is the coordinator hot path: read the body, submit it to the
+// ring synchronously (so peer cache hits and 4xx rejections relay
+// inline), then hand the long poll to a local placement job.
+func (s *coordServer) place(w http.ResponseWriter, r *http.Request, path string) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxRequestBytes))
+	if err != nil {
+		s.rejected.Inc()
+		httpError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	tenant := r.Header.Get(tenantHeader)
+	// Quota pre-check before spending a remote submission. SubmitTagged
+	// below is the authoritative gate; this only avoids the common waste.
+	if s.cfg.tenantQuota > 0 && tenant != "" && s.queue.TenantLive(tenant) >= s.cfg.tenantQuota {
+		s.rejected.Inc()
+		w.Header().Set("Retry-After", "1")
+		httpError(w, http.StatusTooManyRequests,
+			"tenant %q at its live-job quota (%d)", tenant, s.cfg.tenantQuota)
+		return
+	}
+	start := time.Now()
+	pl, err := s.co.Submit(r.Context(), path, body)
+	if err != nil {
+		s.rejected.Inc()
+		var reqErr *fleet.RequestError
+		switch {
+		case errors.As(err, &reqErr):
+			// The peer rejected the request as invalid; relay its answer
+			// verbatim (it is already a JSON error body).
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(reqErr.Status)
+			_, _ = io.WriteString(w, reqErr.Body)
+		case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+			// The client went away mid-submit; nothing useful to answer.
+			httpError(w, http.StatusServiceUnavailable, "client canceled during placement")
+		default:
+			w.Header().Set("Retry-After", "1")
+			httpError(w, http.StatusServiceUnavailable, "no live peer: %v", err)
+		}
+		return
+	}
+	s.placements.Inc()
+	res := pl.Result()
+	s.attemptsHist.Observe(float64(res.Attempts))
+	if res.Sync {
+		// A peer answered inline (autotune cache hit): relay it now, no job.
+		s.syncAnswers.Inc()
+		s.jobSeconds.ObserveSince(start)
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusOK)
+		_, _ = w.Write(res.Result)
+		return
+	}
+	kind := "fleet-" + strings.TrimPrefix(path, "/v1/")
+	snap, err := s.queue.SubmitTagged(kind, tenant, 1, s.cfg.jobTimeout, func(ctx context.Context) (any, error) {
+		out, err := pl.Await(ctx)
+		s.jobSeconds.ObserveSince(start)
+		s.replacements.Add(uint64(out.Replacements))
+		if err != nil {
+			return nil, err
+		}
+		return fleetJobResult{
+			Peer: out.Peer, RemoteID: out.RemoteID,
+			Attempts: out.Attempts, Replacements: out.Replacements,
+			Result: out.Result,
+		}, nil
+	})
+	if err != nil {
+		// The remote job is already queued on its peer; do not orphan it.
+		pl.Abandon()
+		s.rejected.Inc()
+		switch {
+		case err == jobs.ErrQueueFull:
+			w.Header().Set("Retry-After", "1")
+			httpError(w, http.StatusServiceUnavailable, "placement queue full")
+		case err == jobs.ErrDraining:
+			httpError(w, http.StatusServiceUnavailable, "coordinator shutting down")
+		case err == jobs.ErrTenantLimit:
+			w.Header().Set("Retry-After", "1")
+			httpError(w, http.StatusTooManyRequests,
+				"tenant %q at its live-job quota (%d)", tenant, s.cfg.tenantQuota)
+		default:
+			httpError(w, http.StatusInternalServerError, "%v", err)
+		}
+		return
+	}
+	writeJSON(w, http.StatusAccepted, snap)
+}
+
+// ---- GET /v1/fleet -------------------------------------------------------
+
+type fleetStatusResponse struct {
+	Peers    []fleet.PeerStatus `json:"peers"`
+	Queue    jobs.Stats         `json:"queue"`
+	Requests fleetRequestStats  `json:"requests"`
+}
+
+type fleetRequestStats struct {
+	Placements   uint64  `json:"placements"`
+	SyncAnswers  uint64  `json:"sync_answers"`
+	Replacements uint64  `json:"replacements"`
+	Rejected     uint64  `json:"rejected"`
+	LatencyCount uint64  `json:"latency_count"`
+	LatencyP50   float64 `json:"latency_p50_sec"`
+	LatencyP99   float64 `json:"latency_p99_sec"`
+}
+
+func (s *coordServer) handleFleet(w http.ResponseWriter, r *http.Request) {
+	st := fleetRequestStats{
+		Placements:   s.placements.Value(),
+		SyncAnswers:  s.syncAnswers.Value(),
+		Replacements: s.replacements.Value(),
+		Rejected:     s.rejected.Value(),
+		LatencyCount: s.jobSeconds.Count(),
+	}
+	if st.LatencyCount > 0 { // Quantile is NaN on empty, which JSON cannot carry
+		st.LatencyP50 = s.jobSeconds.Quantile(0.50)
+		st.LatencyP99 = s.jobSeconds.Quantile(0.99)
+	}
+	writeJSON(w, http.StatusOK, fleetStatusResponse{
+		Peers:    s.co.Peers(),
+		Queue:    s.queue.Stats(),
+		Requests: st,
+	})
+}
+
+// ---- jobs, cache, metrics, health ---------------------------------------
+
+func (s *coordServer) handleJobList(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.queue.List())
+}
+
+func (s *coordServer) handleJobGet(w http.ResponseWriter, r *http.Request) {
+	snap, ok := s.queue.Get(r.PathValue("id"))
+	if !ok {
+		httpError(w, http.StatusNotFound, "no such job %q", r.PathValue("id"))
+		return
+	}
+	writeJSON(w, http.StatusOK, snap)
+}
+
+func (s *coordServer) handleJobCancel(w http.ResponseWriter, r *http.Request) {
+	snap, ok := s.queue.Cancel(r.PathValue("id"))
+	if !ok {
+		httpError(w, http.StatusNotFound, "no such job %q", r.PathValue("id"))
+		return
+	}
+	writeJSON(w, http.StatusOK, snap)
+}
+
+// handleCacheGet and handleCachePut serve the fleet cache authority —
+// the same wire protocol the peer server exposes, here backed by the
+// coordinator's own store.
+func (s *coordServer) handleCacheGet(w http.ResponseWriter, r *http.Request) {
+	if s.cache == nil {
+		httpError(w, http.StatusServiceUnavailable, "no fleet cache configured")
+		return
+	}
+	var req fleet.CacheGetRequest
+	if err := decodeJSON(w, r, &req); err != nil {
+		httpError(w, http.StatusBadRequest, "bad request: %v", err)
+		return
+	}
+	if req.Key == "" {
+		httpError(w, http.StatusBadRequest, "empty cache key")
+		return
+	}
+	v, ok := s.cache.GetRaw(req.Key)
+	if ok {
+		s.reg.Counter("stencilserved_cache_repl_get_hits_total",
+			"replication reads answered from the fleet cache").Inc()
+	} else {
+		s.reg.Counter("stencilserved_cache_repl_get_misses_total",
+			"replication reads the fleet cache could not answer").Inc()
+	}
+	writeJSON(w, http.StatusOK, fleet.CacheGetResponse{Found: ok, Value: v})
+}
+
+func (s *coordServer) handleCachePut(w http.ResponseWriter, r *http.Request) {
+	if s.cache == nil {
+		httpError(w, http.StatusServiceUnavailable, "no fleet cache configured")
+		return
+	}
+	var req fleet.CachePutRequest
+	if err := decodeJSON(w, r, &req); err != nil {
+		httpError(w, http.StatusBadRequest, "bad request: %v", err)
+		return
+	}
+	if req.Key == "" || len(req.Value) == 0 {
+		httpError(w, http.StatusBadRequest, "cache put needs both key and value")
+		return
+	}
+	if err := s.cache.PutRaw(req.Key, req.Value); err != nil {
+		httpError(w, http.StatusInternalServerError, "cache put: %v", err)
+		return
+	}
+	s.reg.Counter("stencilserved_cache_repl_puts_total",
+		"replication writes accepted by the fleet cache").Inc()
+	writeJSON(w, http.StatusOK, struct {
+		OK bool `json:"ok"`
+	}{true})
+}
+
+func (s *coordServer) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	st := s.queue.Stats()
+	for _, g := range []struct {
+		status string
+		n      int
+	}{
+		{"pending", st.Pending}, {"running", st.Running}, {"done", st.Done},
+		{"failed", st.Failed}, {"canceled", st.Canceled},
+	} {
+		s.reg.Gauge("stencilserved_jobs", "jobs by lifecycle status",
+			metrics.Label{Key: "status", Value: g.status}).Set(float64(g.n))
+	}
+	for _, p := range s.co.Peers() {
+		lbl := metrics.Label{Key: "peer", Value: p.Name}
+		h := 0.0
+		if p.Healthy {
+			h = 1
+		}
+		s.reg.Gauge("stencilserved_fleet_peer_healthy",
+			"peer liveness from the last probe (1 = healthy)", lbl).Set(h)
+		s.reg.Gauge("stencilserved_fleet_peer_placed",
+			"submission attempts placed on this peer", lbl).Set(float64(p.Placed))
+		s.reg.Gauge("stencilserved_fleet_peer_failures",
+			"typed transport failures observed on this peer", lbl).Set(float64(p.Failures))
+	}
+	s.reg.Gauge("stencilserved_uptime_seconds", "seconds since start").Set(time.Since(s.start).Seconds())
+	if s.cache != nil {
+		s.reg.Gauge("stencilserved_tunecache_entries", "entry files in the fleet cache").Set(float64(s.cache.Len()))
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = s.reg.WritePrometheus(w)
+}
+
+type coordHealthResponse struct {
+	Status       string     `json:"status"`
+	Role         string     `json:"role"`
+	UptimeSec    float64    `json:"uptime_sec"`
+	Queue        jobs.Stats `json:"queue"`
+	PeersHealthy int        `json:"peers_healthy"`
+	PeersTotal   int        `json:"peers_total"`
+}
+
+func (s *coordServer) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	peers := s.co.Peers()
+	healthy := 0
+	for _, p := range peers {
+		if p.Healthy {
+			healthy++
+		}
+	}
+	writeJSON(w, http.StatusOK, coordHealthResponse{
+		Status: "ok", Role: "coordinator",
+		UptimeSec:    time.Since(s.start).Seconds(),
+		Queue:        s.queue.Stats(),
+		PeersHealthy: healthy, PeersTotal: len(peers),
+	})
+}

@@ -36,8 +36,11 @@ import (
 	"os/signal"
 	"path/filepath"
 	"runtime"
+	"strings"
 	"syscall"
 	"time"
+
+	"stencilsched/internal/fleet"
 )
 
 func main() {
@@ -51,22 +54,70 @@ func main() {
 			"autotune cache directory (empty disables caching)")
 		jobTimeout   = flag.Duration("job-timeout", 15*time.Minute, "per-job ceiling (0 = none)")
 		drainTimeout = flag.Duration("drain-timeout", time.Minute, "graceful-shutdown budget")
+		jobHistory   = flag.Int("job-history", 0,
+			"terminal jobs retained for listing (0 = default 1024)")
+		tenantQuota = flag.Int("tenant-quota", 0,
+			"max live jobs per X-Tenant value (0 = unlimited)")
+		peers = flag.String("peers", "",
+			"comma-separated name=url peer list; non-empty switches this node to coordinator mode")
+		probeInterval = flag.Duration("probe-interval", 0,
+			"coordinator peer health-probe cadence (0 = default 1s, negative disables)")
+		fleetCache = flag.String("fleet-cache", "",
+			"coordinator base URL for tunecache read-through replication (peer mode only)")
 	)
 	flag.Parse()
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	srv, err := newServer(config{
-		workers: *workers, queueDepth: *depth, maxThreads: *threads,
-		cacheDir: *cacheDir, jobTimeout: *jobTimeout, drainTimeout: *drainTimeout,
-	})
+	var svc service
+	var err error
+	if *peers != "" {
+		var fp []fleet.Peer
+		fp, err = parsePeers(*peers)
+		if err == nil {
+			svc, err = newCoordinator(coordConfig{
+				peers: fp, workers: *workers, queueDepth: *depth,
+				jobTimeout: *jobTimeout, drainTimeout: *drainTimeout,
+				cacheDir: *cacheDir, jobHistory: *jobHistory,
+				tenantQuota: *tenantQuota, probeInterval: *probeInterval,
+			})
+		}
+	} else {
+		svc, err = newServer(config{
+			workers: *workers, queueDepth: *depth, maxThreads: *threads,
+			cacheDir: *cacheDir, jobTimeout: *jobTimeout, drainTimeout: *drainTimeout,
+			jobHistory: *jobHistory, tenantQuota: *tenantQuota, fleetCache: *fleetCache,
+		})
+	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "stencilserved:", err)
 		os.Exit(1)
 	}
-	if err := run(ctx, *addr, srv, nil); err != nil {
+	if err := run(ctx, *addr, svc, nil); err != nil {
 		fmt.Fprintln(os.Stderr, "stencilserved:", err)
 		os.Exit(1)
 	}
+}
+
+// parsePeers parses "a=http://host:port,b=http://host2:port" into a
+// fleet peer list, rejecting malformed entries up front — a typo'd peer
+// flag must refuse to start, not coordinate a partial fleet.
+func parsePeers(spec string) ([]fleet.Peer, error) {
+	var out []fleet.Peer
+	for _, ent := range strings.Split(spec, ",") {
+		ent = strings.TrimSpace(ent)
+		if ent == "" {
+			continue
+		}
+		name, url, ok := strings.Cut(ent, "=")
+		if !ok || name == "" || url == "" {
+			return nil, fmt.Errorf("bad -peers entry %q (want name=url)", ent)
+		}
+		out = append(out, fleet.Peer{Name: name, URL: url})
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("-peers %q names no peers", spec)
+	}
+	return out, nil
 }
 
 // defaultCacheDir places the tunecache under the user cache directory,
@@ -78,18 +129,27 @@ func defaultCacheDir() string {
 	return filepath.Join(os.TempDir(), "stencilserved-tunecache")
 }
 
+// service is what run needs from either server flavor: the peer server
+// and the coordinator share the serve/drain lifecycle but differ in
+// what sits behind the mux and what must be torn down at exit.
+type service interface {
+	http.Handler
+	banner(addr net.Addr) string
+	drainBudget() time.Duration
+	drain(ctx context.Context) error
+}
+
 // run serves until ctx is canceled (SIGINT/SIGTERM in production; the
 // drain test cancels it directly), then shuts down gracefully: stop
 // accepting connections, drain in-flight jobs, exit. ready, when
 // non-nil, receives the bound address once the listener is up.
-func run(ctx context.Context, addr string, srv *server, ready func(net.Addr)) error {
+func run(ctx context.Context, addr string, svc service, ready func(net.Addr)) error {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return err
 	}
-	hs := &http.Server{Handler: srv}
-	log.Printf("stencilserved: listening on http://%s (workers=%d, thread budget=%d, cache=%s)",
-		ln.Addr(), srv.cfg.workers, srv.cfg.maxThreads, srv.cfg.cacheDir)
+	hs := &http.Server{Handler: svc}
+	log.Print(svc.banner(ln.Addr()))
 	errc := make(chan error, 1)
 	go func() { errc <- hs.Serve(ln) }()
 	if ready != nil {
@@ -100,11 +160,11 @@ func run(ctx context.Context, addr string, srv *server, ready func(net.Addr)) er
 		return err
 	case <-ctx.Done():
 	}
-	log.Printf("stencilserved: shutting down, draining jobs (budget %s)", srv.cfg.drainTimeout)
-	dctx, cancel := context.WithTimeout(context.Background(), srv.cfg.drainTimeout)
+	log.Printf("stencilserved: shutting down, draining jobs (budget %s)", svc.drainBudget())
+	dctx, cancel := context.WithTimeout(context.Background(), svc.drainBudget())
 	defer cancel()
 	serr := hs.Shutdown(dctx)
-	derr := srv.queue.Drain(dctx)
+	derr := svc.drain(dctx)
 	if derr != nil {
 		derr = fmt.Errorf("drain: %w", derr)
 	}

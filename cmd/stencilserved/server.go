@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"net"
 	"net/http"
 	"sort"
 	"strings"
@@ -13,6 +14,7 @@ import (
 
 	"stencilsched"
 	"stencilsched/internal/conform"
+	"stencilsched/internal/fleet"
 	"stencilsched/internal/jobs"
 	"stencilsched/internal/metrics"
 	"stencilsched/internal/perfmodel"
@@ -29,6 +31,9 @@ type config struct {
 	cacheDir     string        // tunecache directory ("" disables caching)
 	jobTimeout   time.Duration // per-job ceiling (0 = none)
 	drainTimeout time.Duration // graceful-shutdown budget
+	jobHistory   int           // terminal jobs retained (0 = jobs.DefaultHistoryLimit)
+	tenantQuota  int           // live jobs per tenant (0 = unlimited)
+	fleetCache   string        // coordinator base URL for tunecache read-through ("" = standalone)
 }
 
 // server wires the queue, tuning cache, and metrics behind the HTTP API.
@@ -75,10 +80,22 @@ func newServer(cfg config) (*server, error) {
 		mux:   http.NewServeMux(),
 		start: time.Now(),
 	}
+	if cfg.jobHistory > 0 {
+		s.queue.SetHistoryLimit(cfg.jobHistory)
+	}
+	if cfg.tenantQuota > 0 {
+		s.queue.SetTenantLimit(cfg.tenantQuota)
+	}
 	if cfg.cacheDir != "" {
 		c, err := tunecache.Open(cfg.cacheDir)
 		if err != nil {
 			return nil, err
+		}
+		if cfg.fleetCache != "" {
+			// Fleet member: a local miss reads through to the coordinator's
+			// shared cache, and fresh local measurements are pushed up so
+			// re-placements of this problem land warm anywhere.
+			c.SetReplicator(fleet.NewHTTPReplicator(cfg.fleetCache, 0))
 		}
 		s.cache = c
 	}
@@ -125,12 +142,25 @@ func newServer(cfg config) (*server, error) {
 	s.handle("GET /v1/jobs", s.handleJobList)
 	s.handle("GET /v1/jobs/{id}", s.handleJobGet)
 	s.handle("DELETE /v1/jobs/{id}", s.handleJobCancel)
+	s.handle("POST /v1/cache/get", s.handleCacheGet)
+	s.handle("POST /v1/cache/put", s.handleCachePut)
 	s.handle("GET /metrics", s.handleMetrics)
 	s.handle("GET /healthz", s.handleHealthz)
 	return s, nil
 }
 
 func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// banner, drainBudget, and drain satisfy the service interface run uses
+// for its lifecycle.
+func (s *server) banner(addr net.Addr) string {
+	return fmt.Sprintf("stencilserved: listening on http://%s (workers=%d, thread budget=%d, cache=%s)",
+		addr, s.cfg.workers, s.cfg.maxThreads, s.cfg.cacheDir)
+}
+
+func (s *server) drainBudget() time.Duration { return s.cfg.drainTimeout }
+
+func (s *server) drain(ctx context.Context) error { return s.queue.Drain(ctx) }
 
 // handle registers a route instrumented with a per-route latency
 // histogram and a per-route/status response counter. The route label is
@@ -199,17 +229,27 @@ func decodeJSON(w http.ResponseWriter, r *http.Request, v any) error {
 	return nil
 }
 
-// submit queues fn and answers 202 with the job snapshot, mapping queue
-// saturation to 503 (with Retry-After) so load shedding is visible to
-// clients.
-func (s *server) submit(w http.ResponseWriter, kind string, threads int, fn jobs.Func) {
-	snap, err := s.queue.Submit(kind, threads, s.cfg.jobTimeout, fn)
+// tenantHeader carries the requesting tenant through the coordinator to
+// the peers; an empty value is the anonymous tenant (never quota-bound).
+const tenantHeader = "X-Tenant"
+
+// submit queues fn under the request's tenant and answers 202 with the
+// job snapshot, mapping queue saturation to 503 (with Retry-After) and
+// a tenant over its quota to 429, so both global and per-tenant load
+// shedding are visible to clients.
+func (s *server) submit(w http.ResponseWriter, r *http.Request, kind string, threads int, fn jobs.Func) {
+	tenant := r.Header.Get(tenantHeader)
+	snap, err := s.queue.SubmitTagged(kind, tenant, threads, s.cfg.jobTimeout, fn)
 	switch {
 	case err == jobs.ErrQueueFull:
 		w.Header().Set("Retry-After", "1")
 		httpError(w, http.StatusServiceUnavailable, "job queue full")
 	case err == jobs.ErrDraining:
 		httpError(w, http.StatusServiceUnavailable, "server shutting down")
+	case err == jobs.ErrTenantLimit:
+		w.Header().Set("Retry-After", "1")
+		httpError(w, http.StatusTooManyRequests,
+			"tenant %q at its live-job quota (%d)", tenant, s.cfg.tenantQuota)
 	case err != nil:
 		httpError(w, http.StatusInternalServerError, "%v", err)
 	default:
@@ -334,11 +374,11 @@ func (s *server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if req.Ranks > 0 {
-		s.handleSolveDist(w, req, v)
+		s.handleSolveDist(w, r, req, v)
 		return
 	}
 	req2 := req // capture by value for the job closure
-	s.submit(w, "solve", req.Threads, func(ctx context.Context) (any, error) {
+	s.submit(w, r, "solve", req.Threads, func(ctx context.Context) (any, error) {
 		prob := stencilsched.AdvectionProblem{
 			DomainN: req2.DomainN, BoxN: req2.BoxN,
 			U: req2.U, Rho: solveRho(req2.DomainN), Dt: req2.Dt,
@@ -376,7 +416,7 @@ func (s *server) handleSolve(w http.ResponseWriter, r *http.Request) {
 // transport. All decomposition validation happens here: too many ranks
 // for the box count or a halo deeper than the periodic domain must 400,
 // not fail a queued job.
-func (s *server) handleSolveDist(w http.ResponseWriter, req solveRequest, v stencilsched.Variant) {
+func (s *server) handleSolveDist(w http.ResponseWriter, r *http.Request, req solveRequest, v stencilsched.Variant) {
 	if strings.ToLower(req.Integrator) != "euler" {
 		httpError(w, http.StatusBadRequest,
 			"distributed solves integrate with explicit euler only; got integrator %q", req.Integrator)
@@ -405,7 +445,7 @@ func (s *server) handleSolveDist(w http.ResponseWriter, req solveRequest, v sten
 	}
 	// Every rank runs its own executor, so the thread grant scales with
 	// the rank count (the queue clamps it to the server budget).
-	s.submit(w, "solve-dist", req.Ranks*req.Threads, func(ctx context.Context) (any, error) {
+	s.submit(w, r, "solve-dist", req.Ranks*req.Threads, func(ctx context.Context) (any, error) {
 		res, err := stencilsched.SolveDistributedContext(ctx, v, p)
 		if err != nil {
 			return nil, err
@@ -530,7 +570,7 @@ func (s *server) handleAutotune(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	s.cacheMisses.Inc()
-	s.submit(w, "autotune", p.Threads, func(ctx context.Context) (any, error) {
+	s.submit(w, r, "autotune", p.Threads, func(ctx context.Context) (any, error) {
 		var rows []tuneRow
 		if len(cands) > 0 {
 			results, err := stencilsched.AutotuneContext(ctx, p, req.Reps, cands)
@@ -638,7 +678,7 @@ func (s *server) handleConformance(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	req2 := req
-	s.submit(w, "conformance", conform.MaxThreads, func(ctx context.Context) (any, error) {
+	s.submit(w, r, "conformance", conform.MaxThreads, func(ctx context.Context) (any, error) {
 		rep, err := stencilsched.Conformance(ctx, stencilsched.ConformanceConfig{
 			Seed:       req2.Seed,
 			BoxCases:   req2.BoxCases,
@@ -754,6 +794,65 @@ func (s *server) handleVariants(w http.ResponseWriter, r *http.Request) {
 	}
 	w.Header().Set("Content-Type", "application/json")
 	_ = t.JSON(w)
+}
+
+// ---- POST /v1/cache/{get,put} -------------------------------------------
+
+// handleCacheGet serves one tunecache entry by opaque key — the fleet
+// cache-replication read path. A standalone node also answers (its own
+// cache doubles as the authority), which is what lets any node be
+// promoted to coordinator without a data migration.
+func (s *server) handleCacheGet(w http.ResponseWriter, r *http.Request) {
+	if s.cache == nil {
+		httpError(w, http.StatusServiceUnavailable, "no tunecache configured")
+		return
+	}
+	var req fleet.CacheGetRequest
+	if err := decodeJSON(w, r, &req); err != nil {
+		httpError(w, http.StatusBadRequest, "bad request: %v", err)
+		return
+	}
+	if req.Key == "" {
+		httpError(w, http.StatusBadRequest, "empty cache key")
+		return
+	}
+	v, ok := s.cache.GetRaw(req.Key)
+	if ok {
+		s.reg.Counter("stencilserved_cache_repl_get_hits_total",
+			"replication reads answered from this node's cache").Inc()
+	} else {
+		s.reg.Counter("stencilserved_cache_repl_get_misses_total",
+			"replication reads this node could not answer").Inc()
+	}
+	writeJSON(w, http.StatusOK, fleet.CacheGetResponse{Found: ok, Value: v})
+}
+
+// handleCachePut stores one tunecache entry pushed by a peer that just
+// measured it. PutRaw deliberately does not re-replicate: an upstream
+// echo would bounce entries between coordinator and peers forever.
+func (s *server) handleCachePut(w http.ResponseWriter, r *http.Request) {
+	if s.cache == nil {
+		httpError(w, http.StatusServiceUnavailable, "no tunecache configured")
+		return
+	}
+	var req fleet.CachePutRequest
+	if err := decodeJSON(w, r, &req); err != nil {
+		httpError(w, http.StatusBadRequest, "bad request: %v", err)
+		return
+	}
+	if req.Key == "" || len(req.Value) == 0 {
+		httpError(w, http.StatusBadRequest, "cache put needs both key and value")
+		return
+	}
+	if err := s.cache.PutRaw(req.Key, req.Value); err != nil {
+		httpError(w, http.StatusInternalServerError, "cache put: %v", err)
+		return
+	}
+	s.reg.Counter("stencilserved_cache_repl_puts_total",
+		"replication writes accepted by this node").Inc()
+	writeJSON(w, http.StatusOK, struct {
+		OK bool `json:"ok"`
+	}{true})
 }
 
 // ---- jobs, metrics, health ---------------------------------------------

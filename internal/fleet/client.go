@@ -1,0 +1,135 @@
+package fleet
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+)
+
+// remoteJob is the slice of a peer's job snapshot the coordinator needs;
+// extra fields (timestamps, threads, tenant) pass through untouched.
+type remoteJob struct {
+	ID     string          `json:"id"`
+	Status string          `json:"status"`
+	Result json.RawMessage `json:"result"`
+	Error  string          `json:"error"`
+}
+
+func (j remoteJob) terminal() bool {
+	switch j.Status {
+	case "done", "failed", "canceled":
+		return true
+	}
+	return false
+}
+
+// peerClient speaks the stencilserved HTTP API to one peer. All
+// transport-level failures come back as *PeerError wrapping ErrPeerDown
+// (connection refused/reset: the peer is gone) or ErrTimeout (the
+// context expired waiting on it), so the coordinator's placement loop
+// can errors.Is its way to the retry decision.
+type peerClient struct {
+	peer Peer
+	hc   *http.Client
+}
+
+// maxPeerResponse bounds a peer response body. Solve and autotune
+// results are a few KB of JSON; a megabyte is generous and keeps a
+// misbehaving peer from ballooning coordinator memory.
+const maxPeerResponse = 1 << 20
+
+// do issues one request and returns (status, body). A non-nil error is
+// always transport-level and typed; HTTP error statuses are returned to
+// the caller to classify (4xx permanent, 5xx transient).
+func (c *peerClient) do(ctx context.Context, op, method, path string, body []byte) (int, []byte, error) {
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, strings.TrimRight(c.peer.URL, "/")+path, rd)
+	if err != nil {
+		return 0, nil, &PeerError{Peer: c.peer.Name, Op: op, Err: err}
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return 0, nil, &PeerError{Peer: c.peer.Name, Op: op, Err: classify(ctx, err)}
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, maxPeerResponse))
+	if err != nil {
+		return 0, nil, &PeerError{Peer: c.peer.Name, Op: op, Err: classify(ctx, err)}
+	}
+	return resp.StatusCode, data, nil
+}
+
+// classify maps a transport error onto the fleet's typed failure
+// classes: a context deadline is a timeout, everything else (refused,
+// reset, EOF, DNS) means the peer is unreachable.
+func classify(ctx context.Context, err error) error {
+	if errors.Is(err, context.DeadlineExceeded) || errors.Is(ctx.Err(), context.DeadlineExceeded) {
+		return fmt.Errorf("%w: %v", ErrTimeout, err)
+	}
+	if errors.Is(err, context.Canceled) || errors.Is(ctx.Err(), context.Canceled) {
+		return context.Canceled
+	}
+	return fmt.Errorf("%w: %v", ErrPeerDown, err)
+}
+
+// submit POSTs a job request. Three shapes come back: 202 with the
+// accepted job (run remotely, poll it), 200 with a synchronous result
+// (the peer answered from its cache), or an HTTP error.
+func (c *peerClient) submit(ctx context.Context, path string, body []byte) (int, []byte, error) {
+	return c.do(ctx, "submit", http.MethodPost, path, body)
+}
+
+// getJob fetches one job snapshot.
+func (c *peerClient) getJob(ctx context.Context, id string) (remoteJob, error) {
+	status, data, err := c.do(ctx, "poll", http.MethodGet, "/v1/jobs/"+id, nil)
+	if err != nil {
+		return remoteJob{}, err
+	}
+	switch {
+	case status == http.StatusNotFound:
+		// The peer restarted (or evicted the job from its history) under
+		// us: its in-flight state is gone, which is peer-down as far as
+		// this job is concerned — the coordinator must re-place it.
+		return remoteJob{}, &PeerError{Peer: c.peer.Name, Op: "poll",
+			Err: fmt.Errorf("%w: job %s unknown to peer", ErrPeerDown, id)}
+	case status != http.StatusOK:
+		return remoteJob{}, &PeerError{Peer: c.peer.Name, Op: "poll",
+			Err: fmt.Errorf("%w: poll status %d", ErrPeerDown, status)}
+	}
+	var j remoteJob
+	if err := json.Unmarshal(data, &j); err != nil {
+		return remoteJob{}, &PeerError{Peer: c.peer.Name, Op: "poll",
+			Err: fmt.Errorf("%w: bad job snapshot: %v", ErrPeerDown, err)}
+	}
+	return j, nil
+}
+
+// cancelJob best-effort cancels a remote job.
+func (c *peerClient) cancelJob(ctx context.Context, id string) error {
+	_, _, err := c.do(ctx, "cancel", http.MethodDelete, "/v1/jobs/"+id, nil)
+	return err
+}
+
+// probe checks the peer's liveness endpoint.
+func (c *peerClient) probe(ctx context.Context) error {
+	status, _, err := c.do(ctx, "probe", http.MethodGet, "/healthz", nil)
+	if err != nil {
+		return err
+	}
+	if status != http.StatusOK {
+		return &PeerError{Peer: c.peer.Name, Op: "probe",
+			Err: fmt.Errorf("%w: healthz status %d", ErrPeerDown, status)}
+	}
+	return nil
+}

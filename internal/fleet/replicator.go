@@ -1,0 +1,96 @@
+package fleet
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+)
+
+// Cache-replication wire messages, shared by the peer-side replicator
+// here and the coordinator-side cache authority in cmd/stencilserved.
+// Keys are opaque strings (a peer's tunecache key embeds its own host
+// fingerprint, so one peer's entries never answer a differently-shaped
+// host); values are the raw cached JSON.
+type CacheGetRequest struct {
+	Key string `json:"key"`
+}
+
+type CacheGetResponse struct {
+	Found bool            `json:"found"`
+	Value json.RawMessage `json:"value,omitempty"`
+}
+
+type CachePutRequest struct {
+	Key   string          `json:"key"`
+	Value json.RawMessage `json:"value"`
+}
+
+// HTTPReplicator implements tunecache.Replicator against a coordinator's
+// /v1/cache endpoints: a peer's local tunecache miss reads through to
+// the fleet's shared cache, and a fresh local measurement is pushed up
+// so every other peer (and any future re-placement) inherits it. Both
+// directions are best-effort by the Replicator contract — a dead
+// coordinator degrades a fleet hit into a re-measure, never an error.
+type HTTPReplicator struct {
+	base    string
+	hc      *http.Client
+	timeout time.Duration
+}
+
+// NewHTTPReplicator builds a replicator against the coordinator at
+// baseURL. timeout bounds each Fetch/Store round trip (0 means 2s).
+func NewHTTPReplicator(baseURL string, timeout time.Duration) *HTTPReplicator {
+	if timeout <= 0 {
+		timeout = 2 * time.Second
+	}
+	return &HTTPReplicator{
+		base:    strings.TrimRight(baseURL, "/"),
+		hc:      &http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: 4}},
+		timeout: timeout,
+	}
+}
+
+// Fetch looks key up in the fleet cache.
+func (r *HTTPReplicator) Fetch(key string) (json.RawMessage, bool) {
+	data, err := r.post("/v1/cache/get", CacheGetRequest{Key: key})
+	if err != nil {
+		return nil, false
+	}
+	var resp CacheGetResponse
+	if err := json.Unmarshal(data, &resp); err != nil || !resp.Found {
+		return nil, false
+	}
+	return resp.Value, true
+}
+
+// Store pushes a fresh entry to the fleet cache.
+func (r *HTTPReplicator) Store(key string, value json.RawMessage) {
+	_, _ = r.post("/v1/cache/put", CachePutRequest{Key: key, Value: value})
+}
+
+func (r *HTTPReplicator) post(path string, body any) ([]byte, error) {
+	raw, err := json.Marshal(body)
+	if err != nil {
+		return nil, err
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), r.timeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, r.base+path, bytes.NewReader(raw))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := r.hc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, &RequestError{Peer: r.base, Status: resp.StatusCode}
+	}
+	return io.ReadAll(io.LimitReader(resp.Body, maxPeerResponse))
+}

@@ -1,0 +1,123 @@
+package fleet
+
+import (
+	"fmt"
+	"testing"
+)
+
+func ringNames(n int) []string {
+	names := make([]string, n)
+	for i := range names {
+		names[i] = fmt.Sprintf("peer-%d", i)
+	}
+	return names
+}
+
+func TestRingDeterministicAndComplete(t *testing.T) {
+	r, err := NewRing(ringNames(5), 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		key := fmt.Sprintf("fp-%d", i)
+		a, b := r.Place(key), r.Place(key)
+		if len(a) != 5 {
+			t.Fatalf("Place returned %d peers, want all 5", len(a))
+		}
+		seen := make(map[int]bool)
+		for j, p := range a {
+			if p != b[j] {
+				t.Fatalf("Place(%q) not deterministic: %v vs %v", key, a, b)
+			}
+			if seen[p] {
+				t.Fatalf("Place(%q) repeats peer %d: %v", key, p, a)
+			}
+			seen[p] = true
+		}
+	}
+}
+
+func TestRingDuplicateNamesRejected(t *testing.T) {
+	if _, err := NewRing([]string{"a", "b", "a"}, 8); err == nil {
+		t.Fatal("duplicate peer names accepted")
+	}
+	if _, err := NewRing(nil, 8); err == nil {
+		t.Fatal("empty ring accepted")
+	}
+}
+
+// TestRingBalance: with enough vnodes no peer owns a grossly outsized
+// share of keys. The bound is loose (3x the fair share) — the point is
+// catching a broken hash or sort, not certifying uniformity.
+func TestRingBalance(t *testing.T) {
+	const peers, keys = 4, 4000
+	r, err := NewRing(ringNames(peers), 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make([]int, peers)
+	for i := 0; i < keys; i++ {
+		counts[r.Place(fmt.Sprintf("problem-%d", i))[0]]++
+	}
+	for p, n := range counts {
+		if n == 0 {
+			t.Fatalf("peer %d owns no keys: %v", p, counts)
+		}
+		if n > 3*keys/peers {
+			t.Fatalf("peer %d owns %d of %d keys (>3x fair share): %v", p, n, keys, counts)
+		}
+	}
+}
+
+// TestRingConsistency: removing one peer must only move the keys that
+// peer owned — everyone else's placement is untouched. This is the
+// property that keeps the rest of the fleet's tunecaches warm through a
+// membership change.
+func TestRingConsistency(t *testing.T) {
+	const keys = 2000
+	full, err := NewRing(ringNames(5), 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Drop peer-4: the survivors keep their original indices 0..3.
+	reduced, err := NewRing(ringNames(4), 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	moved := 0
+	for i := 0; i < keys; i++ {
+		key := fmt.Sprintf("problem-%d", i)
+		before, after := full.Place(key)[0], reduced.Place(key)[0]
+		if before == 4 {
+			continue // its owner left; it must move somewhere
+		}
+		if before != after {
+			moved++
+		}
+	}
+	if moved != 0 {
+		t.Fatalf("%d keys moved between surviving peers after a membership change", moved)
+	}
+}
+
+// TestRingFallbackOrderStable: the second choice for a key must be the
+// same on every call — re-placed repeats of one problem all land on one
+// fallback peer, preserving cache affinity through the failure.
+func TestRingFallbackOrderStable(t *testing.T) {
+	r, err := NewRing(ringNames(5), 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		key := fmt.Sprintf("fp-%d", i)
+		want := r.Place(key)
+		for rep := 0; rep < 3; rep++ {
+			got := r.Place(key)
+			for j := range want {
+				if got[j] != want[j] {
+					t.Fatalf("fallback order unstable for %q: %v vs %v", key, want, got)
+				}
+			}
+		}
+	}
+}

@@ -50,12 +50,18 @@ type Func func(ctx context.Context) (any, error)
 var (
 	ErrQueueFull = errors.New("jobs: queue full")
 	ErrDraining  = errors.New("jobs: queue draining")
+	// ErrTenantLimit: the tenant already has its full quota of live
+	// (pending or running) jobs. Per-tenant admission control, so one
+	// tenant flooding the queue cannot starve the rest; the service maps
+	// it to 429.
+	ErrTenantLimit = errors.New("jobs: tenant at capacity")
 )
 
 // job is the internal record; all mutable fields are guarded by Queue.mu.
 type job struct {
 	id       string
 	kind     string
+	tenant   string
 	threads  int
 	timeout  time.Duration
 	fn       Func
@@ -73,6 +79,7 @@ type job struct {
 type Snapshot struct {
 	ID       string     `json:"id"`
 	Kind     string     `json:"kind"`
+	Tenant   string     `json:"tenant,omitempty"`
 	Status   Status     `json:"status"`
 	Threads  int        `json:"threads"`
 	Created  time.Time  `json:"created"`
@@ -84,7 +91,7 @@ type Snapshot struct {
 
 func (j *job) snapshot() Snapshot {
 	s := Snapshot{
-		ID: j.id, Kind: j.kind, Status: j.status, Threads: j.threads,
+		ID: j.id, Kind: j.kind, Tenant: j.tenant, Status: j.status, Threads: j.threads,
 		Created: j.created, Result: j.result, Error: j.err,
 	}
 	if !j.started.IsZero() {
@@ -100,11 +107,14 @@ func (j *job) snapshot() Snapshot {
 
 // Stats summarizes the queue for health and metrics endpoints.
 type Stats struct {
-	Pending      int `json:"pending"`
-	Running      int `json:"running"`
-	Done         int `json:"done"`
-	Failed       int `json:"failed"`
-	Canceled     int `json:"canceled"`
+	Pending  int `json:"pending"`
+	Running  int `json:"running"`
+	Done     int `json:"done"`
+	Failed   int `json:"failed"`
+	Canceled int `json:"canceled"`
+	// Evicted counts terminal jobs dropped from the bounded history; the
+	// lifecycle counters above only see retained jobs.
+	Evicted      int `json:"evicted"`
 	Workers      int `json:"workers"`
 	ThreadsInUse int `json:"threads_in_use"`
 	ThreadCap    int `json:"thread_cap"`
@@ -121,10 +131,21 @@ type Queue struct {
 	workers    int
 	seq        uint64
 	draining   bool
+	history    int            // max terminal jobs retained (see SetHistoryLimit)
+	evicted    int            // terminal jobs dropped from the history
+	tenantCap  int            // max live jobs per tenant (0 = unlimited)
+	live       map[string]int // live (non-terminal) jobs per tenant
 	wg         sync.WaitGroup
 	baseCtx    context.Context
 	baseCancel context.CancelFunc
 }
+
+// DefaultHistoryLimit bounds retained terminal jobs when SetHistoryLimit
+// is never called. A long-lived service submits jobs forever; retaining
+// every terminal record (id, result payload, error string) forever is an
+// unbounded leak, so the queue keeps a recent window for /v1/jobs and
+// evicts the oldest terminal jobs beyond it.
+const DefaultHistoryLimit = 1024
 
 // New starts a queue with the given worker count, pending-queue depth,
 // and total thread budget (each clamped to at least 1).
@@ -141,6 +162,8 @@ func New(workers, depth, maxThreads int) *Queue {
 		pending:    make(chan *job, depth),
 		sem:        newThreadSem(maxThreads),
 		workers:    workers,
+		history:    DefaultHistoryLimit,
+		live:       make(map[string]int),
 		baseCtx:    ctx,
 		baseCancel: cancel,
 	}
@@ -151,11 +174,42 @@ func New(workers, depth, maxThreads int) *Queue {
 	return q
 }
 
+// SetHistoryLimit bounds how many terminal jobs the queue retains for
+// Get/List (n < 1 keeps only live jobs). Once the bound is exceeded the
+// oldest terminal jobs are evicted; live jobs are never evicted.
+func (q *Queue) SetHistoryLimit(n int) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if n < 0 {
+		n = 0
+	}
+	q.history = n
+	q.evictLocked()
+}
+
+// SetTenantLimit caps the live (pending or running) jobs any one tenant
+// may hold; submissions beyond it fail with ErrTenantLimit. Zero removes
+// the cap. Untagged submissions count as the "" tenant.
+func (q *Queue) SetTenantLimit(n int) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if n < 0 {
+		n = 0
+	}
+	q.tenantCap = n
+}
+
 // Submit enqueues fn as a job of the given kind needing threads
 // goroutine-threads, with an optional per-job timeout (0 means none). It
 // never blocks: a full queue returns ErrQueueFull and a draining queue
 // ErrDraining.
 func (q *Queue) Submit(kind string, threads int, timeout time.Duration, fn Func) (Snapshot, error) {
+	return q.SubmitTagged(kind, "", threads, timeout, fn)
+}
+
+// SubmitTagged is Submit with a tenant tag for admission control and
+// accounting: a tenant at its SetTenantLimit quota gets ErrTenantLimit.
+func (q *Queue) SubmitTagged(kind, tenant string, threads int, timeout time.Duration, fn Func) (Snapshot, error) {
 	if fn == nil {
 		return Snapshot{}, fmt.Errorf("jobs: nil job func")
 	}
@@ -164,10 +218,14 @@ func (q *Queue) Submit(kind string, threads int, timeout time.Duration, fn Func)
 	if q.draining {
 		return Snapshot{}, ErrDraining
 	}
+	if q.tenantCap > 0 && q.live[tenant] >= q.tenantCap {
+		return Snapshot{}, ErrTenantLimit
+	}
 	q.seq++
 	j := &job{
 		id:      fmt.Sprintf("%s-%d", kind, q.seq),
 		kind:    kind,
+		tenant:  tenant,
 		threads: q.sem.clamp(threads),
 		timeout: timeout,
 		fn:      fn,
@@ -181,7 +239,15 @@ func (q *Queue) Submit(kind string, threads int, timeout time.Duration, fn Func)
 	}
 	q.jobs[j.id] = j
 	q.order = append(q.order, j.id)
+	q.live[tenant]++
 	return j.snapshot(), nil
+}
+
+// TenantLive reports a tenant's live (pending or running) job count.
+func (q *Queue) TenantLive(tenant string) int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.live[tenant]
 }
 
 // Get returns the job's current snapshot.
@@ -235,13 +301,61 @@ func (q *Queue) cancelLocked(j *job) {
 	// that eventually pops it will see the terminal status and skip.
 	j.status = StatusCanceled
 	j.finished = time.Now()
+	q.settleLocked(j)
+}
+
+// settleLocked accounts j's transition into a terminal state: the
+// tenant's live count drops and the terminal history is re-bounded.
+// q.mu is held and j.status is already terminal.
+func (q *Queue) settleLocked(j *job) {
+	if n := q.live[j.tenant]; n > 1 {
+		q.live[j.tenant] = n - 1
+	} else {
+		delete(q.live, j.tenant)
+	}
+	q.evictLocked()
+}
+
+// evictLocked drops the oldest terminal jobs beyond the history bound;
+// live jobs are never dropped. q.mu is held.
+func (q *Queue) evictLocked() {
+	terminal := 0
+	for _, id := range q.order {
+		if q.jobs[id].status.Terminal() {
+			terminal++
+		}
+	}
+	drop := terminal - q.history
+	if drop <= 0 {
+		return
+	}
+	keep := q.order[:0]
+	for i, id := range q.order {
+		if drop > 0 && q.jobs[id].status.Terminal() {
+			delete(q.jobs, id)
+			q.evicted++
+			drop--
+			continue
+		}
+		if drop == 0 {
+			keep = append(keep, q.order[i:]...)
+			break
+		}
+		keep = append(keep, id)
+	}
+	// Zero the tail so evicted ids do not pin job records via the old
+	// backing array.
+	for i := len(keep); i < len(q.order); i++ {
+		q.order[i] = ""
+	}
+	q.order = keep
 }
 
 // Stats returns current queue counters.
 func (q *Queue) Stats() Stats {
 	q.mu.Lock()
 	defer q.mu.Unlock()
-	s := Stats{Workers: q.workers, ThreadCap: q.sem.cap, ThreadsInUse: q.sem.inUse()}
+	s := Stats{Workers: q.workers, ThreadCap: q.sem.cap, ThreadsInUse: q.sem.inUse(), Evicted: q.evicted}
 	for _, j := range q.jobs {
 		switch j.status {
 		case StatusPending:
@@ -362,14 +476,22 @@ func (q *Queue) finish(j *job, res any, err error) {
 	defer q.mu.Unlock()
 	j.finished = time.Now()
 	switch {
+	case j.canceled:
+		// Cancellation wins even over a nil error: a running job whose fn
+		// ignores its context and returns success after Cancel must still
+		// settle as canceled, or clients observe a "done" job they were
+		// told they canceled.
+		j.status = StatusCanceled
+		if err == nil {
+			err = context.Canceled
+		}
+		j.err = err.Error()
 	case err == nil:
 		j.status = StatusDone
 		j.result = res
-	case j.canceled:
-		j.status = StatusCanceled
-		j.err = err.Error()
 	default:
 		j.status = StatusFailed
 		j.err = err.Error()
 	}
+	q.settleLocked(j)
 }

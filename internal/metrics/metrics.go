@@ -91,6 +91,38 @@ func (h *Histogram) Count() uint64 {
 	return h.count
 }
 
+// Quantile estimates the q-th quantile (0 <= q <= 1) from the bucket
+// counts by linear interpolation within the bucket holding the target
+// rank — the same estimate Prometheus's histogram_quantile computes
+// server-side. It returns NaN for an empty histogram or q outside
+// [0, 1]. The estimate is capped at the highest finite bucket bound:
+// ranks landing in the +Inf bucket report that bound, since the true
+// spread above it is unknowable from bucketed data.
+func (h *Histogram) Quantile(q float64) float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.count == 0 || q < 0 || q > 1 || len(h.buckets) == 0 {
+		return math.NaN()
+	}
+	rank := q * float64(h.count)
+	var cum float64
+	for i, ub := range h.buckets {
+		prev := cum
+		cum += float64(h.counts[i])
+		if cum >= rank {
+			lb := 0.0
+			if i > 0 {
+				lb = h.buckets[i-1]
+			}
+			if h.counts[i] == 0 {
+				return ub
+			}
+			return lb + (ub-lb)*(rank-prev)/float64(h.counts[i])
+		}
+	}
+	return h.buckets[len(h.buckets)-1]
+}
+
 // DefBuckets returns latency buckets in seconds spanning sub-millisecond
 // handlers through multi-minute measured tuning sweeps.
 func DefBuckets() []float64 {

@@ -142,3 +142,38 @@ func TestExpBuckets(t *testing.T) {
 		}()
 	}
 }
+
+func TestHistogramQuantile(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("q", "", []float64{1, 2, 4, 8})
+	if v := h.Quantile(0.5); v == v { // NaN != NaN
+		t.Fatalf("empty histogram Quantile = %v, want NaN", v)
+	}
+	// 10 observations uniform in (0,1]: the median interpolates to the
+	// middle of the first bucket.
+	for i := 0; i < 10; i++ {
+		h.Observe(0.5)
+	}
+	if v := h.Quantile(0.5); v != 0.5 {
+		t.Fatalf("p50 = %v, want 0.5 (linear within [0,1])", v)
+	}
+	if v := h.Quantile(1); v != 1 {
+		t.Fatalf("p100 = %v, want 1 (top of first bucket)", v)
+	}
+	// Spread across buckets: 10 in (0,1], 10 in (1,2]. p75 lands halfway
+	// through the second bucket.
+	for i := 0; i < 10; i++ {
+		h.Observe(1.5)
+	}
+	if v := h.Quantile(0.75); v != 1.5 {
+		t.Fatalf("p75 = %v, want 1.5", v)
+	}
+	// An observation above every finite bound caps at the highest bound.
+	h.Observe(100)
+	if v := h.Quantile(1); v != 8 {
+		t.Fatalf("p100 with +Inf observation = %v, want cap at 8", v)
+	}
+	if v := h.Quantile(-0.1); v == v {
+		t.Fatalf("out-of-range q = %v, want NaN", v)
+	}
+}

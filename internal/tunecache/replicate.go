@@ -1,0 +1,29 @@
+package tunecache
+
+import "encoding/json"
+
+// Replicator is the fleet replication hook: a cache with a replicator
+// reads through to it on local miss (Fetch) and pushes fresh entries to
+// it after a local Put (Store). In a stencilserved fleet the replicator
+// is the coordinator's cache authority, so a measurement made on one
+// peer answers the same problem on every peer — including a job
+// re-placed after its original peer died.
+//
+// Both calls are best-effort by contract: Fetch returning false and
+// Store silently dropping the entry must both be safe, because the
+// worst case has to stay "re-measure", never "service down".
+// Implementations are called with no cache lock held and may block on
+// the network; they must be safe for concurrent use.
+type Replicator interface {
+	// Fetch looks key up remotely, reporting whether it was found.
+	Fetch(key string) (json.RawMessage, bool)
+	// Store pushes a freshly written entry upstream.
+	Store(key string, value json.RawMessage)
+}
+
+// SetReplicator installs (or, with nil, removes) the replication hook.
+func (c *Cache) SetReplicator(r Replicator) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.repl = r
+}

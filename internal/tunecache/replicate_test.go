@@ -1,0 +1,160 @@
+package tunecache
+
+import (
+	"encoding/json"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// TestKeyInjective pins the \x1f-collision bug: parts containing the old
+// separator (or any other byte) must never make two distinct part lists
+// produce the same key.
+func TestKeyInjective(t *testing.T) {
+	collisions := [][2][]string{
+		{{"a\x1fb"}, {"a", "b"}},           // the original bug
+		{{"a", "b\x1fc"}, {"a", "b", "c"}}, // separator mid-list
+		{{"a\x1f", "b"}, {"a", "\x1fb"}},   // separator at a boundary
+		{{"3:abc"}, {"3:a", "bc"}},         // parts that mimic the new encoding
+		{{""}, {}},                         // empty part vs no part
+		{{"", ""}, {""}},                   // part-count must matter
+		{{"12", "3"}, {"1", "23"}},         // digits sliding across a boundary
+	}
+	for _, c := range collisions {
+		a, b := Key(c[0]...), Key(c[1]...)
+		if a == b {
+			t.Errorf("Key(%q) == Key(%q) == %q; keys must be injective", c[0], c[1], a)
+		}
+	}
+	// Same parts still give the same key.
+	if Key("a", "b") != Key("a", "b") {
+		t.Error("Key is not deterministic")
+	}
+}
+
+// TestMemLayerBounded: the in-memory read-through layer must stay at its
+// cap no matter how many distinct keys pass through, evicting LRU-first,
+// while disk still serves evicted keys.
+func TestMemLayerBounded(t *testing.T) {
+	c, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	const cap = 8
+	c.SetMemLimit(cap)
+	const total = 10 * cap
+	for i := 0; i < total; i++ {
+		if err := c.Put(Key("k", fmt.Sprint(i)), i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n := c.MemLen(); n != cap {
+		t.Fatalf("MemLen = %d after %d puts, want cap %d", n, total, cap)
+	}
+	// Evicted keys still hit via disk (and re-enter the bounded layer).
+	var got int
+	if ok, err := c.Get(Key("k", "0"), &got); err != nil || !ok || got != 0 {
+		t.Fatalf("evicted key via disk = (%v, %v, %d), want hit 0", ok, err, got)
+	}
+	if n := c.MemLen(); n != cap {
+		t.Fatalf("MemLen = %d after refill, want cap %d", n, cap)
+	}
+	// The most recently touched key survives a run of fresh inserts...
+	for i := 0; i < cap-1; i++ {
+		if err := c.Put(Key("fresh", fmt.Sprint(i)), i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, ok := c.memGet(Key("k", "0")); !ok {
+		t.Fatal("recently used key evicted before older ones")
+	}
+}
+
+// fakeReplicator is an in-memory upstream standing in for the
+// coordinator's cache authority.
+type fakeReplicator struct {
+	mu      sync.Mutex
+	entries map[string]json.RawMessage
+	fetches int
+	stores  int
+}
+
+func newFakeReplicator() *fakeReplicator {
+	return &fakeReplicator{entries: make(map[string]json.RawMessage)}
+}
+
+func (r *fakeReplicator) Fetch(key string) (json.RawMessage, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.fetches++
+	raw, ok := r.entries[key]
+	return raw, ok
+}
+
+func (r *fakeReplicator) Store(key string, value json.RawMessage) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.stores++
+	r.entries[key] = value
+}
+
+// TestReadThroughReplication: a local miss consults the replicator, a
+// remote hit fills the local cache (so the next read stays local), and a
+// local Put pushes upstream.
+func TestReadThroughReplication(t *testing.T) {
+	up := newFakeReplicator()
+	key := Key("host", "problem")
+	up.entries[key] = json.RawMessage(`{"n":7}`)
+
+	c, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.SetReplicator(up)
+
+	var got map[string]int
+	if ok, err := c.Get(key, &got); err != nil || !ok || got["n"] != 7 {
+		t.Fatalf("read-through Get = (%v, %v, %v), want remote hit n=7", ok, err, got)
+	}
+	if up.fetches != 1 {
+		t.Fatalf("fetches = %d, want 1", up.fetches)
+	}
+	// Filled locally: the second read must not go upstream again.
+	if ok, _ := c.Get(key, &got); !ok {
+		t.Fatal("second Get missed after local fill")
+	}
+	if up.fetches != 1 {
+		t.Fatalf("second Get went upstream (fetches = %d)", up.fetches)
+	}
+	// The fill is durable, not just in memory.
+	c2, err := Open(c.Dir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok, _ := c2.Get(key, &got); !ok {
+		t.Fatal("read-through fill did not reach disk")
+	}
+
+	// A local Put replicates upstream; PutRaw (the replication fill path
+	// itself) must not echo back upstream.
+	if err := c.Put(Key("host", "other"), 42); err != nil {
+		t.Fatal(err)
+	}
+	if up.stores != 1 {
+		t.Fatalf("stores = %d after Put, want 1", up.stores)
+	}
+	if _, ok := up.entries[Key("host", "other")]; !ok {
+		t.Fatal("Put did not reach the upstream")
+	}
+	if err := c.PutRaw(Key("host", "filled"), json.RawMessage(`1`)); err != nil {
+		t.Fatal(err)
+	}
+	if up.stores != 1 {
+		t.Fatalf("PutRaw echoed upstream (stores = %d)", up.stores)
+	}
+
+	// A miss everywhere is still just a miss.
+	if ok, err := c.Get(Key("host", "absent"), &got); ok || err != nil {
+		t.Fatalf("absent key = (%v, %v), want clean miss", ok, err)
+	}
+}

@@ -14,6 +14,7 @@
 package tunecache
 
 import (
+	"container/list"
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
@@ -26,12 +27,28 @@ import (
 	"time"
 )
 
-// Cache is a directory of JSON entry files with an in-memory read-through
-// layer. It is safe for concurrent use.
+// DefaultMemEntries bounds the in-memory read-through layer. Disk is the
+// durable store; memory only skips re-reading hot entries, and an
+// unbounded map would grow with every distinct key a long-lived service
+// (or a fleet replicating entries into it) ever touches.
+const DefaultMemEntries = 512
+
+// Cache is a directory of JSON entry files with a bounded in-memory
+// read-through layer (LRU, DefaultMemEntries entries unless
+// SetMemLimit). It is safe for concurrent use.
 type Cache struct {
 	dir string
 	mu  sync.Mutex
-	mem map[string]json.RawMessage
+	mem map[string]*list.Element // key → element in lru
+	lru *list.List               // front = most recent; values are *memEntry
+	max int
+
+	repl Replicator
+}
+
+type memEntry struct {
+	key string
+	raw json.RawMessage
 }
 
 // entry is the on-disk envelope. The full key is stored alongside the
@@ -51,7 +68,69 @@ func Open(dir string) (*Cache, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("tunecache: %w", err)
 	}
-	return &Cache{dir: dir, mem: make(map[string]json.RawMessage)}, nil
+	return &Cache{
+		dir: dir,
+		mem: make(map[string]*list.Element),
+		lru: list.New(),
+		max: DefaultMemEntries,
+	}, nil
+}
+
+// SetMemLimit bounds the in-memory layer to n entries (n < 1 disables
+// it; disk still serves every key).
+func (c *Cache) SetMemLimit(n int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if n < 0 {
+		n = 0
+	}
+	c.max = n
+	c.evictLocked()
+}
+
+// MemLen reports the in-memory layer's entry count (for tests and the
+// health endpoint).
+func (c *Cache) MemLen() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.mem)
+}
+
+// memGet looks key up in the bounded memory layer, refreshing recency.
+func (c *Cache) memGet(key string) (json.RawMessage, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.mem[key]
+	if !ok {
+		return nil, false
+	}
+	c.lru.MoveToFront(el)
+	return el.Value.(*memEntry).raw, true
+}
+
+// memPut inserts or refreshes key in the memory layer, evicting the
+// least-recently-used entries beyond the bound.
+func (c *Cache) memPut(key string, raw json.RawMessage) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.mem[key]; ok {
+		el.Value.(*memEntry).raw = raw
+		c.lru.MoveToFront(el)
+		return
+	}
+	c.mem[key] = c.lru.PushFront(&memEntry{key: key, raw: raw})
+	c.evictLocked()
+}
+
+func (c *Cache) evictLocked() {
+	for len(c.mem) > c.max {
+		el := c.lru.Back()
+		if el == nil {
+			return
+		}
+		c.lru.Remove(el)
+		delete(c.mem, el.Value.(*memEntry).key)
+	}
 }
 
 // Dir returns the cache directory.
@@ -65,11 +144,17 @@ func Fingerprint() string {
 }
 
 // Key builds a cache key from its parts (host fingerprint, problem
-// shape, repetitions, candidate names, ...). Parts are joined with a
-// separator that cannot appear ambiguously, so distinct part lists give
-// distinct keys.
+// shape, repetitions, candidate names, ...). Each part is length-prefixed
+// ("len:part" concatenated), which is injective: no byte a part may
+// contain can make two distinct part lists collide. (The previous
+// separator-join encoding collided when a part itself contained the
+// separator: Key("a\x1fb") == Key("a", "b").)
 func Key(parts ...string) string {
-	return strings.Join(parts, "\x1f")
+	var b strings.Builder
+	for _, p := range parts {
+		fmt.Fprintf(&b, "%d:%s", len(p), p)
+	}
+	return b.String()
 }
 
 // path maps a key to its entry file. Keys are hashed: they contain
@@ -80,25 +165,14 @@ func (c *Cache) path(key string) string {
 }
 
 // Get looks key up and unmarshals the cached value into out, reporting
-// whether it hit. Unreadable or corrupted entries are misses; the only
+// whether it hit. The lookup order is memory → disk → replicator (a
+// fleet peer's read-through fetch; see SetReplicator); remote hits are
+// filled locally. Unreadable or corrupted entries are misses; the only
 // errors are from unmarshalling a *valid* entry into an incompatible out.
 func (c *Cache) Get(key string, out any) (bool, error) {
-	c.mu.Lock()
-	raw, ok := c.mem[key]
-	c.mu.Unlock()
+	raw, ok := c.GetRaw(key)
 	if !ok {
-		data, err := os.ReadFile(c.path(key))
-		if err != nil {
-			return false, nil
-		}
-		var e entry
-		if err := json.Unmarshal(data, &e); err != nil || e.Key != key {
-			return false, nil
-		}
-		raw = e.Value
-		c.mu.Lock()
-		c.mem[key] = raw
-		c.mu.Unlock()
+		return false, nil
 	}
 	if err := json.Unmarshal(raw, out); err != nil {
 		return false, fmt.Errorf("tunecache: decode cached value: %w", err)
@@ -106,14 +180,66 @@ func (c *Cache) Get(key string, out any) (bool, error) {
 	return true, nil
 }
 
+// GetRaw is Get without the decode: the raw cached JSON value, for the
+// fleet cache-replication endpoints that relay values verbatim.
+func (c *Cache) GetRaw(key string) (json.RawMessage, bool) {
+	if raw, ok := c.memGet(key); ok {
+		return raw, true
+	}
+	if raw, ok := c.diskGet(key); ok {
+		c.memPut(key, raw)
+		return raw, true
+	}
+	c.mu.Lock()
+	repl := c.repl
+	c.mu.Unlock()
+	if repl != nil {
+		if raw, ok := repl.Fetch(key); ok {
+			// Fill locally (disk + memory) so the next miss of this key
+			// does not leave the host again. The local fill is best-effort:
+			// a full disk must not turn a remote hit into a miss.
+			if err := c.putRaw(key, raw, false); err != nil {
+				c.memPut(key, raw)
+			}
+			return raw, true
+		}
+	}
+	return nil, false
+}
+
+// diskGet reads one entry file, treating any corruption as a miss.
+func (c *Cache) diskGet(key string) (json.RawMessage, bool) {
+	data, err := os.ReadFile(c.path(key))
+	if err != nil {
+		return nil, false
+	}
+	var e entry
+	if err := json.Unmarshal(data, &e); err != nil || e.Key != key {
+		return nil, false
+	}
+	return e.Value, true
+}
+
 // Put stores value under key, replacing any previous entry. The write is
 // atomic (temp file + rename), so a concurrent Get sees either the old
-// entry or the new one, never a torn file.
+// entry or the new one, never a torn file. With a replicator configured,
+// the entry is also pushed upstream (best-effort: a dead coordinator
+// never fails a finished measurement).
 func (c *Cache) Put(key string, value any) error {
 	raw, err := json.Marshal(value)
 	if err != nil {
 		return fmt.Errorf("tunecache: encode value: %w", err)
 	}
+	return c.putRaw(key, raw, true)
+}
+
+// PutRaw stores a pre-encoded JSON value (the replication endpoints
+// relay raw values between hosts) without pushing it back upstream.
+func (c *Cache) PutRaw(key string, raw json.RawMessage) error {
+	return c.putRaw(key, raw, false)
+}
+
+func (c *Cache) putRaw(key string, raw json.RawMessage, replicate bool) error {
 	data, err := json.MarshalIndent(entry{Key: key, SavedAt: time.Now().UTC(), Value: raw}, "", "  ")
 	if err != nil {
 		return fmt.Errorf("tunecache: encode entry: %w", err)
@@ -132,9 +258,15 @@ func (c *Cache) Put(key string, value any) error {
 		os.Remove(tmp.Name())
 		return fmt.Errorf("tunecache: %w", err)
 	}
-	c.mu.Lock()
-	c.mem[key] = raw
-	c.mu.Unlock()
+	c.memPut(key, raw)
+	if replicate {
+		c.mu.Lock()
+		repl := c.repl
+		c.mu.Unlock()
+		if repl != nil {
+			repl.Store(key, raw)
+		}
+	}
 	return nil
 }
 
