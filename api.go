@@ -242,7 +242,13 @@ type CompiledSchedule struct {
 	// TemporalK cell-updates per cell. Zero means a classic single-step
 	// schedule.
 	TemporalK int
-	run       func(phi0, phi1 *fab.FAB, valid box.Box, threads int) error
+	// Spectral marks the FFT fast-path backends: one O(N log N) pass
+	// answers TemporalK Euler steps, but only on fully periodic boxes
+	// with spatially constant advection velocities, and results match
+	// the step-by-step schedules to spectral tolerance rather than
+	// bitwise. Autotuning them uses frozen-velocity initial data.
+	Spectral bool
+	run      func(phi0, phi1 *fab.FAB, valid box.Box, threads int) error
 }
 
 // Steps returns the number of Euler steps one sweep of the schedule
@@ -254,15 +260,17 @@ func (cs CompiledSchedule) Steps() int {
 	return 1
 }
 
-// CompiledSchedules returns the schedc-compiled runners registered in
-// the conformance registry, in registration order. The set spans the
-// joint (tile, K) schedule space: classic single-step schedules plus
-// the temporal families over K in {1,2,4} and tile edges {box,16,32}.
+// CompiledSchedules returns the schedc-compiled and spectral runners
+// registered in the conformance registry, in registration order. The
+// set spans the joint (tile, K, backend) schedule space: classic
+// single-step schedules, the temporal families over K in {1,2,4} and
+// tile edges {box,16,32}, and the FFT spectral backends over K in
+// {1,2,4,8,16}.
 func CompiledSchedules() []CompiledSchedule {
 	var out []CompiledSchedule
 	for _, r := range conform.Registry() {
-		if r.Generated {
-			out = append(out, CompiledSchedule{Name: r.Name, TemporalK: r.TemporalK, run: r.Run})
+		if r.Generated || r.Spectral {
+			out = append(out, CompiledSchedule{Name: r.Name, TemporalK: r.TemporalK, Spectral: r.Spectral, run: r.Run})
 		}
 	}
 	return out
@@ -401,18 +409,30 @@ func AutotuneCompiledContext(ctx context.Context, p Problem, reps int, candidate
 	for i := range boxes {
 		boxes[i] = box.Cube(p.BoxN)
 	}
-	levels := map[int][]variants.State{}
-	statesFor := func(depth int) []variants.State {
-		if s, ok := levels[depth]; ok {
+	// Spectral candidates demand the frozen-velocity regime (the solve
+	// errors out otherwise), so levels are keyed by (depth, frozen) and
+	// initialized with InitSmoothFrozen when frozen.
+	type levelKey struct {
+		depth  int
+		frozen bool
+	}
+	levels := map[levelKey][]variants.State{}
+	statesFor := func(depth int, frozen bool) []variants.State {
+		key := levelKey{depth, frozen}
+		if s, ok := levels[key]; ok {
 			return s
 		}
 		states := make([]variants.State, len(boxes))
 		for i, b := range boxes {
 			phi0 := fab.New(b.Grow(depth), kernel.NComp)
-			kernel.InitSmooth(phi0, p.BoxN)
+			if frozen {
+				kernel.InitSmoothFrozen(phi0, p.BoxN)
+			} else {
+				kernel.InitSmooth(phi0, p.BoxN)
+			}
 			states[i] = variants.State{Valid: b, Phi0: phi0, Phi1: fab.New(b, kernel.NComp)}
 		}
-		levels[depth] = states
+		levels[key] = states
 		return states
 	}
 	out := make([]CompiledTuneResult, 0, len(candidates))
@@ -421,7 +441,7 @@ func AutotuneCompiledContext(ctx context.Context, p Problem, reps int, candidate
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
-		states := statesFor(cs.Steps() * kernel.NGhost)
+		states := statesFor(cs.Steps()*kernel.NGhost, cs.Spectral)
 		timing, err := stats.TimePrepContext(ctx, reps, func() {
 			for _, s := range states {
 				s.Phi1.Fill(0)

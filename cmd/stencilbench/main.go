@@ -16,6 +16,7 @@
 //	    -dist-rank 0 -dist-addrs host0:9000,host1:9000
 //	stencilbench -variant "Shift-Fuse OT-4: P<Box" -n 16 -boxes 2 -json BENCH_shiftfuse.json
 //	stencilbench -mode temporal -n 64 -boxes 2 -threads 4 -reps 3 -json BENCH_temporal.json
+//	stencilbench -mode fft -n 64 -boxes 1 -threads 4 -reps 3 -json BENCH_fft_n64.json
 package main
 
 import (
@@ -38,7 +39,7 @@ import (
 type options struct {
 	list, verify bool
 	name         string
-	mode         string // measured | modeled | sweep | dist | compare | temporal
+	mode         string // measured | modeled | sweep | dist | compare | temporal | fft
 	mach         string
 	n            int // box size
 	boxes        int // box count (measured mode)
@@ -65,7 +66,7 @@ func main() {
 	flag.BoolVar(&o.list, "list", false, "list the studied variants and exit")
 	flag.BoolVar(&o.verify, "verify", false, "verify every variant against the reference kernel and exit")
 	flag.StringVar(&o.name, "variant", "", "variant name (paper legend style)")
-	flag.StringVar(&o.mode, "mode", "measured", "measured | modeled | sweep | dist | compare | temporal")
+	flag.StringVar(&o.mode, "mode", "measured", "measured | modeled | sweep | dist | compare | temporal | fft")
 	flag.StringVar(&o.mach, "machine", "Magny", "machine key for modeled runs (Magny, Atlantis, Sandy, desktop)")
 	flag.IntVar(&o.n, "n", 32, "box size N (box is N^3)")
 	flag.IntVar(&o.boxes, "boxes", 2, "number of boxes (measured mode)")
@@ -156,6 +157,9 @@ func run(o options) error {
 	}
 	if o.mode == "temporal" {
 		return runTemporal(o)
+	}
+	if o.mode == "fft" {
+		return runFFT(o)
 	}
 	if o.name == "" {
 		return fmt.Errorf("need -variant, -list or -verify")

@@ -276,3 +276,51 @@ func TestRunTemporalJSONRecord(t *testing.T) {
 		t.Fatalf("missing traffic verdict: %+v", rec)
 	}
 }
+
+// TestRunFFTJSONRecord smoke-tests the spectral crossover mode on a
+// tiny box: the record must span the spectral K ladder, carry a K4
+// temporal baseline, and model predictions on every point. (On an 8^3
+// box the measured crossover may land anywhere; the committed
+// BENCH_fft_* records at N in {64, 96} are where the verdict matters.)
+func TestRunFFTJSONRecord(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_fft.json")
+	o := testOpts()
+	o.mode = "fft"
+	o.mach = "desktop"
+	o.jsonPath = path
+	if err := run(o); err != nil {
+		t.Fatal(err)
+	}
+	var rec fftRecord
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(data, &rec); err != nil {
+		t.Fatalf("record is not valid JSON: %v\n%s", err, data)
+	}
+	if rec.Mode != "fft" || rec.BoxN != o.n {
+		t.Fatalf("record misdescribes the run: %+v", rec)
+	}
+	ks := map[int]bool{}
+	for _, pt := range rec.Points {
+		ks[pt.K] = true
+		if pt.StepSeconds <= 0 || pt.SweepSeconds < pt.StepSeconds {
+			t.Fatalf("bad timing in point %+v", pt)
+		}
+		if pt.ModelStepSeconds <= 0 {
+			t.Fatalf("missing model prediction in point %+v", pt)
+		}
+	}
+	for _, k := range []int{1, 2, 4, 8, 16} {
+		if !ks[k] {
+			t.Fatalf("spectral ladder misses K=%d: %+v", k, rec.Points)
+		}
+	}
+	if rec.BestTemporal == "" || rec.BestTemporalStepSec <= 0 {
+		t.Fatalf("missing K4 temporal baseline: %+v", rec)
+	}
+	if rec.ModelMachine == "" {
+		t.Fatalf("missing model machine: %+v", rec)
+	}
+}

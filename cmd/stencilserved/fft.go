@@ -1,0 +1,120 @@
+package main
+
+// The fft backend of /v1/solve: a whole K-step periodic solve of the
+// frozen-velocity exemplar operator answered in one spectral pass (see
+// internal/fft). It exists next to the stencil backends as the third
+// point on the parallelism/locality/recomputation frontier — no ghost
+// exchange, no recomputation, O(N log N) independent of K — and is
+// deliberately narrow: fully periodic geometry, spatially constant
+// velocities, explicit euler composition, single node.
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"net/http"
+	"strings"
+	"time"
+
+	"stencilsched/internal/box"
+	"stencilsched/internal/fab"
+	"stencilsched/internal/fft"
+	"stencilsched/internal/ivect"
+	"stencilsched/internal/kernel"
+)
+
+// fftSolveResult is what an fft-backend solve job reports. DeltaLinf
+// and DeltaL1 are norms of the density update (state_K - state_0), the
+// aggregate a client (or the e2e test) can check against the K-composed
+// Euler oracle to the spectral tolerance.
+type fftSolveResult struct {
+	Backend    string     `json:"backend"`
+	DomainN    int        `json:"domain_n"`
+	K          int        `json:"k"`
+	SimTime    float64    `json:"sim_time"`
+	Totals     [5]float64 `json:"totals"`
+	DeltaLinf  float64    `json:"delta_linf"`
+	DeltaL1    float64    `json:"delta_l1"`
+	ElapsedSec float64    `json:"elapsed_sec"`
+}
+
+// fftInitState builds the spectral backend's initial state on the n^3
+// periodic box: the served density profile (and its energy twin) with
+// the requested spatially constant velocities. Matching the local solve
+// path's solveRho keeps the two backends answering the same question.
+func fftInitState(n int, u [3]float64) *fab.FAB {
+	valid := box.NewSized(ivect.Zero, ivect.New(n, n, n))
+	st := fab.New(valid, kernel.NComp)
+	rho := solveRho(n)
+	valid.ForEach(func(p ivect.IntVect) {
+		v := rho(float64(p[0]), float64(p[1]), float64(p[2]))
+		st.Set(p, 0, v)
+		for d := 0; d < 3; d++ {
+			st.Set(p, d+1, u[d])
+		}
+		st.Set(p, 4, v)
+	})
+	return st
+}
+
+// handleSolveFFT queues a spectral solve. All contract validation
+// happens here, mirroring handleSolveDist: a request the backend cannot
+// serve must 400 before queueing, and the non-periodic rejection
+// carries the typed fft.ErrNotPeriodic (the spectral analogue of
+// ghost.ErrHaloTooDeep on the distributed path).
+func (s *server) handleSolveFFT(w http.ResponseWriter, r *http.Request, req solveRequest) {
+	if strings.ToLower(req.Integrator) != "euler" {
+		s.fftRejects.Inc()
+		httpError(w, http.StatusBadRequest,
+			"the fft backend composes explicit euler steps only; got integrator %q", req.Integrator)
+		return
+	}
+	if req.Ranks > 0 {
+		s.fftRejects.Inc()
+		httpError(w, http.StatusBadRequest,
+			"the fft backend transforms the whole domain on one node; got ranks %d", req.Ranks)
+		return
+	}
+	if req.Periodic != nil {
+		for d, p := range req.Periodic {
+			if !p {
+				s.fftRejects.Inc()
+				httpError(w, http.StatusBadRequest, "%v",
+					fmt.Errorf("%w (axis %d is not periodic)", fft.ErrNotPeriodic, d))
+				return
+			}
+		}
+	}
+	req2 := req
+	s.submit(w, r, "solve-fft", req.Threads, func(ctx context.Context) (any, error) {
+		phi0 := fftInitState(req2.DomainN, req2.U)
+		state := phi0.Clone()
+		start := time.Now()
+		if err := fft.Evolve(state, req2.Steps, req2.Dt, req2.Threads); err != nil {
+			return nil, err
+		}
+		elapsed := time.Since(start).Seconds()
+		s.fftSolves.Inc()
+		s.fftSolveHist.Observe(elapsed)
+		var res fftSolveResult
+		res.Backend = "fft"
+		res.DomainN = req2.DomainN
+		res.K = req2.Steps
+		res.SimTime = float64(req2.Steps) * req2.Dt
+		res.ElapsedSec = elapsed
+		for c := 0; c < kernel.NComp; c++ {
+			for _, v := range state.Comp(c) {
+				res.Totals[c] += v
+			}
+		}
+		rho0, rhoK := phi0.Comp(0), state.Comp(0)
+		for i := range rhoK {
+			d := math.Abs(rhoK[i] - rho0[i])
+			if d > res.DeltaLinf {
+				res.DeltaLinf = d
+			}
+			res.DeltaL1 += d
+		}
+		return res, nil
+	})
+}

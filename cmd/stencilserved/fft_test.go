@@ -1,0 +1,181 @@
+package main
+
+import (
+	"encoding/json"
+	"io"
+	"math"
+	"net/http"
+	"strings"
+	"testing"
+
+	"stencilsched/internal/fab"
+	"stencilsched/internal/fft"
+	"stencilsched/internal/ivect"
+	"stencilsched/internal/kernel"
+	"stencilsched/internal/temporal"
+)
+
+// TestSolveFFTBackend drives the spectral backend end to end over HTTP:
+// a periodic fft-backend solve must come back with aggregates matching
+// the K-composed Euler oracle to (well inside) the spectral tolerance,
+// and the stencilserved_fft_* metrics must record it.
+func TestSolveFFTBackend(t *testing.T) {
+	_, ts := newTestServer(t, config{})
+	const n, k = 8, 4
+	const dt = 0.2
+	var snap struct {
+		ID string `json:"id"`
+	}
+	body := map[string]any{
+		"domain_n": n, "steps": k, "threads": 2, "dt": dt,
+		"integrator": "euler", "backend": "fft",
+	}
+	if code := doJSON(t, http.MethodPost, ts.URL+"/v1/solve", body, &snap); code != http.StatusAccepted {
+		t.Fatalf("POST /v1/solve backend=fft: status %d, want 202", code)
+	}
+	done := awaitJob(t, ts.URL, snap.ID)
+	if done.Status != "done" {
+		t.Fatalf("fft solve ended %s: %s", done.Status, done.Error)
+	}
+	raw, err := json.Marshal(done.Result)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var res fftSolveResult
+	if err := json.Unmarshal(raw, &res); err != nil {
+		t.Fatalf("fft solve result %q: %v", raw, err)
+	}
+	if res.Backend != "fft" || res.DomainN != n || res.K != k {
+		t.Fatalf("result identity = %+v, want backend=fft domain_n=%d k=%d", res, n, k)
+	}
+
+	// The oracle: the same initial state advanced k composed Euler steps
+	// by temporal.Reference over wrap-filled deep ghosts. The served
+	// aggregates must match it far inside the spectral tolerance.
+	state := fftInitState(n, [3]float64{0.5, 0.25, 0.125})
+	valid := state.Box()
+	phi0 := fab.New(valid.Grow(k*kernel.NGhost), kernel.NComp)
+	phi0.Box().ForEach(func(p ivect.IntVect) {
+		q := p
+		for d := 0; d < 3; d++ {
+			ln := valid.Hi[d] - valid.Lo[d] + 1
+			r := (p[d] - valid.Lo[d]) % ln
+			if r < 0 {
+				r += ln
+			}
+			q[d] = valid.Lo[d] + r
+		}
+		for c := 0; c < kernel.NComp; c++ {
+			phi0.Set(p, c, state.Get(q, c))
+		}
+	})
+	delta := fab.New(valid, kernel.NComp)
+	temporal.Reference(phi0, delta, valid, k, dt)
+	var wantLinf, wantL1 float64
+	var wantTotals [5]float64
+	for c := 0; c < kernel.NComp; c++ {
+		sc, dc := state.Comp(c), delta.Comp(c)
+		for i := range sc {
+			wantTotals[c] += sc[i] + dc[i]
+			if c == 0 {
+				d := math.Abs(dc[i])
+				if d > wantLinf {
+					wantLinf = d
+				}
+				wantL1 += d
+			}
+		}
+	}
+	if wantLinf == 0 {
+		t.Fatal("oracle density delta is identically zero — the e2e check would be vacuous")
+	}
+	if d := math.Abs(res.DeltaLinf - wantLinf); d > 1e-12 {
+		t.Errorf("delta_linf = %v, oracle %v (|diff| %g beyond tolerance)", res.DeltaLinf, wantLinf, d)
+	}
+	if d := math.Abs(res.DeltaL1 - wantL1); d > 1e-9 {
+		t.Errorf("delta_l1 = %v, oracle %v (|diff| %g beyond tolerance)", res.DeltaL1, wantL1, d)
+	}
+	for c := range wantTotals {
+		if d := math.Abs(res.Totals[c] - wantTotals[c]); d > 1e-9 {
+			t.Errorf("totals[%d] = %v, oracle %v (|diff| %g)", c, res.Totals[c], wantTotals[c], d)
+		}
+	}
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	text, _ := io.ReadAll(resp.Body)
+	metrics := string(text)
+	for _, want := range []string{
+		"stencilserved_fft_solves_total 1",
+		"stencilserved_fft_rejects_total 0",
+		"stencilserved_fft_solve_seconds",
+	} {
+		if !strings.Contains(metrics, want) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+}
+
+// TestSolveFFTRejectsNonPeriodic locks in the typed 400: a non-periodic
+// axis on the fft backend must be refused before queueing with
+// fft.ErrNotPeriodic in the message (the spectral analogue of the
+// distributed path's ghost.ErrHaloTooDeep), and counted on
+// stencilserved_fft_rejects_total.
+func TestSolveFFTRejectsNonPeriodic(t *testing.T) {
+	_, ts := newTestServer(t, config{})
+	body := map[string]any{
+		"domain_n": 8, "steps": 1, "threads": 1,
+		"integrator": "euler", "backend": "fft",
+		"periodic": [3]bool{true, false, true},
+	}
+	var e errorResponse
+	if code := doJSON(t, http.MethodPost, ts.URL+"/v1/solve", body, &e); code != http.StatusBadRequest {
+		t.Fatalf("non-periodic fft solve: status %d, want 400", code)
+	}
+	if !strings.Contains(e.Error, fft.ErrNotPeriodic.Error()) {
+		t.Errorf("error %q does not carry the typed fft.ErrNotPeriodic", e.Error)
+	}
+	if !strings.Contains(e.Error, "axis 1") {
+		t.Errorf("error %q does not name the offending axis", e.Error)
+	}
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	text, _ := io.ReadAll(resp.Body)
+	if !strings.Contains(string(text), "stencilserved_fft_rejects_total 1") {
+		t.Errorf("metrics did not count the rejection")
+	}
+}
+
+// TestSolveFFTValidation covers the rest of the backend contract: only
+// explicit euler composes, the transform is single-node, unknown
+// backends 400, and the stencil backends also refuse non-periodic
+// geometry (without the spectral typed error).
+func TestSolveFFTValidation(t *testing.T) {
+	_, ts := newTestServer(t, config{})
+	for _, tc := range []struct {
+		body    map[string]any
+		wantSub string
+	}{
+		{map[string]any{"domain_n": 8, "steps": 1, "threads": 1, "backend": "fft", "integrator": "rk4"},
+			"euler"},
+		{map[string]any{"domain_n": 8, "steps": 1, "threads": 1, "backend": "fft", "integrator": "euler", "ranks": 2},
+			"one node"},
+		{map[string]any{"domain_n": 8, "steps": 1, "threads": 1, "backend": "warp"},
+			"unknown backend"},
+		{map[string]any{"domain_n": 8, "steps": 1, "threads": 1, "periodic": [3]bool{false, true, true}},
+			"periodic benchmark domain"},
+	} {
+		var e errorResponse
+		if code := doJSON(t, http.MethodPost, ts.URL+"/v1/solve", tc.body, &e); code != http.StatusBadRequest {
+			t.Errorf("%v: status %d, want 400", tc.body, code)
+		} else if !strings.Contains(e.Error, tc.wantSub) {
+			t.Errorf("%v: error %q does not mention %q", tc.body, e.Error, tc.wantSub)
+		}
+	}
+}

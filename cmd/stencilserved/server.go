@@ -61,6 +61,10 @@ type server struct {
 	distMeasuredStep  *metrics.Gauge
 	distPredictedStep *metrics.Gauge
 	distStepHist      *metrics.Histogram
+
+	fftSolves    *metrics.Counter
+	fftRejects   *metrics.Counter
+	fftSolveHist *metrics.Histogram
 }
 
 func newServer(cfg config) (*server, error) {
@@ -132,6 +136,16 @@ func newServer(cfg config) (*server, error) {
 		"cluster-model per-step prediction for the last distributed solve")
 	s.distStepHist = s.reg.Histogram("stencilserved_dist_step_seconds",
 		"per-step wall time of distributed solves",
+		metrics.ExpBuckets(1e-5, 4, 12))
+	// Spectral-backend metrics, registered up front like the rest: a
+	// scrape must show at zero that this node has never run (or refused)
+	// an fft-backend solve.
+	s.fftSolves = s.reg.Counter("stencilserved_fft_solves_total",
+		"completed spectral (fft backend) solve jobs")
+	s.fftRejects = s.reg.Counter("stencilserved_fft_rejects_total",
+		"fft-backend requests refused before queueing (non-periodic geometry or unsupported shape)")
+	s.fftSolveHist = s.reg.Histogram("stencilserved_fft_solve_seconds",
+		"wall time of spectral solves (one whole K-step pass)",
 		metrics.ExpBuckets(1e-5, 4, 12))
 
 	s.handle("POST /v1/solve", s.handleSolve)
@@ -277,6 +291,17 @@ type solveRequest struct {
 	// Distributed solves integrate with explicit euler only.
 	Ranks int `json:"ranks"`
 	HaloK int `json:"halo_k"`
+	// Backend selects the solve engine: "" or "stencil" runs the
+	// scheduled stencil executor; "fft" answers all Steps in one
+	// spectral pass over the frozen-velocity exemplar operator
+	// (explicit euler only, single node, fully periodic only — the DFT
+	// diagonalizes the stencil only on the torus).
+	Backend string `json:"backend"`
+	// Periodic optionally declares per-axis periodicity; nil means
+	// fully periodic (the served benchmark domain — the only geometry
+	// any backend serves). A non-periodic axis is a 400 on every
+	// backend; on "fft" it carries the typed fft.ErrNotPeriodic.
+	Periodic *[3]bool `json:"periodic"`
 }
 
 type solveResult struct {
@@ -372,6 +397,24 @@ func (s *server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	case req.Ranks < 0:
 		httpError(w, http.StatusBadRequest, "ranks %d invalid: must be >= 0 (0 = local solve)", req.Ranks)
 		return
+	}
+	switch strings.ToLower(req.Backend) {
+	case "", "stencil":
+	case "fft":
+		s.handleSolveFFT(w, r, req)
+		return
+	default:
+		httpError(w, http.StatusBadRequest, "unknown backend %q (stencil, fft)", req.Backend)
+		return
+	}
+	if req.Periodic != nil {
+		for d, p := range req.Periodic {
+			if !p {
+				httpError(w, http.StatusBadRequest,
+					"axis %d not periodic: stencil solves run the periodic benchmark domain", d)
+				return
+			}
+		}
 	}
 	if req.Ranks > 0 {
 		s.handleSolveDist(w, r, req, v)
@@ -609,10 +652,13 @@ func (s *server) handleAutotune(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-// tuneKeySchema versions the cached-row semantics. v2: rows carry the
-// temporal-K axis (steps, step_seconds) and rank per Euler step, so v1
-// entries — sweep-time-ranked, no K — must miss, not be replayed.
-const tuneKeySchema = "schema=2"
+// tuneKeySchema versions the cached-row semantics. v3: the compiled
+// candidate axis includes spectral (fft) backends whose rows amortize
+// one O(N log N) pass over K steps under a declared rounding tolerance;
+// v2 entries predate the backend split and must miss, not be replayed.
+// (v2 added the temporal-K axis — steps, step_seconds — over v1's
+// sweep-time ranking.)
+const tuneKeySchema = "schema=3"
 
 // tuneKey builds the cache key: schema version + host fingerprint +
 // problem + reps + the exact candidate set (order-insensitive). Every

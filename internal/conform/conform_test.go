@@ -17,13 +17,14 @@ import (
 func TestRegistryCoverage(t *testing.T) {
 	rs := Registry()
 	// Studied variants + 2 interpreted exemplars + every generated entry
-	// + 3 temporal engine runners + 1 interpreted temporal K1.
-	want := len(sched.Studied()) + 2 + len(generated.Entries()) + 4
+	// + 3 temporal engine runners + 1 interpreted temporal K1
+	// + 5 spectral FFT runners.
+	want := len(sched.Studied()) + 2 + len(generated.Entries()) + 4 + 5
 	if len(rs) != want {
-		t.Fatalf("registry has %d runners, want %d (studied variants + interpreted + generated + temporal)", len(rs), want)
+		t.Fatalf("registry has %d runners, want %d (studied variants + interpreted + generated + temporal + spectral)", len(rs), want)
 	}
 	seen := map[string]bool{}
-	interpreted, gen, temporal := 0, 0, 0
+	interpreted, gen, temporal, spectral := 0, 0, 0, 0
 	for _, r := range rs {
 		if seen[r.Name] {
 			t.Errorf("duplicate runner name %q", r.Name)
@@ -38,6 +39,12 @@ func TestRegistryCoverage(t *testing.T) {
 		if r.TemporalK > 0 {
 			temporal++
 		}
+		if r.Spectral {
+			spectral++
+			if r.Tol == nil {
+				t.Errorf("spectral runner %q has no tolerance", r.Name)
+			}
+		}
 		got, ok := RunnerByName(r.Name)
 		if !ok || got.Name != r.Name {
 			t.Errorf("RunnerByName(%q) = %q, %v", r.Name, got.Name, ok)
@@ -49,8 +56,11 @@ func TestRegistryCoverage(t *testing.T) {
 	if gen != 13 {
 		t.Errorf("registry has %d generated runners, want 13 (4 classic + 9 temporal)", gen)
 	}
-	if temporal != 13 {
-		t.Errorf("registry has %d temporal runners, want 13 (9 generated + 3 engine + 1 interpreted)", temporal)
+	if temporal != 18 {
+		t.Errorf("registry has %d temporal runners, want 18 (9 generated + 3 engine + 1 interpreted + 5 spectral)", temporal)
+	}
+	if spectral != 5 {
+		t.Errorf("registry has %d spectral runners, want 5 (K 1/2/4/8/16)", spectral)
 	}
 	if _, ok := RunnerByName("no such runner"); ok {
 		t.Errorf("RunnerByName accepted an unknown name")
@@ -89,13 +99,19 @@ func TestSweep(t *testing.T) {
 	if rep.Runners != len(Registry()) {
 		t.Errorf("sweep covered %d runners, want %d", rep.Runners, len(Registry()))
 	}
-	distRunners := 0
+	distRunners, spectralRunners := 0, 0
 	for _, r := range Registry() {
 		if _, ok := studiedIndex(r); ok {
 			distRunners++
 		}
+		if r.Spectral {
+			spectralRunners++
+		}
 	}
-	wantChecks := rep.Runners*(DefaultBoxCases+DefaultLevelCases) + distRunners*DefaultDistCases
+	// Spectral runners run box cases only (periodic contract, no level
+	// or distributed ghost exchange).
+	wantChecks := (rep.Runners-spectralRunners)*(DefaultBoxCases+DefaultLevelCases) +
+		spectralRunners*DefaultBoxCases + distRunners*DefaultDistCases
 	if rep.Checks != wantChecks {
 		t.Errorf("sweep ran %d checks, want %d", rep.Checks, wantChecks)
 	}

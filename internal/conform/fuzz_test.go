@@ -49,8 +49,72 @@ func FuzzConformance(f *testing.F) {
 			Threads:  int(threads),
 			Warm:     warm,
 		}.Normalized()
+		// Spectral runners carry the periodic tolerance-mode contract;
+		// CheckBox's bitwise oracle does not apply to them.
+		if r.Spectral {
+			if dv := CheckPeriodic(r, c); dv != nil {
+				min, mdv := MinimizePeriodic(r, c)
+				if mdv == nil {
+					t.Fatalf("divergence (did not survive minimization): %v", dv)
+				}
+				t.Fatalf("divergence: %v\nminimized case: %+v", mdv, min)
+			}
+			return
+		}
 		if dv := CheckBox(r, c, 0); dv != nil {
 			min, mdv := Minimize(r, c, 0)
+			if mdv == nil {
+				t.Fatalf("divergence (did not survive minimization): %v", dv)
+			}
+			t.Fatalf("divergence: %v\nminimized case: %+v", mdv, min)
+		}
+	})
+}
+
+// spectralRegistry is the FFT-runner slice of the registry, for the
+// dedicated spectral fuzz target.
+func spectralRegistry() []Runner {
+	var out []Runner
+	for _, r := range Registry() {
+		if r.Spectral {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// FuzzFFTConformance fuzzes the spectral fast path: the fuzzer picks a
+// K and raw periodic-case fields, and every tolerance-mode conformance
+// property — differential against the torus oracle, bitwise guards,
+// accumulation, determinism, rho linearity — must hold. Radix-2 and
+// Bluestein transform paths are both reachable through the size axes.
+//
+// Run with: go test ./internal/conform -fuzz=FuzzFFTConformance
+func FuzzFFTConformance(f *testing.F) {
+	// Seed corpus across the K range, power-of-two and Bluestein edges,
+	// shifted corners, ghost/guard padding, threads, warm repeats.
+	f.Add(int64(1), uint8(0), int8(0), int8(0), int8(0), uint8(8), uint8(8), uint8(8), uint8(0), uint8(0), uint8(1), false)
+	f.Add(int64(2), uint8(1), int8(-3), int8(5), int8(0), uint8(9), uint8(6), uint8(11), uint8(1), uint8(1), uint8(4), true)
+	f.Add(int64(3), uint8(2), int8(9), int8(-9), int8(2), uint8(1), uint8(1), uint8(1), uint8(2), uint8(0), uint8(2), true)
+	f.Add(int64(4), uint8(3), int8(0), int8(0), int8(0), uint8(12), uint8(5), uint8(7), uint8(0), uint8(2), uint8(8), false)
+	f.Add(int64(5), uint8(4), int8(-8), int8(-8), int8(-8), uint8(6), uint8(6), uint8(6), uint8(0), uint8(1), uint8(3), true)
+
+	f.Fuzz(func(t *testing.T, seed int64, runner uint8,
+		lo0, lo1, lo2 int8, s0, s1, s2 uint8,
+		ghostPad, outPad, threads uint8, warm bool) {
+		reg := spectralRegistry()
+		r := reg[int(runner)%len(reg)]
+		c := Case{
+			Seed:     seed,
+			Lo:       [3]int{int(lo0), int(lo1), int(lo2)},
+			Size:     [3]int{int(s0), int(s1), int(s2)},
+			GhostPad: int(ghostPad),
+			OutPad:   int(outPad),
+			Threads:  int(threads),
+			Warm:     warm,
+		}.Normalized()
+		if dv := CheckPeriodic(r, c); dv != nil {
+			min, mdv := MinimizePeriodic(r, c)
 			if mdv == nil {
 				t.Fatalf("divergence (did not survive minimization): %v", dv)
 			}
@@ -74,6 +138,9 @@ func FuzzLevelConformance(f *testing.F) {
 	f.Fuzz(func(t *testing.T, seed int64, runner uint8,
 		d0, d1, d2, boxSize uint8, p0, p1, p2 bool, threads uint8) {
 		r := fuzzRunner(runner)
+		if r.Spectral {
+			t.Skip("spectral runners have no level executor (NGhost-deep exchange only)")
+		}
 		lc := LevelCase{
 			Seed:       seed,
 			DomainSize: [3]int{int(d0), int(d1), int(d2)},

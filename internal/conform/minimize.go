@@ -11,15 +11,22 @@ package conform
 // Shrinking keeps the seed fixed — the initial data changes shape with
 // the geometry but stays deterministic, so the repro line replays.
 func Minimize(r Runner, c Case, maxULP uint64) (Case, *Divergence) {
+	return minimizeCase(func(cc Case) *Divergence { return CheckBox(r, cc, maxULP) }, c)
+}
+
+// minimizeCase is the greedy shrink loop shared by Minimize (bitwise
+// single-box checks) and MinimizePeriodic (tolerance-mode periodic
+// checks): only the failing-check predicate differs.
+func minimizeCase(check func(Case) *Divergence, c Case) (Case, *Divergence) {
 	c = c.Normalized()
-	dv := CheckBox(r, c, maxULP)
+	dv := check(c)
 	if dv == nil {
 		return c, nil
 	}
 	for improved := true; improved; {
 		improved = false
 		for _, cand := range shrinkCase(c) {
-			if cdv := CheckBox(r, cand, maxULP); cdv != nil {
+			if cdv := check(cand); cdv != nil {
 				c, dv = cand.Normalized(), cdv
 				improved = true
 				break

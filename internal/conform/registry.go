@@ -6,6 +6,7 @@ import (
 	"stencilsched/internal/box"
 	"stencilsched/internal/codegen"
 	"stencilsched/internal/fab"
+	"stencilsched/internal/fft"
 	"stencilsched/internal/sched"
 	"stencilsched/internal/temporal"
 	"stencilsched/internal/variants"
@@ -38,6 +39,17 @@ type Runner struct {
 	// K times), and level (multi-box) checks are skipped — level ghost
 	// exchanges are only NGhost deep.
 	TemporalK int
+	// Spectral marks the FFT fast-path runners. They further restrict
+	// the contract — fully periodic geometry (phi0's ghost shell is the
+	// periodic wrap of the interior) and frozen velocities — and their
+	// results are mathematically but not bitwise equal to the oracle, so
+	// the sweep checks them with CheckPeriodic in tolerance mode instead
+	// of CheckBox/CheckLevel.
+	Spectral bool
+	// Tol is the error budget of a tolerance-mode (Spectral) runner; nil
+	// means SpectralTolerance. Bitwise runners leave it nil and are
+	// never compared through it.
+	Tol *Tolerance
 	// Run executes the exemplar: phi0 must cover the ghosted valid box,
 	// and the flux divergence accumulates into phi1 over valid.
 	Run func(phi0, phi1 *fab.FAB, valid box.Box, threads int) error
@@ -108,10 +120,34 @@ func Registry() []Runner {
 		add(temporalEngineRunner(k))
 	}
 	add(temporalInterpretedRunner(1))
+	// The spectral fast path: one FFT pass answers K Euler steps on
+	// periodic frozen-velocity data. Deep K are cheap here (the symbol
+	// is raised to the K-th power pointwise), so the registry carries
+	// the full crossover-study range.
+	for _, k := range []int{1, 2, 4, 8, 16} {
+		add(spectralRunner(k))
+	}
 	if err != nil {
 		panic(err)
 	}
 	return rs
+}
+
+// spectralRunner wraps the internal/fft solver: K Euler steps answered
+// in one spectral pass on a fully periodic box with frozen velocities.
+// Checked by CheckPeriodic in tolerance mode — the rounding happens in
+// the frequency basis, so results are not bitwise comparable to the
+// composed-Euler oracle.
+func spectralRunner(k int) Runner {
+	return Runner{
+		Name:      fmt.Sprintf("FFT (spectral) K%d", k),
+		TemporalK: k,
+		Spectral:  true,
+		Tol:       &SpectralTolerance,
+		Run: func(phi0, phi1 *fab.FAB, valid box.Box, threads int) error {
+			return fft.Solve(phi0, phi1, valid, fft.Config{K: k, Threads: threads})
+		},
+	}
 }
 
 // temporalEngineRunner wraps the internal/temporal tiled engine: K Euler

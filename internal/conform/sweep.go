@@ -113,6 +113,27 @@ func Sweep(ctx context.Context, cfg SweepConfig) (*Report, error) {
 		}
 	}
 	for _, r := range cfg.Runners {
+		// Spectral runners carry a periodic-only contract and a rounding
+		// tolerance: they sweep CheckPeriodic over the box cases and skip
+		// level and distributed checks (both assume NGhost-deep bitwise
+		// ghost exchange).
+		if r.Spectral {
+			for i := 0; i < cfg.BoxCases; i++ {
+				if err := ctx.Err(); err != nil {
+					return nil, err
+				}
+				c := RandomCase(cfg.Seed + int64(i))
+				rep.Checks++
+				if dv := CheckPeriodic(r, c); dv != nil {
+					_, mdv := MinimizePeriodic(r, c)
+					if mdv == nil {
+						mdv = dv
+					}
+					record(mdv)
+				}
+			}
+			continue
+		}
 		for i := 0; i < cfg.BoxCases; i++ {
 			if err := ctx.Err(); err != nil {
 				return nil, err

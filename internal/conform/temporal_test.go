@@ -19,7 +19,10 @@ func temporalRunners(t *testing.T, k int) []Runner {
 	t.Helper()
 	var rs []Runner
 	for _, r := range Registry() {
-		if r.TemporalK == k {
+		// Spectral runners carry TemporalK too, but require frozen
+		// velocities and tolerance-mode comparison — they have their own
+		// periodic sweep (see tolerance_test.go), not this bitwise one.
+		if r.TemporalK == k && !r.Spectral {
 			rs = append(rs, r)
 		}
 	}

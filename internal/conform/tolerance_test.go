@@ -1,0 +1,160 @@
+package conform
+
+import (
+	"strings"
+	"testing"
+
+	"stencilsched/internal/box"
+	"stencilsched/internal/fab"
+	"stencilsched/internal/kernel"
+	"stencilsched/internal/temporal"
+)
+
+// TestPeriodicOracleMatchesTemporalReference pins the fast torus oracle
+// against the repository's canonical composed-Euler oracle, bitwise:
+// stepping the wrapped interior with a one-radius shell must equal
+// temporal.Reference over wrap-filled deep ghosts exactly (periodic
+// translation invariance is exact in floating point). This is what
+// licenses CheckPeriodic's O(k·n³) oracle for deep K.
+func TestPeriodicOracleMatchesTemporalReference(t *testing.T) {
+	for _, k := range []int{1, 3, 8} {
+		c := Case{Seed: 5, Lo: [3]int{-2, 1, 0}, Size: [3]int{6, 5, 7}}.Normalized()
+		valid := c.Box()
+		interior, phi0 := periodicState(c, k*kernel.NGhost)
+		stateK := periodicOracle(interior, valid, k, kernel.EulerDt)
+		got := fab.New(valid, kernel.NComp)
+		temporal.AddDiff(got, stateK, interior, valid)
+		want := fab.New(valid, kernel.NComp)
+		temporal.Reference(phi0, want, valid, k, kernel.EulerDt)
+		if w := compareFABs(got, want, valid, 0); w.found {
+			t.Fatalf("k=%d: torus oracle differs from temporal.Reference: %s", k, w.detail())
+		}
+	}
+}
+
+// TestSpectralRunnersConformPeriodic is the acceptance criterion in its
+// directest form: every registered FFT runner (K 1..16) passes the
+// periodic tolerance-mode check on power-of-two, Bluestein, threaded,
+// warm, and padded geometries.
+func TestSpectralRunnersConformPeriodic(t *testing.T) {
+	cases := []Case{
+		{Seed: 1, Size: [3]int{8, 8, 8}, Threads: 4, Warm: true},
+		{Seed: 2, Lo: [3]int{-4, 7, 1}, Size: [3]int{9, 6, 11}, GhostPad: 1, OutPad: 1, Threads: 2},
+		{Seed: 3, Size: [3]int{1, 1, 1}, OutPad: 2, Threads: 1, Warm: true},
+	}
+	for _, r := range spectralRegistry() {
+		for _, c := range cases {
+			if dv := CheckPeriodic(r, c); dv != nil {
+				t.Errorf("%v", dv)
+			}
+		}
+	}
+}
+
+// injectedSpectralRunner wraps the real spectral solve and adds eps to
+// one density cell of the delta before the (single-rounded) writeback,
+// so the accumulation contract still holds and only the differential
+// magnitude changes — the fault class the tolerance bounds exist to
+// catch or forgive.
+func injectedSpectralRunner(k int, eps float64) Runner {
+	base := spectralRunner(k)
+	r := base
+	r.Name = base.Name + " [injected: additive]"
+	r.Run = func(phi0, phi1 *fab.FAB, valid box.Box, threads int) error {
+		tmp := fab.New(valid, kernel.NComp)
+		if err := base.Run(phi0, tmp, valid, threads); err != nil {
+			return err
+		}
+		tmp.Set(valid.Lo, 0, tmp.Get(valid.Lo, 0)+eps)
+		phi1.Plus(tmp, valid, 1)
+		return nil
+	}
+	return r
+}
+
+// periodicLInfBound replicates CheckPeriodic's bound computation for a
+// case, so the self-validation tests can place injected errors at known
+// multiples of the real threshold.
+func periodicLInfBound(c Case, k int) float64 {
+	c = c.Normalized()
+	valid := c.Box()
+	interior, _ := periodicState(c, k*kernel.NGhost+c.GhostPad)
+	stateK := periodicOracle(interior, valid, k, kernel.EulerDt)
+	want := fab.New(valid, kernel.NComp)
+	temporal.AddDiff(want, stateK, interior, valid)
+	scale := interior.MaxNorm(valid)
+	if s := want.MaxNorm(valid); s > scale {
+		scale = s
+	}
+	linfU, _ := SpectralTolerance.Bounds(k, valid.NumPts())
+	return linfU * scale
+}
+
+// TestToleranceCatchesAboveBound is the satellite-2 acceptance check:
+// an injected error just above the tolerance must be caught as a
+// tolerance differential and minimized to a one-line repro on a tiny
+// box.
+func TestToleranceCatchesAboveBound(t *testing.T) {
+	const k = 4
+	big := Case{Seed: 21, Lo: [3]int{-5, 9, 3}, Size: [3]int{12, 9, 14},
+		GhostPad: 1, OutPad: 1, Threads: 4, Warm: true}
+	r := injectedSpectralRunner(k, 3*periodicLInfBound(big, k))
+	if dv := CheckPeriodic(r, big); dv == nil {
+		t.Fatal("above-tolerance injected error not detected on the original case")
+	}
+	min, dv := MinimizePeriodic(r, big)
+	if dv == nil {
+		t.Fatal("MinimizePeriodic lost the divergence")
+	}
+	if dv.Check != "differential (tolerance)" {
+		t.Errorf("injected error reported as %q, want differential (tolerance)", dv.Check)
+	}
+	vol := min.Size[0] * min.Size[1] * min.Size[2]
+	if vol > 8 {
+		t.Errorf("minimized case still has volume %d (%v), want a tiny box", vol, min.Size)
+	}
+	if min.Threads != 1 || min.Warm || min.GhostPad != 0 || min.OutPad != 0 {
+		t.Errorf("minimized case kept inessential structure: %+v", min)
+	}
+	line := dv.Error()
+	for _, wantSub := range []string{r.Name, "seed=21", "size=", "bound"} {
+		if !strings.Contains(line, wantSub) {
+			t.Errorf("repro line %q does not name %q", line, wantSub)
+		}
+	}
+}
+
+// TestToleranceForgivesBelowBound: the same injection well inside the
+// budget must pass every periodic check — the tolerance exists exactly
+// so legitimate basis-change rounding is not a failure.
+func TestToleranceForgivesBelowBound(t *testing.T) {
+	const k = 4
+	c := Case{Seed: 21, Size: [3]int{6, 6, 6}, Threads: 2, Warm: true, OutPad: 1}
+	r := injectedSpectralRunner(k, 0.3*periodicLInfBound(c, k))
+	if dv := CheckPeriodic(r, c); dv != nil {
+		t.Fatalf("below-tolerance injected error flagged: %v", dv)
+	}
+}
+
+// TestToleranceBoundsMonotone pins the bound model's shape: more steps
+// and more points mean more accumulated rounding, so bounds must grow
+// monotonically in both and stay strictly positive.
+func TestToleranceBoundsMonotone(t *testing.T) {
+	tol := SpectralTolerance
+	prevLInf, prevL2 := 0.0, 0.0
+	for _, k := range []int{1, 2, 4, 8, 16} {
+		linf, l2 := tol.Bounds(k, 512)
+		if linf <= prevLInf || l2 <= prevL2 {
+			t.Errorf("bounds not increasing in k: k=%d gave (%g, %g) after (%g, %g)", k, linf, l2, prevLInf, prevL2)
+		}
+		prevLInf, prevL2 = linf, l2
+	}
+	small, _ := tol.Bounds(4, 8)
+	large, _ := tol.Bounds(4, 32768)
+	if large <= small {
+		t.Errorf("Linf bound not increasing in point count: %g vs %g", large, small)
+	}
+	if small <= 0 {
+		t.Errorf("bound must be strictly positive, got %g", small)
+	}
+}

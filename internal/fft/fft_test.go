@@ -1,0 +1,171 @@
+package fft
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+)
+
+// randomSignal returns a deterministic complex signal with components
+// in [-1, 1).
+func randomSignal(n int, seed int64) []complex128 {
+	rnd := rand.New(rand.NewSource(seed))
+	x := make([]complex128, n)
+	for i := range x {
+		x[i] = complex(2*rnd.Float64()-1, 2*rnd.Float64()-1)
+	}
+	return x
+}
+
+// naiveDFT is the O(n²) definition, the oracle for the fast paths.
+func naiveDFT(x []complex128) []complex128 {
+	n := len(x)
+	out := make([]complex128, n)
+	for k := 0; k < n; k++ {
+		var sum complex128
+		for j := 0; j < n; j++ {
+			phase := -2 * math.Pi * float64(j) * float64(k) / float64(n)
+			sum += x[j] * cmplx.Rect(1, phase)
+		}
+		out[k] = sum
+	}
+	return out
+}
+
+func maxErr(got, want []complex128) float64 {
+	var m float64
+	for i := range got {
+		if e := cmplx.Abs(got[i] - want[i]); e > m {
+			m = e
+		}
+	}
+	return m
+}
+
+// roundTripSizes covers both code paths: 8/16/32 run radix-2, 27 and 96
+// run the Bluestein fallback (96 = 2^5·3 is the benchmark extent).
+var roundTripSizes = []int{8, 16, 27, 32, 96}
+
+func TestForwardInverseRoundTrip(t *testing.T) {
+	for _, n := range roundTripSizes {
+		x := randomSignal(n, int64(n))
+		orig := append([]complex128(nil), x...)
+		p := PlanFor(n)
+		p.Forward(x)
+		p.Inverse(x)
+		if e := maxErr(x, orig); e > 1e-12 {
+			t.Errorf("n=%d: round-trip error %g > 1e-12", n, e)
+		}
+	}
+}
+
+func TestForwardMatchesNaiveDFT(t *testing.T) {
+	for _, n := range append([]int{1, 2, 3, 5, 12}, roundTripSizes...) {
+		x := randomSignal(n, 100+int64(n))
+		want := naiveDFT(x)
+		p := NewPlan(n)
+		p.Forward(x)
+		if e := maxErr(x, want); e > 1e-10*float64(n) {
+			t.Errorf("n=%d: |FFT - naive DFT| = %g", n, e)
+		}
+	}
+}
+
+func TestParseval(t *testing.T) {
+	for _, n := range roundTripSizes {
+		x := randomSignal(n, 1000+int64(n))
+		var timeEnergy float64
+		for _, v := range x {
+			timeEnergy += real(v)*real(v) + imag(v)*imag(v)
+		}
+		PlanFor(n).Forward(x)
+		var freqEnergy float64
+		for _, v := range x {
+			freqEnergy += real(v)*real(v) + imag(v)*imag(v)
+		}
+		freqEnergy /= float64(n)
+		if rel := math.Abs(timeEnergy-freqEnergy) / timeEnergy; rel > 1e-13 {
+			t.Errorf("n=%d: Parseval violated, time %g vs freq/n %g (rel %g)", n, timeEnergy, freqEnergy, rel)
+		}
+	}
+}
+
+// TestKnownDFT pins small fixed transforms computed by hand, including
+// a Bluestein length (5), so a sign or scaling convention change cannot
+// slip through the property tests.
+func TestKnownDFT(t *testing.T) {
+	cases := []struct {
+		name string
+		in   []complex128
+		want []complex128
+	}{
+		{
+			name: "impulse-4",
+			in:   []complex128{1, 0, 0, 0},
+			want: []complex128{1, 1, 1, 1},
+		},
+		{
+			name: "ramp-4",
+			in:   []complex128{1, 2, 3, 4},
+			want: []complex128{10, complex(-2, 2), -2, complex(-2, -2)},
+		},
+		{
+			name: "constant-5-bluestein",
+			in:   []complex128{3, 3, 3, 3, 3},
+			want: []complex128{15, 0, 0, 0, 0},
+		},
+		{
+			name: "impulse-6-bluestein",
+			in:   []complex128{0, 1, 0, 0, 0, 0},
+			want: []complex128{
+				1,
+				cmplx.Rect(1, -2*math.Pi/6),
+				cmplx.Rect(1, -4*math.Pi/6),
+				cmplx.Rect(1, -6*math.Pi/6),
+				cmplx.Rect(1, -8*math.Pi/6),
+				cmplx.Rect(1, -10*math.Pi/6),
+			},
+		},
+	}
+	for _, tc := range cases {
+		x := append([]complex128(nil), tc.in...)
+		NewPlan(len(x)).Forward(x)
+		if e := maxErr(x, tc.want); e > 1e-13 {
+			t.Errorf("%s: |got - want| = %g\n got %v\nwant %v", tc.name, e, x, tc.want)
+		}
+	}
+}
+
+func TestTransformLengthMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Forward on a wrong-length slice did not panic")
+		}
+	}()
+	NewPlan(8).Forward(make([]complex128, 7))
+}
+
+// TestGridTransformThreadDeterminism locks in that the 3D driver is
+// bitwise thread-independent: lines are disjoint, so worker count is
+// pure schedule.
+func TestGridTransformThreadDeterminism(t *testing.T) {
+	n := [3]int{12, 8, 6} // Bluestein on axes 0 and 2, radix-2 on axis 1
+	mk := func() *Grid {
+		g := NewGrid(n)
+		rnd := rand.New(rand.NewSource(42))
+		for i := range g.Data {
+			g.Data[i] = complex(rnd.Float64(), rnd.Float64())
+		}
+		return g
+	}
+	serial := mk()
+	serial.Transform(false, 1)
+	threaded := mk()
+	threaded.Transform(false, 7)
+	for i := range serial.Data {
+		if serial.Data[i] != threaded.Data[i] {
+			t.Fatalf("threaded transform differs at %d: %v vs %v", i, threaded.Data[i], serial.Data[i])
+		}
+	}
+}

@@ -1,0 +1,90 @@
+package fft
+
+import (
+	"fmt"
+
+	"stencilsched/internal/parallel"
+)
+
+// Grid is a 3D complex field in the box layout's x-fastest order:
+// element (x, y, z) lives at x + n[0]*(y + n[1]*z). It is the spectral
+// counterpart of one fab.FAB component, whose data slice has exactly
+// this layout.
+type Grid struct {
+	N    [3]int
+	Data []complex128
+}
+
+// NewGrid allocates an n[0] x n[1] x n[2] grid.
+func NewGrid(n [3]int) *Grid {
+	if n[0] < 1 || n[1] < 1 || n[2] < 1 {
+		panic(fmt.Sprintf("fft: bad grid dims %v", n))
+	}
+	return &Grid{N: n, Data: make([]complex128, n[0]*n[1]*n[2])}
+}
+
+// Transform runs the 3D DFT in place, one axis at a time: forward
+// (unscaled) when inverse is false, inverse (scaled by 1/numPts,
+// applied axis by axis) when true. Lines along each axis are
+// independent, so they run threads-wide with disjoint writes — the
+// result is bitwise identical for every thread count.
+func (g *Grid) Transform(inverse bool, threads int) {
+	for d := 0; d < 3; d++ {
+		g.transformAxis(d, inverse, threads)
+	}
+}
+
+// transformAxis applies the 1D plan along axis d to every line of the
+// grid. Axis 0 lines are contiguous and transform in place; axes 1 and
+// 2 gather each strided line into a per-worker buffer, transform, and
+// scatter back.
+func (g *Grid) transformAxis(d int, inverse bool, threads int) {
+	n := g.N
+	p := PlanFor(n[d])
+	total := n[0] * n[1] * n[2]
+	lines := total / n[d]
+	if threads < 1 {
+		threads = 1
+	}
+	if threads > lines {
+		threads = lines
+	}
+	type lineScratch struct{ buf, conv []complex128 }
+	scr := parallel.NewScratch(threads, func() *lineScratch {
+		return &lineScratch{
+			buf:  make([]complex128, n[d]),
+			conv: make([]complex128, p.ScratchLen()),
+		}
+	})
+	var base func(li int) (start, stride int)
+	switch d {
+	case 0:
+		base = func(li int) (int, int) { return li * n[0], 1 }
+	case 1:
+		base = func(li int) (int, int) {
+			x, z := li%n[0], li/n[0]
+			return x + n[0]*n[1]*z, n[0]
+		}
+	default:
+		base = func(li int) (int, int) {
+			x, y := li%n[0], li/n[0]
+			return x + n[0]*y, n[0] * n[1]
+		}
+	}
+	data := g.Data
+	parallel.For(threads, lines, func(tid, li int) {
+		s := scr.Get(tid)
+		start, stride := base(li)
+		if stride == 1 {
+			p.Transform(data[start:start+n[d]], s.conv, inverse)
+			return
+		}
+		for j := 0; j < n[d]; j++ {
+			s.buf[j] = data[start+j*stride]
+		}
+		p.Transform(s.buf, s.conv, inverse)
+		for j := 0; j < n[d]; j++ {
+			data[start+j*stride] = s.buf[j]
+		}
+	})
+}

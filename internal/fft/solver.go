@@ -1,0 +1,242 @@
+package fft
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"stencilsched/internal/box"
+	"stencilsched/internal/fab"
+	"stencilsched/internal/ivect"
+	"stencilsched/internal/kernel"
+	"stencilsched/internal/parallel"
+	"stencilsched/internal/temporal"
+)
+
+// ErrNotPeriodic is returned (wrapped) when a spectral solve is asked
+// for on non-periodic geometry. The DFT diagonalizes the operator only
+// on the torus, so this is a bad request, not a numerical failure —
+// services surface it as HTTP 400, mirroring ghost.ErrHaloTooDeep.
+var ErrNotPeriodic = errors.New("fft: spectral solves require fully periodic geometry")
+
+// ErrVelocityNotFrozen is returned (wrapped) when the advection
+// velocities vary in space. The exemplar operator is only linear — and
+// the spectral symbol only exists — with frozen velocities; anything
+// else must run through the temporal schedules.
+var ErrVelocityNotFrozen = errors.New("fft: spectral solves require spatially constant advection velocities")
+
+// Config shapes one spectral solve.
+type Config struct {
+	// K is the number of Euler steps answered in one pass (>= 1).
+	K int
+	// Dt is the Euler step; 0 means kernel.EulerDt.
+	Dt float64
+	// Threads is the worker count across transform lines; <= 1 is
+	// serial. The result is bitwise identical for every thread count.
+	Threads int
+}
+
+func (c Config) dt() float64 {
+	if c.Dt == 0 {
+		return kernel.EulerDt
+	}
+	return c.Dt
+}
+
+// faceVelocity is the face average of a spatially constant velocity u,
+// computed with the kernel's exact floating-point expression (eq. 6 on
+// four equal values) rather than assumed equal to u — the symbol must
+// multiply by the same rounded value the stencil multiplies by.
+func faceVelocity(u float64) float64 {
+	line := [4]float64{u, u, u, u}
+	return kernel.FaceAvg(line[:], 2, 1)
+}
+
+// axisSymbol returns the per-mode divergence factor of one direction:
+// for the basis function e^{iθj} with θ = 2π m / n, the five-point
+// face-average divergence (flux difference of eq. 6 averages) acts as
+// multiplication by σ(θ) = 2i[(C1-C2)·sin θ + C2·sin 2θ].
+func axisSymbol(n int) []float64 {
+	s := make([]float64, n)
+	for m := 0; m < n; m++ {
+		theta := 2 * math.Pi * float64(m) / float64(n)
+		s[m] = 2 * ((kernel.C1-kernel.C2)*math.Sin(theta) + kernel.C2*math.Sin(2*theta))
+	}
+	return s
+}
+
+// SymbolGrid returns the one-Euler-step spectral multiplier
+// G(m) = 1 - dt·Σ_d ṽ_d·σ_d(θ_{m_d}) on an n-cell periodic domain with
+// constant cell velocities u (ṽ_d is the face average of u_d in the
+// kernel's exact arithmetic). Mode (m0, m1, m2) lives at
+// m0 + n[0]*(m1 + n[1]*m2), matching Grid.
+func SymbolGrid(n [3]int, u [3]float64, dt float64) []complex128 {
+	var ax [3][]float64
+	for d := 0; d < 3; d++ {
+		s := axisSymbol(n[d])
+		vt := faceVelocity(u[d])
+		for m := range s {
+			s[m] *= dt * vt
+		}
+		ax[d] = s
+	}
+	g := make([]complex128, n[0]*n[1]*n[2])
+	i := 0
+	for m2 := 0; m2 < n[2]; m2++ {
+		for m1 := 0; m1 < n[1]; m1++ {
+			a12 := ax[1][m1] + ax[2][m2]
+			for m0 := 0; m0 < n[0]; m0++ {
+				// σ is purely imaginary, so G = 1 - i·(sum of axis terms).
+				g[i] = complex(1, -(ax[0][m0] + a12))
+				i++
+			}
+		}
+	}
+	return g
+}
+
+// ImpulseSymbol derives the one-step multiplier numerically: it builds
+// a unit density impulse on an n-cell periodic domain with constant
+// velocities u, advances it one Euler step with kernel.Reference, and
+// transforms the result — the DFT of the impulse is identically one,
+// so the transform of the stepped state IS the symbol. It exists to
+// cross-check SymbolGrid against the reference kernel itself (the
+// convolution-theorem self-calibration), so a silent drift in either
+// the analytic coefficients or the kernel shows up as a test failure.
+func ImpulseSymbol(n [3]int, u [3]float64, dt float64) []complex128 {
+	valid := box.NewSized(ivect.Zero, ivect.New(n[0], n[1], n[2]))
+	phi0 := fab.New(valid.Grow(kernel.NGhost), kernel.NComp)
+	phi0.Box().ForEach(func(p ivect.IntVect) {
+		q := wrapPoint(valid, p)
+		if q == ivect.Zero {
+			phi0.Set(p, 0, 1)
+		}
+		for d := 0; d < 3; d++ {
+			phi0.Set(p, d+1, u[d])
+		}
+	})
+	div := fab.New(valid, kernel.NComp)
+	kernel.Reference(phi0, div, valid)
+	g := NewGrid(n)
+	valid.ForEach(func(p ivect.IntVect) {
+		i := p[0] + n[0]*(p[1]+n[1]*p[2])
+		g.Data[i] = complex(phi0.Get(p, 0)-dt*div.Get(p, 0), 0)
+	})
+	g.Transform(false, 1)
+	return g.Data
+}
+
+// wrapPoint maps p onto the periodic image inside valid.
+func wrapPoint(valid box.Box, p ivect.IntVect) ivect.IntVect {
+	q := p
+	for d := 0; d < 3; d++ {
+		n := valid.Hi[d] - valid.Lo[d] + 1
+		r := (p[d] - valid.Lo[d]) % n
+		if r < 0 {
+			r += n
+		}
+		q[d] = valid.Lo[d] + r
+	}
+	return q
+}
+
+// cpow raises g to the k-th power by binary exponentiation — a fixed,
+// deterministic multiplication sequence, so repeated solves and
+// different thread counts agree bitwise.
+func cpow(g complex128, k int) complex128 {
+	r := complex(1, 0)
+	for k > 0 {
+		if k&1 == 1 {
+			r *= g
+		}
+		g *= g
+		k >>= 1
+	}
+	return r
+}
+
+// Evolve advances state — one periodic domain covering exactly its box
+// — k Euler steps of the exemplar operator in place, in one spectral
+// pass: forward-transform density and energy, multiply by the k-th
+// power of the one-step symbol, inverse-transform. The velocity
+// components must be spatially constant (ErrVelocityNotFrozen
+// otherwise); they are left untouched, exactly as the reference
+// evolution leaves them (the flux divergence of a constant component
+// is identically zero, bitwise).
+func Evolve(state *fab.FAB, k int, dt float64, threads int) error {
+	if state.NComp() != kernel.NComp {
+		return fmt.Errorf("fft: state has %d components, kernel needs %d", state.NComp(), kernel.NComp)
+	}
+	if k < 1 {
+		return fmt.Errorf("fft: K=%d must be >= 1", k)
+	}
+	if dt == 0 {
+		dt = kernel.EulerDt
+	}
+	if threads < 1 {
+		threads = 1
+	}
+	sz := state.Box().Size()
+	n := [3]int{sz[0], sz[1], sz[2]}
+	var u [3]float64
+	for d := 0; d < 3; d++ {
+		comp := state.Comp(d + 1)
+		u[d] = comp[0]
+		for i, v := range comp {
+			if v != u[d] {
+				return fmt.Errorf("%w: component %d varies (found %v and %v, flat index %d)",
+					ErrVelocityNotFrozen, d+1, u[d], v, i)
+			}
+		}
+	}
+	npts := n[0] * n[1] * n[2]
+	gk := SymbolGrid(n, u, dt)
+	parallel.ForChunked(threads, npts, func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			gk[i] = cpow(gk[i], k)
+		}
+	})
+	grid := NewGrid(n)
+	for _, c := range []int{0, 4} {
+		comp := state.Comp(c)
+		parallel.ForChunked(threads, npts, func(_, lo, hi int) {
+			for i := lo; i < hi; i++ {
+				grid.Data[i] = complex(comp[i], 0)
+			}
+		})
+		grid.Transform(false, threads)
+		parallel.ForChunked(threads, npts, func(_, lo, hi int) {
+			for i := lo; i < hi; i++ {
+				grid.Data[i] *= gk[i]
+			}
+		})
+		grid.Transform(true, threads)
+		parallel.ForChunked(threads, npts, func(_, lo, hi int) {
+			for i := lo; i < hi; i++ {
+				comp[i] = real(grid.Data[i])
+			}
+		})
+	}
+	return nil
+}
+
+// Solve is the conformance-runner form of the spectral solve, with the
+// same contract as the temporal-blocking schedules: phi0 covers valid
+// grown by K*NGhost (the ghost shell is assumed to hold the periodic
+// wrap of the interior and is otherwise ignored — the torus is
+// implicit in the transform), and phi1 accumulates the K-step state
+// delta over valid. Results match temporal.Reference to the declared
+// spectral tolerance, not bitwise.
+func Solve(phi0, phi1 *fab.FAB, valid box.Box, cfg Config) error {
+	if cfg.K < 1 {
+		return fmt.Errorf("fft: K=%d must be >= 1", cfg.K)
+	}
+	kernel.CheckStateK(phi0, phi1, valid, cfg.K)
+	state := fab.New(valid, kernel.NComp)
+	state.CopyFrom(phi0, valid)
+	if err := Evolve(state, cfg.K, cfg.dt(), cfg.Threads); err != nil {
+		return err
+	}
+	temporal.AddDiff(phi1, state, phi0, valid)
+	return nil
+}

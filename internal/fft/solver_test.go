@@ -1,0 +1,280 @@
+package fft
+
+import (
+	"errors"
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+
+	"stencilsched/internal/box"
+	"stencilsched/internal/fab"
+	"stencilsched/internal/ivect"
+	"stencilsched/internal/kernel"
+	"stencilsched/internal/temporal"
+)
+
+// frozenState builds a periodic frozen-velocity state: random density
+// and energy on the valid box, constant random velocities, and every
+// ghost cell of phi0 holding the periodic wrap of the interior.
+func frozenState(valid box.Box, depth int, seed int64) *fab.FAB {
+	rnd := rand.New(rand.NewSource(seed))
+	var u [3]float64
+	for d := range u {
+		u[d] = 0.25 + 1.5*rnd.Float64()
+	}
+	interior := fab.New(valid, kernel.NComp)
+	for _, c := range []int{0, 4} {
+		valid.ForEach(func(p ivect.IntVect) {
+			interior.Set(p, c, 0.25+1.5*rnd.Float64())
+		})
+	}
+	for d := 0; d < 3; d++ {
+		interior.FillComp(d+1, u[d])
+	}
+	phi0 := fab.New(valid.Grow(depth), kernel.NComp)
+	phi0.Box().ForEach(func(p ivect.IntVect) {
+		q := wrapPoint(valid, p)
+		for c := 0; c < kernel.NComp; c++ {
+			phi0.Set(p, c, interior.Get(q, c))
+		}
+	})
+	return phi0
+}
+
+// solveTol is the absolute comparison bound of these tests, generous
+// against the ~1e-14 discrepancies actually observed (state magnitudes
+// are O(1), so absolute and relative agree here).
+const solveTol = 1e-11
+
+func maxAbsDiff(a, b *fab.FAB, r box.Box) float64 {
+	var m float64
+	for c := 0; c < a.NComp(); c++ {
+		r.ForEach(func(p ivect.IntVect) {
+			if d := math.Abs(a.Get(p, c) - b.Get(p, c)); d > m {
+				m = d
+			}
+		})
+	}
+	return m
+}
+
+// TestSolveMatchesTemporalReference is the differential heart: the
+// one-pass spectral solve must match K composed Euler steps of
+// kernel.Reference on periodic frozen-velocity data, for every K the
+// conformance registry exposes, on cubic, ragged, and Bluestein-sized
+// boxes.
+func TestSolveMatchesTemporalReference(t *testing.T) {
+	geoms := []struct {
+		sz ivect.IntVect
+		ks []int
+	}{
+		{ivect.New(8, 8, 8), []int{1, 2, 4, 8, 16}},
+		{ivect.New(12, 6, 10), []int{1, 4}}, // Bluestein on every axis
+		{ivect.New(16, 4, 8), []int{1, 4}},
+	}
+	for _, gc := range geoms {
+		sz := gc.sz
+		for _, k := range gc.ks {
+			valid := box.NewSized(ivect.New(-3, 2, 0), sz)
+			phi0 := frozenState(valid, k*kernel.NGhost, int64(100*k+sz[0]))
+			want := fab.New(valid, kernel.NComp)
+			temporal.Reference(phi0, want, valid, k, kernel.EulerDt)
+			got := fab.New(valid, kernel.NComp)
+			if err := Solve(phi0, got, valid, Config{K: k, Threads: 4}); err != nil {
+				t.Fatalf("size %v K=%d: %v", sz, k, err)
+			}
+			if d := maxAbsDiff(got, want, valid); d > solveTol {
+				t.Errorf("size %v K=%d: |spectral - reference| = %g > %g", sz, k, d, solveTol)
+			}
+		}
+	}
+}
+
+// TestConvolutionTheorem checks the spectral symbol operatively: the
+// analytic SymbolGrid and the impulse-derived ImpulseSymbol must agree
+// (pointwise spectral multiply == direct stencil apply, pushed through
+// the DFT of a unit impulse), and one pointwise multiply by G must
+// reproduce one direct Euler step on a random field.
+func TestConvolutionTheorem(t *testing.T) {
+	n := [3]int{8, 6, 4}
+	u := [3]float64{0.75, -0.3, 1.25}
+	dt := kernel.EulerDt
+	analytic := SymbolGrid(n, u, dt)
+	impulse := ImpulseSymbol(n, u, dt)
+	for i := range analytic {
+		if e := cmplx.Abs(analytic[i] - impulse[i]); e > 1e-13 {
+			t.Fatalf("symbol mismatch at mode %d: analytic %v, impulse-derived %v (|diff| %g)",
+				i, analytic[i], impulse[i], e)
+		}
+	}
+
+	valid := box.NewSized(ivect.Zero, ivect.New(n[0], n[1], n[2]))
+	phi0 := frozenState(valid, kernel.NGhost, 7)
+	// Overwrite the random velocities with the test's fixed u so the
+	// symbol above applies to this field too.
+	phi0.Box().ForEach(func(p ivect.IntVect) {
+		for d := 0; d < 3; d++ {
+			phi0.Set(p, d+1, u[d])
+		}
+	})
+	div := fab.New(valid, kernel.NComp)
+	kernel.Reference(phi0, div, valid)
+	g := NewGrid(n)
+	valid.ForEach(func(p ivect.IntVect) {
+		g.Data[p[0]+n[0]*(p[1]+n[1]*p[2])] = complex(phi0.Get(p, 0), 0)
+	})
+	g.Transform(false, 1)
+	for i := range g.Data {
+		g.Data[i] *= analytic[i]
+	}
+	g.Transform(true, 1)
+	var worst float64
+	valid.ForEach(func(p ivect.IntVect) {
+		direct := phi0.Get(p, 0) - dt*div.Get(p, 0)
+		spectral := real(g.Data[p[0]+n[0]*(p[1]+n[1]*p[2])])
+		if d := math.Abs(direct - spectral); d > worst {
+			worst = d
+		}
+	})
+	if worst > 1e-13 {
+		t.Errorf("spectral multiply vs direct stencil apply: |diff| = %g", worst)
+	}
+}
+
+// TestSolveLinearityInRho pins the exact-scaling property: doubling
+// density doubles the density delta bitwise (power-of-two scaling
+// commutes with every add and multiply in the pipeline) and leaves the
+// other components bit-identical.
+func TestSolveLinearityInRho(t *testing.T) {
+	valid := box.Cube(10)
+	k := 4
+	phi0 := frozenState(valid, k*kernel.NGhost, 11)
+	base := fab.New(valid, kernel.NComp)
+	if err := Solve(phi0, base, valid, Config{K: k, Threads: 3}); err != nil {
+		t.Fatal(err)
+	}
+	scaled := phi0.Clone()
+	rho := scaled.Comp(0)
+	for i := range rho {
+		rho[i] *= 2
+	}
+	lin := fab.New(valid, kernel.NComp)
+	if err := Solve(scaled, lin, valid, Config{K: k, Threads: 3}); err != nil {
+		t.Fatal(err)
+	}
+	for c := 0; c < kernel.NComp; c++ {
+		valid.ForEach(func(p ivect.IntVect) {
+			want := base.Get(p, c)
+			if c == 0 {
+				want *= 2
+			}
+			if got := lin.Get(p, c); got != want {
+				t.Fatalf("component %d at %v: doubling rho gave %v, want exactly %v", c, p, got, want)
+			}
+		})
+	}
+}
+
+// TestSolveTranslationInvariance: cyclically shifting periodic initial
+// data by one cell must translate the solved field, to tolerance (the
+// twiddle factors round differently per position, so this is not
+// bitwise).
+func TestSolveTranslationInvariance(t *testing.T) {
+	valid := box.Cube(9) // Bluestein size
+	k := 4
+	phi0 := frozenState(valid, k*kernel.NGhost, 13)
+	base := fab.New(valid, kernel.NComp)
+	if err := Solve(phi0, base, valid, Config{K: k, Threads: 2}); err != nil {
+		t.Fatal(err)
+	}
+	// Shifted input: value at p comes from the periodic image of p
+	// shifted one cell down in x.
+	shifted := fab.New(phi0.Box(), kernel.NComp)
+	phi0.Box().ForEach(func(p ivect.IntVect) {
+		q := wrapPoint(valid, p.Shift(0, -1))
+		for c := 0; c < kernel.NComp; c++ {
+			shifted.Set(p, c, phi0.Get(wrapPoint(valid, q), c))
+		}
+	})
+	out := fab.New(valid, kernel.NComp)
+	if err := Solve(shifted, out, valid, Config{K: k, Threads: 2}); err != nil {
+		t.Fatal(err)
+	}
+	var worst float64
+	for c := 0; c < kernel.NComp; c++ {
+		valid.ForEach(func(p ivect.IntVect) {
+			want := base.Get(wrapPoint(valid, p.Shift(0, -1)), c)
+			if d := math.Abs(out.Get(p, c) - want); d > worst {
+				worst = d
+			}
+		})
+	}
+	if worst > solveTol {
+		t.Errorf("translation invariance violated: |diff| = %g > %g", worst, solveTol)
+	}
+}
+
+// TestSolveKComposition: solve(k1+k2) must agree with solve(k2) applied
+// to the state solve(k1) produced, to tolerance.
+func TestSolveKComposition(t *testing.T) {
+	valid := box.Cube(8)
+	const k1, k2 = 3, 5
+	phi0 := frozenState(valid, (k1+k2)*kernel.NGhost, 17)
+	oneShot := fab.New(valid, kernel.NComp)
+	if err := Solve(phi0, oneShot, valid, Config{K: k1 + k2, Threads: 2}); err != nil {
+		t.Fatal(err)
+	}
+	state := fab.New(valid, kernel.NComp)
+	state.CopyFrom(phi0, valid)
+	if err := Evolve(state, k1, kernel.EulerDt, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := Evolve(state, k2, kernel.EulerDt, 2); err != nil {
+		t.Fatal(err)
+	}
+	var worst float64
+	for c := 0; c < kernel.NComp; c++ {
+		valid.ForEach(func(p ivect.IntVect) {
+			composed := state.Get(p, c) - phi0.Get(p, c) // delta form, like Solve
+			if d := math.Abs(oneShot.Get(p, c) - composed); d > worst {
+				worst = d
+			}
+		})
+	}
+	if worst > solveTol {
+		t.Errorf("k-composition: |solve(k1+k2) - solve(k2)∘solve(k1)| = %g > %g", worst, solveTol)
+	}
+}
+
+// TestSolveRejectsUnfrozenVelocity: spatially varying velocities are a
+// typed error, not a silently wrong answer.
+func TestSolveRejectsUnfrozenVelocity(t *testing.T) {
+	valid := box.Cube(6)
+	phi0 := frozenState(valid, kernel.NGhost, 19)
+	phi0.Set(valid.Lo.Shift(0, 1), 1, 99.0)
+	phi1 := fab.New(valid, kernel.NComp)
+	err := Solve(phi0, phi1, valid, Config{K: 1})
+	if !errors.Is(err, ErrVelocityNotFrozen) {
+		t.Fatalf("varying velocity returned %v, want ErrVelocityNotFrozen", err)
+	}
+}
+
+// TestSolveThreadDeterminism: the spectral solve is bitwise identical
+// across thread counts.
+func TestSolveThreadDeterminism(t *testing.T) {
+	valid := box.NewSized(ivect.New(1, -2, 3), ivect.New(10, 12, 6))
+	k := 8
+	phi0 := frozenState(valid, k*kernel.NGhost, 23)
+	serial := fab.New(valid, kernel.NComp)
+	if err := Solve(phi0, serial, valid, Config{K: k, Threads: 1}); err != nil {
+		t.Fatal(err)
+	}
+	threaded := fab.New(valid, kernel.NComp)
+	if err := Solve(phi0, threaded, valid, Config{K: k, Threads: 8}); err != nil {
+		t.Fatal(err)
+	}
+	if d, at, c := threaded.MaxDiff(serial, valid); d != 0 {
+		t.Fatalf("threaded solve differs from serial by %g at %v component %d", d, at, c)
+	}
+}

@@ -181,6 +181,38 @@ func InitSmooth(phi0 *fab.FAB, period int) {
 	})
 }
 
+// InitSmoothFrozen fills phi0 like InitSmooth but with spatially
+// constant advection velocities (the u/v/w midlines of the smooth
+// profiles): the frozen-velocity regime in which the exemplar operator
+// is linear and the spectral FFT fast path applies. Density and energy
+// keep the standard sinusoids, so the advected fields are nontrivial.
+func InitSmoothFrozen(phi0 *fab.FAB, period int) {
+	if period <= 0 {
+		panic(fmt.Sprintf("kernel: period %d must be positive", period))
+	}
+	phi0.Box().ForEach(func(p ivect.IntVect) {
+		for c := 0; c < NComp; c++ {
+			phi0.Set(p, c, FrozenSmoothAt(period, p, c))
+		}
+	})
+}
+
+// FrozenSmoothAt is the pointwise form of InitSmoothFrozen: SmoothAt
+// for density and energy, the constant profile midlines (0.5, 0.3, 0.4)
+// for the velocities.
+func FrozenSmoothAt(period int, p ivect.IntVect, c int) float64 {
+	switch c {
+	case 1:
+		return 0.5
+	case 2:
+		return 0.3
+	case 3:
+		return 0.4
+	default:
+		return SmoothAt(period, p, c)
+	}
+}
+
 // SmoothAt is the pointwise form of InitSmooth: the value of component c
 // at cell p of the standard smooth field with the given period. The
 // distributed runtime initializes per-rank boxes through it, so a
